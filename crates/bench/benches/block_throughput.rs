@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the flowgraph runtime (experiment T3): raw
+//! scheduler overhead and the transceiver blocks running as a graph, on
+//! both schedulers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mimonet::blocks::build_link_flowgraph;
+use mimonet::{RxConfig, TxConfig};
+use mimonet_channel::ChannelConfig;
+use mimonet_runtime::{Flowgraph, Item, MapBlock, MessageHub, VectorSink, VectorSource};
+
+fn bench_scheduler_overhead(c: &mut Criterion) {
+    // A trivial 3-block pipeline pushing N items: measures per-item
+    // scheduling cost.
+    let mut g = c.benchmark_group("scheduler");
+    for &n in &[10_000usize, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("map_pipeline", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut fg = Flowgraph::new();
+                let src = fg.add(
+                    VectorSource::new((0..n).map(|i| Item::Real(i as f64)).collect())
+                        .with_chunk(4096),
+                );
+                let map = fg.add(MapBlock::new("x2", |i| Item::Real(i.real() * 2.0)));
+                let (sink, handle) = VectorSink::new();
+                let sink = fg.add(sink);
+                fg.connect(src, 0, map, 0).unwrap();
+                fg.connect(map, 0, sink, 0).unwrap();
+                fg.run(&MessageHub::new()).unwrap();
+                handle.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_transceiver_graph(c: &mut Criterion) {
+    let psdu_len = 200;
+    let psdus: Vec<u8> = vec![0x5A; 4 * psdu_len];
+    let mut g = c.benchmark_group("transceiver_graph");
+    g.sample_size(10);
+    g.bench_function("single_threaded_4_frames", |b| {
+        b.iter(|| {
+            let (mut fg, handle, _) = build_link_flowgraph(
+                TxConfig::new(9).unwrap(),
+                ChannelConfig::awgn(2, 2, 28.0),
+                RxConfig::new(2),
+                &psdus,
+                psdu_len,
+                3,
+            );
+            fg.run(&MessageHub::new()).unwrap();
+            handle.len()
+        });
+    });
+    g.bench_function("thread_per_block_4_frames", |b| {
+        b.iter(|| {
+            let (fg, handle, _) = build_link_flowgraph(
+                TxConfig::new(9).unwrap(),
+                ChannelConfig::awgn(2, 2, 28.0),
+                RxConfig::new(2),
+                &psdus,
+                psdu_len,
+                3,
+            );
+            fg.run_threaded(std::sync::Arc::new(MessageHub::new())).unwrap();
+            handle.len()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler_overhead, bench_transceiver_graph);
+criterion_main!(benches);

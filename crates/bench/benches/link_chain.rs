@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the whole transceiver: TX chain, RX chain and
+//! a full link round trip — the "can this run a 20 MHz stream" question
+//! (experiment T3's headline row).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mimonet::{Receiver, RxConfig, Transmitter, TxConfig};
+use mimonet_channel::{ChannelConfig, ChannelSim};
+use mimonet_dsp::complex::Complex64;
+
+fn padded_frame(tx: &Transmitter, psdu: &[u8]) -> Vec<Vec<Complex64>> {
+    let mut streams = tx.transmit(psdu).expect("valid PSDU");
+    for s in &mut streams {
+        let mut p = vec![Complex64::ZERO; 160];
+        p.extend_from_slice(s);
+        p.extend(vec![Complex64::ZERO; 80]);
+        *s = p;
+    }
+    streams
+}
+
+fn bench_tx(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tx_chain");
+    for &mcs in &[0u8, 9, 15] {
+        let tx = Transmitter::new(TxConfig::new(mcs).unwrap());
+        let psdu = vec![0xA5u8; 1000];
+        let samples = tx.frame_len(psdu.len()) as u64;
+        g.throughput(Throughput::Elements(samples));
+        g.bench_with_input(BenchmarkId::new("mcs", mcs), &mcs, |b, _| {
+            b.iter(|| tx.transmit(&psdu).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_rx(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rx_chain");
+    for &mcs in &[9u8, 15] {
+        let tx = Transmitter::new(TxConfig::new(mcs).unwrap());
+        let psdu = vec![0xA5u8; 1000];
+        let streams = padded_frame(&tx, &psdu);
+        let mut chan = ChannelSim::new(ChannelConfig::awgn(2, 2, 30.0), 1);
+        let (rx_streams, _) = chan.apply(&streams);
+        let rx = Receiver::new(RxConfig::new(2));
+        let samples = rx_streams[0].len() as u64;
+        g.throughput(Throughput::Elements(samples));
+        g.bench_with_input(BenchmarkId::new("mcs", mcs), &mcs, |b, _| {
+            b.iter(|| rx.receive(&rx_streams).expect("decodes"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_link(c: &mut Criterion) {
+    let tx = Transmitter::new(TxConfig::new(9).unwrap());
+    let rx = Receiver::new(RxConfig::new(2));
+    let psdu = vec![0x3Cu8; 500];
+    c.bench_function("full_link_mcs9_500B", |b| {
+        let mut chan = ChannelSim::new(ChannelConfig::awgn(2, 2, 25.0), 2);
+        b.iter(|| {
+            let streams = padded_frame(&tx, &psdu);
+            let (rx_streams, _) = chan.apply(&streams);
+            rx.receive(&rx_streams).expect("decodes")
+        });
+    });
+}
+
+criterion_group!(benches, bench_tx, bench_rx, bench_full_link);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! A3 — Ablation: soft-decision vs hard-decision Viterbi in the live
+//! receiver, AWGN and TGn-B fading.
+//!
+//! The textbook gap is ~2 dB on AWGN and larger on fading channels where
+//! per-carrier reliability varies (soft decisions weight strong carriers
+//! up). Measured as payload BER across SNR for MCS9.
+//!
+//! ```sh
+//! cargo run --release -p mimonet-bench --bin fig_ablation_soft [--quick]
+//! ```
+
+use mimonet::link::{LinkConfig, LinkSim};
+use mimonet_bench::{header, row, snr_grid, RunScale};
+use mimonet_channel::{ChannelConfig, Fading, TgnModel};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let max_frames = scale.count(300, 30);
+
+    for (name, fading, grid) in [
+        ("AWGN", Fading::Ideal, snr_grid(4, 14, 1)),
+        ("TGn-B", Fading::Tgn(TgnModel::B), snr_grid(8, 26, 2)),
+    ] {
+        println!("# A3: soft vs hard Viterbi, {name} (MCS9, 500 B, <= {max_frames} frames/pt)");
+        header(&["SNR dB", "soft BER", "hard BER", "soft PER", "hard PER"]);
+        for snr in grid {
+            let run = |soft: bool| {
+                let mut chan = ChannelConfig::awgn(2, 2, snr);
+                chan.fading = fading;
+                let mut cfg = LinkConfig::new(9, 500, chan);
+                cfg.rx.soft_decoding = soft;
+                LinkSim::new(cfg, 8080 + snr as i64 as u64).run_until_errors(100, max_frames)
+            };
+            let s = run(true);
+            let h = run(false);
+            let cell = |st: &mimonet::link::LinkStats| {
+                if st.payload_ber.bits() > 0 {
+                    st.payload_ber.ber()
+                } else {
+                    f64::NAN
+                }
+            };
+            row(snr, &[cell(&s), cell(&h), s.per.per(), h.per.per()]);
+        }
+        println!();
+    }
+    println!("# expected shape: soft curves sit ~2 dB left of hard on AWGN and");
+    println!("# 2-3 dB on TGn-B; identical at the floor and ceiling");
+}

@@ -1,0 +1,52 @@
+//! F6 — BER vs SNR, SISO OFDM, all four modulations, uncoded vs coded,
+//! AWGN.
+//!
+//! "Uncoded" is the pre-FEC BER measured on hard decisions of the
+//! received coded stream (same waveform, same receiver); "coded" is the
+//! residual post-Viterbi payload BER. One MCS per modulation at rate 1/2
+//! where available (BPSK/QPSK/16-QAM) and 2/3 for 64-QAM.
+//!
+//! ```sh
+//! cargo run --release -p mimonet-bench --bin fig_ber_siso [--quick]
+//! ```
+
+use mimonet::link::{LinkConfig, LinkSim};
+use mimonet_bench::{header, snr_grid, RunScale};
+use mimonet_channel::ChannelConfig;
+
+const MCS_SET: [(u8, &str); 4] = [(0, "BPSK"), (1, "QPSK"), (3, "16QAM"), (5, "64QAM")];
+
+fn main() {
+    let scale = RunScale::from_args();
+    let max_frames = scale.count(400, 40);
+
+    println!("# F6: SISO BER vs SNR, AWGN (payload 500 B, up to {max_frames} frames/point)");
+    println!("# 'u' = uncoded (pre-FEC), 'c' = coded (post-Viterbi residual)");
+    let cols: Vec<String> = MCS_SET
+        .iter()
+        .flat_map(|(_, name)| [format!("{name}-u"), format!("{name}-c")])
+        .collect();
+    let mut hdr: Vec<&str> = vec!["SNR dB"];
+    hdr.extend(cols.iter().map(|s| s.as_str()));
+    header(&hdr);
+
+    for snr in snr_grid(0, 30, 2) {
+        let mut cells = Vec::new();
+        for (mcs, _) in MCS_SET {
+            let cfg = LinkConfig::new(mcs, 500, ChannelConfig::awgn(1, 1, snr));
+            let mut sim = LinkSim::new(cfg, 9090 + mcs as u64 * 1000 + snr as i64 as u64);
+            let stats = sim.run_until_errors(200, max_frames);
+            let (u, c) = if stats.coded_ber.bits() > 0 {
+                (stats.coded_ber.ber(), stats.payload_ber.ber())
+            } else {
+                (f64::NAN, f64::NAN) // nothing decoded at this point
+            };
+            cells.push(u);
+            cells.push(c);
+        }
+        mimonet_bench::row(snr, &cells);
+    }
+    println!("# expected shape: classic waterfalls ordered BPSK < QPSK < 16QAM <");
+    println!("# 64QAM (~6 dB between QAM orders); coded curves fall off a cliff");
+    println!("# ~4-5 dB left of where uncoded reaches ~1e-2");
+}

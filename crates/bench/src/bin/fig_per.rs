@@ -1,0 +1,72 @@
+//! F8 — PER vs SNR, 2×2 spatial multiplexing, across payload sizes and
+//! MCS, with per-class failure attribution.
+//!
+//! Two sweeps: (a) MCS9 at three payload sizes, (b) three MCS at 500 B.
+//! The attribution columns (sync / header / FCS shares at one mid-curve
+//! point) reproduce the paper's observation that header and payload
+//! failures dominate different SNR regimes.
+//!
+//! ```sh
+//! cargo run --release -p mimonet-bench --bin fig_per [--quick]
+//! ```
+
+use mimonet::link::{LinkConfig, LinkSim};
+use mimonet_bench::{header, row, snr_grid, RunScale};
+use mimonet_channel::ChannelConfig;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let frames = scale.count(400, 40);
+
+    println!("# F8a: PER vs SNR, MCS9 (2x2 QPSK 1/2), AWGN, {frames} frames/point");
+    header(&["SNR dB", "100 B", "500 B", "1500 B"]);
+    for snr in snr_grid(4, 16, 1) {
+        let cells: Vec<f64> = [100usize, 500, 1500]
+            .iter()
+            .map(|&len| {
+                let cfg = LinkConfig::new(9, len, ChannelConfig::awgn(2, 2, snr));
+                LinkSim::new(cfg, 808 + len as u64 + snr as i64 as u64).run(frames).per.per()
+            })
+            .collect();
+        row(snr, &cells);
+    }
+
+    println!();
+    println!("# F8b: PER vs SNR across MCS, 500 B payloads");
+    header(&["SNR dB", "MCS8", "MCS11", "MCS15"]);
+    for snr in snr_grid(4, 34, 2) {
+        let cells: Vec<f64> = [8u8, 11, 15]
+            .iter()
+            .map(|&mcs| {
+                let cfg = LinkConfig::new(mcs, 500, ChannelConfig::awgn(2, 2, snr));
+                LinkSim::new(cfg, 909 + mcs as u64 * 100 + snr as i64 as u64)
+                    .run(frames)
+                    .per
+                    .per()
+            })
+            .collect();
+        row(snr, &cells);
+    }
+
+    println!();
+    println!("# F8c: failure attribution at mid-waterfall (MCS9, 500 B)");
+    header(&["SNR dB", "PER", "sync", "header", "fcs"]);
+    for snr in [6.0, 8.0, 10.0] {
+        let cfg = LinkConfig::new(9, 500, ChannelConfig::awgn(2, 2, snr));
+        let stats = LinkSim::new(cfg, 1010 + snr as u64).run(frames);
+        let sent = stats.per.sent() as f64;
+        row(
+            snr,
+            &[
+                stats.per.per(),
+                stats.per.sync_failures() as f64 / sent,
+                stats.per.header_failures() as f64 / sent,
+                stats.per.fcs_failures() as f64 / sent,
+            ],
+        );
+    }
+    println!("# expected shape: longer payloads shift the waterfall right ~1 dB per");
+    println!("# 3x length; higher MCS shift it right ~4-6 dB per step in order;");
+    println!("# at the lowest SNR sync losses dominate, FCS failures take over as");
+    println!("# detection becomes reliable");
+}

@@ -1,0 +1,44 @@
+//! F5 — SNR-estimator accuracy: estimated vs true SNR for the
+//! preamble-based and EVM-based estimators, through the full receiver.
+//!
+//! Uses the link simulator so both estimators see exactly what a real
+//! receive chain sees (after sync and equalization). Note the identity
+//! 2×2 channel splits power across antennas, so "true" per-antenna SNR is
+//! the configured value; we run SISO to keep the mapping exact.
+//!
+//! ```sh
+//! cargo run --release -p mimonet-bench --bin fig_snr_est [--quick]
+//! ```
+
+use mimonet::link::{LinkConfig, LinkSim};
+use mimonet_bench::{header, row, snr_grid, RunScale};
+use mimonet_channel::ChannelConfig;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let frames = scale.count(200, 20);
+
+    println!("# F5: SNR estimation (SISO MCS3, {frames} frames/point)");
+    header(&["true dB", "preamble", "pre std", "EVM-based", "evm std"]);
+    for snr in snr_grid(0, 30, 3) {
+        let cfg = LinkConfig::new(3, 300, ChannelConfig::awgn(1, 1, snr));
+        let stats = LinkSim::new(cfg, 4242 + snr as i64 as u64).run(frames);
+        let (p, ps) = if stats.snr_est_db.count() > 0 {
+            (stats.snr_est_db.mean(), stats.snr_est_db.std_dev())
+        } else {
+            (f64::NAN, f64::NAN) // nothing decoded at this SNR
+        };
+        let (e, es) = if stats.evm_snr_db.count() > 0 {
+            (stats.evm_snr_db.mean(), stats.evm_snr_db.std_dev())
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        row(snr, &[p, ps, e, es]);
+    }
+    println!("# expected shape: preamble estimate tracks truth within ~1 dB across");
+    println!("# the range. The EVM estimate sits ~3 dB BELOW truth at mid/high SNR:");
+    println!("# it measures post-equalization SINR, which folds in channel-estimation");
+    println!("# noise and detector scaling — the 'fine grained' channel-quality view");
+    println!("# the paper uses for link adaptation. Below ~8 dB decision errors snap");
+    println!("# toward constellation points and compress the reading further.");
+}

@@ -1,0 +1,64 @@
+//! F3 — CFO estimation RMSE vs SNR: SISO Van de Beek vs the MIMO-joint
+//! extension.
+//!
+//! Random CFOs in ±0.4 subcarrier spacings per trial; the error is
+//! (estimate − truth). Flat Rayleigh per-antenna gains keep the antennas
+//! statistically independent, which is where joint estimation pays.
+//!
+//! ```sh
+//! cargo run --release -p mimonet-bench --bin fig_sync_cfo [--quick]
+//! ```
+
+use mimonet::{Transmitter, TxConfig};
+use mimonet_bench::{header, row, snr_grid, RunScale};
+use mimonet_channel::{ChannelConfig, ChannelSim, Fading};
+use mimonet_dsp::complex::Complex64;
+use mimonet_dsp::stats::Running;
+use mimonet_sync::VanDeBeek;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let trials = scale.count(2000, 100);
+    let tx = Transmitter::new(TxConfig::new(8).expect("valid MCS"));
+    let frame = tx.transmit(&[0x55u8; 60]).expect("valid PSDU");
+    let lead = 50usize;
+
+    println!("# F3: CFO RMSE (subcarrier spacings) vs SNR ({trials} trials/point)");
+    header(&["SNR dB", "SISO RMSE", "MIMO RMSE"]);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    for snr in snr_grid(-4, 20, 2) {
+        let mut siso = Running::new();
+        let mut mimo = Running::new();
+        for t in 0..trials {
+            let cfo = rng.gen_range(-0.4..0.4);
+            let mut chan_cfg = ChannelConfig::awgn(2, 2, snr);
+            chan_cfg.fading = Fading::RayleighFlat;
+            chan_cfg.cfo_norm = cfo;
+            let mut chan = ChannelSim::new(chan_cfg, (snr as i64 as u64) << 20 | t as u64);
+            let padded: Vec<Vec<Complex64>> = frame
+                .iter()
+                .map(|s| {
+                    let mut p = vec![Complex64::ZERO; lead];
+                    p.extend_from_slice(s);
+                    p
+                })
+                .collect();
+            let (rx, _) = chan.apply(&padded);
+            let vdb = VanDeBeek::new(64, 16, snr);
+            let hi = (lead + frame[0].len()).min(rx[0].len());
+            if let Some(e) = vdb.estimate(&[&rx[0][..hi]]) {
+                siso.push(e.cfo - cfo);
+            }
+            if let Some(e) = vdb.estimate(&[&rx[0][..hi], &rx[1][..hi]]) {
+                mimo.push(e.cfo - cfo);
+            }
+        }
+        row(snr, &[siso.rms(), mimo.rms()]);
+    }
+    println!("# expected shape: both fall with SNR; MIMO-joint below SISO everywhere,");
+    println!("# approaching 3 dB (sqrt 2 in RMSE) at low SNR where noise dominates");
+}

@@ -1,0 +1,61 @@
+//! T1 — The MCS table: modulation, code rate, N_DBPS and PHY rate for
+//! MCS 0–15, checked against IEEE 802.11n Table 20-30/31, plus measured
+//! encoder throughput per MCS on this machine.
+//!
+//! ```sh
+//! cargo run --release -p mimonet-bench --bin table_mcs
+//! ```
+
+use mimonet::{Transmitter, TxConfig};
+use mimonet_frame::mcs::Mcs;
+use std::time::Instant;
+
+/// 802.11n 20 MHz / 800 ns GI reference rates in Mb/s (Tables 20-30..33).
+const REFERENCE_MBPS: [f64; 32] = [
+    6.5, 13.0, 19.5, 26.0, 39.0, 52.0, 58.5, 65.0, //
+    13.0, 26.0, 39.0, 52.0, 78.0, 104.0, 117.0, 130.0, //
+    19.5, 39.0, 58.5, 78.0, 117.0, 156.0, 175.5, 195.0, //
+    26.0, 52.0, 78.0, 104.0, 156.0, 208.0, 234.0, 260.0,
+];
+
+fn main() {
+    println!("# T1: HT MCS table (20 MHz, 800 ns GI) — implementation vs standard");
+    println!(
+        "{:>5} {:>8} {:>7} {:>5} {:>7} {:>10} {:>10} {:>6} {:>12}",
+        "MCS", "mod", "rate", "Nss", "N_DBPS", "impl Mb/s", "std Mb/s", "match", "TX Msamp/s"
+    );
+    println!("{}", "-".repeat(80));
+
+    let psdu = vec![0xA5u8; 1000];
+    for mcs in Mcs::all() {
+        let tx = Transmitter::new(TxConfig::new(mcs.index).expect("valid"));
+        // Measure transmit-chain throughput (samples/s of baseband out).
+        let reps = 20;
+        let start = Instant::now();
+        let mut samples = 0usize;
+        for _ in 0..reps {
+            let s = tx.transmit(&psdu).expect("valid PSDU");
+            samples += s[0].len() * s.len();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let msps = samples as f64 / elapsed / 1e6;
+
+        let reference = REFERENCE_MBPS[mcs.index as usize];
+        let matches = (mcs.rate_mbps() - reference).abs() < 1e-9;
+        println!(
+            "{:>5} {:>8} {:>7} {:>5} {:>7} {:>10.1} {:>10.1} {:>6} {:>12.1}",
+            mcs.index,
+            mcs.modulation.to_string(),
+            mcs.code_rate.to_string(),
+            mcs.n_streams,
+            mcs.n_dbps(),
+            mcs.rate_mbps(),
+            reference,
+            if matches { "yes" } else { "NO" },
+            msps
+        );
+        assert!(matches, "MCS{} deviates from the standard table", mcs.index);
+    }
+    println!("# all 32 rows match IEEE 802.11n Tables 20-30..33");
+    println!("# (real-time at 20 Msps needs >= 20 Msamp/s in the TX column)");
+}

@@ -1,0 +1,80 @@
+//! Evaluation harness support: sweep drivers and table formatting shared
+//! by the figure-regeneration binaries (see EXPERIMENTS.md for the
+//! figure/table index).
+//!
+//! Every binary accepts `--quick` to cut trial counts ~10x for smoke
+//! runs; published numbers use the defaults.
+
+/// Runtime knobs common to all experiment binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct RunScale {
+    /// Multiplier applied to trial/frame counts (1.0 = paper-quality).
+    pub scale: f64,
+}
+
+impl RunScale {
+    /// Parses `--quick` (0.1x) / `--thorough` (3x) from the process args.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let scale = if args.iter().any(|a| a == "--quick") {
+            0.1
+        } else if args.iter().any(|a| a == "--thorough") {
+            3.0
+        } else {
+            1.0
+        };
+        Self { scale }
+    }
+
+    /// Scales a nominal count, keeping at least `min`.
+    pub fn count(&self, nominal: usize, min: usize) -> usize {
+        ((nominal as f64 * self.scale) as usize).max(min)
+    }
+}
+
+/// Prints a table header row and its underline.
+pub fn header(cols: &[&str]) {
+    let row: Vec<String> = cols.iter().map(|c| format!("{c:>12}")).collect();
+    let line = row.join(" ");
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+}
+
+/// Prints one data row of f64 cells (NaN renders as "-").
+pub fn row(label: f64, cells: &[f64]) {
+    print!("{label:>12.1}");
+    for &c in cells {
+        if c.is_nan() {
+            print!(" {:>12}", "-");
+        } else if c != 0.0 && c.abs() < 1e-3 {
+            print!(" {c:>12.2e}");
+        } else {
+            print!(" {c:>12.4}");
+        }
+    }
+    println!();
+}
+
+/// Standard SNR grid for waterfall curves.
+pub fn snr_grid(lo: i32, hi: i32, step: i32) -> Vec<f64> {
+    (lo..=hi).step_by(step as usize).map(|s| s as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_counts() {
+        let quick = RunScale { scale: 0.1 };
+        assert_eq!(quick.count(1000, 10), 100);
+        assert_eq!(quick.count(50, 10), 10);
+        let full = RunScale { scale: 1.0 };
+        assert_eq!(full.count(1000, 10), 1000);
+    }
+
+    #[test]
+    fn grid() {
+        assert_eq!(snr_grid(0, 10, 5), vec![0.0, 5.0, 10.0]);
+    }
+}

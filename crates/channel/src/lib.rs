@@ -1,0 +1,29 @@
+//! # mimonet-channel
+//!
+//! Baseband channel and RF-impairment simulator — MIMONet-rs's substitute
+//! for the SRIF'14 paper's USRP front ends and over-the-air propagation
+//! (see DESIGN.md "Substitutions").
+//!
+//! Building blocks:
+//!
+//! * [`noise`] — seeded complex AWGN and SNR bookkeeping,
+//! * [`fading`] — flat Rayleigh MIMO matrices and frequency-selective
+//!   tapped delay lines,
+//! * [`doppler`] — time-varying Jakes fading for mobility experiments,
+//! * [`tgn`] — TGn-style indoor power-delay profiles (models A–E),
+//! * [`impairments`] — CFO, SFO, timing offset, IQ imbalance, DC offset,
+//!   ADC quantization,
+//! * [`sim`] — the composable [`sim::ChannelSim`] pipeline with ground
+//!   truth for estimator-accuracy experiments.
+
+pub mod doppler;
+pub mod fading;
+pub mod impairments;
+pub mod noise;
+pub mod sim;
+pub mod tgn;
+
+pub use doppler::{JakesProcess, TimeVaryingChannel};
+pub use fading::{MimoChannelMatrix, TappedDelayLine};
+pub use sim::{ChannelConfig, ChannelSim, ChannelTruth, Fading};
+pub use tgn::TgnModel;

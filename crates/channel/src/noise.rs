@@ -1,0 +1,120 @@
+//! Gaussian noise generation and SNR bookkeeping.
+//!
+//! Implemented with a Box–Muller transform over `rand`'s uniform source so
+//! the workspace needs no external distribution crate. All SNRs in MIMONet
+//! are defined as **total received signal power / noise power per receive
+//! antenna**, with unit-power transmit normalization (see DESIGN.md).
+
+use mimonet_dsp::complex::Complex64;
+use rand::Rng;
+
+/// Draws a standard normal (mean 0, variance 1) real sample.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller; reject u1 == 0 to keep ln finite.
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Draws a circularly-symmetric complex Gaussian with **unit total
+/// variance** (each component has variance 1/2).
+pub fn crandn<R: Rng + ?Sized>(rng: &mut R) -> Complex64 {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    Complex64::new(randn(rng) * s, randn(rng) * s)
+}
+
+/// Adds complex AWGN of total variance `noise_power` to `signal` in place.
+pub fn add_awgn<R: Rng + ?Sized>(rng: &mut R, signal: &mut [Complex64], noise_power: f64) {
+    assert!(noise_power >= 0.0, "noise power must be non-negative");
+    if noise_power == 0.0 {
+        return;
+    }
+    let sigma = noise_power.sqrt();
+    for x in signal.iter_mut() {
+        *x += crandn(rng).scale(sigma);
+    }
+}
+
+/// Noise power per receive antenna for a given SNR in dB, assuming unit
+/// total received signal power.
+pub fn noise_power_for_snr_db(snr_db: f64) -> f64 {
+    mimonet_dsp::stats::db_to_lin(-snr_db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimonet_dsp::complex::mean_power;
+    use mimonet_dsp::stats::Running;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut r = Running::new();
+        for _ in 0..200_000 {
+            r.push(randn(&mut rng));
+        }
+        assert!(r.mean().abs() < 0.01, "mean {}", r.mean());
+        assert!((r.variance() - 1.0).abs() < 0.02, "var {}", r.variance());
+    }
+
+    #[test]
+    fn crandn_is_circular_unit_power() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<_> = (0..100_000).map(|_| crandn(&mut rng)).collect();
+        let p = mean_power(&xs);
+        assert!((p - 1.0).abs() < 0.02, "power {p}");
+        // Components uncorrelated: E[re*im] ≈ 0.
+        let cross: f64 = xs.iter().map(|z| z.re * z.im).sum::<f64>() / xs.len() as f64;
+        assert!(cross.abs() < 0.01);
+        // Rotation invariance of the mean phasor.
+        let m: Complex64 = xs.iter().copied().sum::<Complex64>().scale(1.0 / xs.len() as f64);
+        assert!(m.abs() < 0.02);
+    }
+
+    #[test]
+    fn awgn_hits_requested_snr() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for snr_db in [0.0, 10.0, 20.0] {
+            let clean = vec![Complex64::ONE; 50_000];
+            let mut noisy = clean.clone();
+            add_awgn(&mut rng, &mut noisy, noise_power_for_snr_db(snr_db));
+            let noise: Vec<Complex64> =
+                noisy.iter().zip(&clean).map(|(a, b)| *a - *b).collect();
+            let measured = mimonet_dsp::stats::lin_to_db(
+                mean_power(&clean) / mean_power(&noise),
+            );
+            assert!(
+                (measured - snr_db).abs() < 0.3,
+                "target {snr_db} dB, measured {measured} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut x = vec![Complex64::new(1.0, -2.0); 8];
+        let orig = x.clone();
+        add_awgn(&mut rng, &mut x, 0.0);
+        assert_eq!(x, orig);
+    }
+
+    #[test]
+    fn seeded_noise_is_reproducible() {
+        let gen = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut x = vec![Complex64::ZERO; 16];
+            add_awgn(&mut rng, &mut x, 1.0);
+            x
+        };
+        assert_eq!(gen(7), gen(7));
+        assert_ne!(gen(7), gen(8));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the channel simulator's contracts.
+
+use mimonet_channel::{ChannelConfig, ChannelSim, Fading, TgnModel};
+use mimonet_dsp::complex::{mean_power, Complex64};
+use proptest::prelude::*;
+
+fn signal(len: usize, seed: u64) -> Vec<Complex64> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            Complex64::cis((x % 628) as f64 / 100.0)
+        })
+        .collect()
+}
+
+fn fading() -> impl Strategy<Value = Fading> {
+    prop_oneof![
+        Just(Fading::Ideal),
+        Just(Fading::RayleighFlat),
+        Just(Fading::Tgn(TgnModel::B)),
+        Just(Fading::Tgn(TgnModel::D)),
+        (1e-7..1e-4f64).prop_map(|fd_norm| Fading::Jakes { fd_norm }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn same_seed_always_reproduces(
+        f in fading(),
+        snr in 0.0..40.0f64,
+        cfo in -0.5..0.5f64,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ChannelConfig::awgn(2, 2, snr);
+        cfg.fading = f;
+        cfg.cfo_norm = cfo;
+        let tx = vec![signal(300, 1), signal(300, 2)];
+        let (a, _) = ChannelSim::new(cfg.clone(), seed).apply(&tx);
+        let (b, _) = ChannelSim::new(cfg, seed).apply(&tx);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_antenna_count_matches_config(f in fading(), n_rx in 1usize..3) {
+        let mut cfg = ChannelConfig::awgn(2, n_rx.max(1), 20.0);
+        cfg.fading = match f {
+            Fading::Ideal if n_rx != 2 => Fading::RayleighFlat,
+            other => other,
+        };
+        let tx = vec![signal(100, 3), signal(100, 4)];
+        let (rx, _) = ChannelSim::new(cfg, 7).apply(&tx);
+        prop_assert_eq!(rx.len(), n_rx.max(1));
+        let lens: Vec<usize> = rx.iter().map(|s| s.len()).collect();
+        prop_assert!(lens.iter().all(|&l| l == lens[0]), "equal RX lengths");
+        prop_assert!(lens[0] >= 100, "channel never shortens below the input (no SFO)");
+    }
+
+    #[test]
+    fn truth_reports_what_was_configured(
+        cfo in -0.4..0.4f64,
+        off in 0.0..50.0f64,
+        snr in 5.0..35.0f64,
+    ) {
+        let mut cfg = ChannelConfig::awgn(1, 1, snr);
+        cfg.cfo_norm = cfo;
+        cfg.timing_offset = off;
+        let tx = vec![signal(200, 5)];
+        let (_, truth) = ChannelSim::new(cfg, 11).apply(&tx);
+        prop_assert_eq!(truth.cfo_norm, cfo);
+        prop_assert_eq!(truth.timing_offset, off);
+        let want_np = mimonet_dsp::stats::db_to_lin(-snr);
+        prop_assert!((truth.noise_power - want_np).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noiseless_ideal_channel_preserves_power(seed in any::<u64>()) {
+        let cfg = ChannelConfig::clean(2, 2);
+        let tx = vec![signal(400, seed), signal(400, seed ^ 1)];
+        let (rx, _) = ChannelSim::new(cfg, 0).apply(&tx);
+        for (r, t) in rx.iter().zip(&tx) {
+            prop_assert!((mean_power(r) - mean_power(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cfo_never_changes_power(cfo in -2.0..2.0f64) {
+        let mut cfg = ChannelConfig::clean(1, 1);
+        cfg.cfo_norm = cfo;
+        let tx = vec![signal(256, 9)];
+        let (rx, _) = ChannelSim::new(cfg, 1).apply(&tx);
+        prop_assert!((mean_power(&rx[0]) - mean_power(&tx[0])).abs() < 1e-9);
+    }
+}

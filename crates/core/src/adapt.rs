@@ -1,0 +1,248 @@
+//! Link adaptation: choosing the MCS from the receiver's channel-quality
+//! feedback — the "network-level exploitation of MIMO technology" the
+//! MIMONet platform was built to enable.
+//!
+//! Two cooperating pieces:
+//!
+//! * [`SnrThresholdTable`] — maps an SNR estimate to the highest MCS whose
+//!   switching threshold it clears. Default thresholds were calibrated
+//!   from this workspace's own F9 experiment (goodput crossovers over
+//!   AWGN); construct with custom thresholds for other channels.
+//! * [`RateController`] — wraps the table with hysteresis plus
+//!   success/failure nudging (a simplified Minstrel-style fallback for
+//!   when SNR feedback is stale), driving per-frame MCS decisions.
+
+use mimonet_frame::mcs::Mcs;
+
+/// SNR-indexed MCS selection table.
+#[derive(Clone, Debug)]
+pub struct SnrThresholdTable {
+    /// `(min_snr_db, mcs)` rows, ascending in SNR.
+    rows: Vec<(f64, u8)>,
+}
+
+impl SnrThresholdTable {
+    /// Builds a table from `(min_snr_db, mcs)` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty, not ascending in SNR, or name an invalid
+    /// MCS.
+    pub fn new(rows: Vec<(f64, u8)>) -> Self {
+        assert!(!rows.is_empty(), "threshold table must not be empty");
+        assert!(
+            rows.windows(2).all(|w| w[0].0 < w[1].0),
+            "thresholds must be strictly ascending"
+        );
+        for &(_, mcs) in &rows {
+            assert!(Mcs::from_index(mcs).is_ok(), "invalid MCS {mcs}");
+        }
+        Self { rows }
+    }
+
+    /// Default 2-stream table calibrated against the F9 goodput
+    /// crossovers (AWGN, 1000 B payloads), in the *preamble-estimate*
+    /// domain (which reads the per-antenna SNR — ~3 dB under the
+    /// configured total-power SNR on a 2x2 identity channel).
+    pub fn default_two_stream() -> Self {
+        Self::new(vec![
+            (8.0, 8),   // BPSK 1/2
+            (11.0, 9),  // QPSK 1/2
+            (13.0, 10), // QPSK 3/4
+            (17.0, 11), // 16-QAM 1/2
+            (22.0, 13), // 64-QAM 2/3
+            (25.0, 15), // 64-QAM 5/6
+        ])
+    }
+
+    /// Highest MCS whose threshold `snr_db` clears; `None` below the
+    /// lowest threshold (don't transmit / use the most robust rate).
+    pub fn select(&self, snr_db: f64) -> Option<u8> {
+        self.rows
+            .iter()
+            .rev()
+            .find(|&&(th, _)| snr_db >= th)
+            .map(|&(_, mcs)| mcs)
+    }
+
+    /// The most robust MCS in the table.
+    pub fn lowest(&self) -> u8 {
+        self.rows[0].1
+    }
+
+    /// The table rows.
+    pub fn rows(&self) -> &[(f64, u8)] {
+        &self.rows
+    }
+}
+
+/// Per-frame rate controller with hysteresis and loss fallback.
+#[derive(Clone, Debug)]
+pub struct RateController {
+    table: SnrThresholdTable,
+    current: u8,
+    /// Extra SNR margin (dB) required before stepping *up* — hysteresis
+    /// against flapping at a threshold.
+    up_margin: f64,
+    /// Consecutive delivery failures before stepping down one table row
+    /// regardless of SNR.
+    max_failures: u32,
+    failures: u32,
+}
+
+impl RateController {
+    /// Creates a controller starting at the most robust rate.
+    pub fn new(table: SnrThresholdTable) -> Self {
+        let current = table.lowest();
+        Self { table, current, up_margin: 1.0, max_failures: 2, failures: 0 }
+    }
+
+    /// The MCS to use for the next frame.
+    pub fn current_mcs(&self) -> u8 {
+        self.current
+    }
+
+    /// Feeds the outcome of the last frame and (optionally) fresh SNR
+    /// feedback; returns the MCS for the next frame.
+    pub fn update(&mut self, delivered: bool, snr_db: Option<f64>) -> u8 {
+        if delivered {
+            self.failures = 0;
+        } else {
+            self.failures += 1;
+        }
+
+        if let Some(snr) = snr_db {
+            let target = self.table.select(snr).unwrap_or(self.table.lowest());
+            if target > self.current {
+                // Step up only with margin beyond the bare threshold.
+                if self.table.select(snr - self.up_margin).unwrap_or(self.table.lowest())
+                    > self.current
+                {
+                    self.current = self.next_up();
+                }
+            } else if target < self.current {
+                self.current = target;
+            }
+        }
+
+        if self.failures >= self.max_failures {
+            self.current = self.next_down();
+            self.failures = 0;
+        }
+        self.current
+    }
+
+    fn position(&self) -> usize {
+        self.table
+            .rows()
+            .iter()
+            .position(|&(_, m)| m == self.current)
+            .expect("current always from the table")
+    }
+
+    fn next_up(&self) -> u8 {
+        let pos = self.position();
+        self.table.rows()[(pos + 1).min(self.table.rows().len() - 1)].1
+    }
+
+    fn next_down(&self) -> u8 {
+        let pos = self.position();
+        self.table.rows()[pos.saturating_sub(1)].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_selects_by_threshold() {
+        let t = SnrThresholdTable::default_two_stream();
+        assert_eq!(t.select(5.0), None);
+        assert_eq!(t.select(8.0), Some(8));
+        assert_eq!(t.select(12.0), Some(9));
+        assert_eq!(t.select(30.0), Some(15));
+    }
+
+    #[test]
+    fn table_rejects_bad_rows() {
+        assert!(std::panic::catch_unwind(|| SnrThresholdTable::new(vec![])).is_err());
+        assert!(std::panic::catch_unwind(|| SnrThresholdTable::new(vec![
+            (10.0, 9),
+            (10.0, 10)
+        ]))
+        .is_err());
+        assert!(std::panic::catch_unwind(|| SnrThresholdTable::new(vec![(5.0, 99)])).is_err());
+    }
+
+    #[test]
+    fn controller_steps_up_one_rate_at_a_time() {
+        let mut rc = RateController::new(SnrThresholdTable::default_two_stream());
+        assert_eq!(rc.current_mcs(), 8);
+        // Huge SNR: still climbs one row per update (stability).
+        assert_eq!(rc.update(true, Some(40.0)), 9);
+        assert_eq!(rc.update(true, Some(40.0)), 10);
+        assert_eq!(rc.update(true, Some(40.0)), 11);
+    }
+
+    #[test]
+    fn controller_hysteresis_blocks_marginal_upgrades() {
+        let mut rc = RateController::new(SnrThresholdTable::default_two_stream());
+        rc.update(true, Some(40.0)); // now MCS9 (threshold 11)
+        assert_eq!(rc.current_mcs(), 9);
+        // 13.0 dB is exactly the MCS10 threshold; with 1 dB margin it
+        // must NOT step up...
+        assert_eq!(rc.update(true, Some(13.5)), 9);
+        // ...but 14.1 dB clears threshold + margin.
+        assert_eq!(rc.update(true, Some(14.1)), 10);
+    }
+
+    #[test]
+    fn controller_drops_immediately_on_low_snr() {
+        let mut rc = RateController::new(SnrThresholdTable::default_two_stream());
+        for _ in 0..8 {
+            rc.update(true, Some(40.0));
+        }
+        assert_eq!(rc.current_mcs(), 15);
+        // SNR collapse: drop straight to the indicated rate, no stepping.
+        assert_eq!(rc.update(true, Some(12.0)), 9);
+    }
+
+    #[test]
+    fn controller_falls_back_on_repeated_loss_without_snr() {
+        let mut rc = RateController::new(SnrThresholdTable::default_two_stream());
+        for _ in 0..4 {
+            rc.update(true, Some(40.0));
+        }
+        let before = rc.current_mcs();
+        assert_eq!(rc.update(false, None), before);
+        let after = rc.update(false, None);
+        assert!(after < before, "after two losses: {after} < {before}");
+    }
+
+    #[test]
+    fn controller_never_leaves_the_table() {
+        let mut rc = RateController::new(SnrThresholdTable::default_two_stream());
+        for _ in 0..20 {
+            rc.update(false, None);
+        }
+        assert_eq!(rc.current_mcs(), 8, "clamped at the most robust rate");
+        for _ in 0..20 {
+            rc.update(true, Some(60.0));
+        }
+        assert_eq!(rc.current_mcs(), 15, "clamped at the fastest rate");
+    }
+
+    #[test]
+    fn success_resets_failure_count() {
+        let mut rc = RateController::new(SnrThresholdTable::default_two_stream());
+        for _ in 0..4 {
+            rc.update(true, Some(40.0));
+        }
+        let rate = rc.current_mcs();
+        rc.update(false, None);
+        rc.update(true, None); // success clears the streak
+        rc.update(false, None);
+        assert_eq!(rc.current_mcs(), rate, "no drop without consecutive losses");
+    }
+}

@@ -1,0 +1,32 @@
+//! # mimonet
+//!
+//! The MIMONet MIMO-OFDM spatial-multiplexing transceiver — a Rust
+//! reproduction of "MIMO-OFDM spatial multiplexing technique
+//! implementation for GNU radio" (Martelli, Kocian, Santi, Gardellin,
+//! SRIF '14).
+//!
+//! * [`tx`] / [`rx`] — the full 802.11n-mixed-format transmit and receive
+//!   chains over 1 or 2 spatial streams,
+//! * [`config`] — MCS, detector, and receiver-feature knobs,
+//! * `link` — the Monte-Carlo link simulator with BER/PER/SNR
+//!   instrumentation,
+//! * `blocks` — flowgraph block wrappers for the GNU-Radio-like
+//!   `mimonet-runtime`,
+//! * [`adapt`] — SNR-threshold link adaptation with hysteresis and loss
+//!   fallback.
+
+pub mod adapt;
+pub mod blocks;
+pub mod config;
+pub mod link;
+pub mod metrics;
+pub mod rx;
+pub mod tx;
+
+pub use adapt::{RateController, SnrThresholdTable};
+pub use blocks::{build_link_flowgraph, ChannelBlock, RxBlock, TxBlock};
+pub use config::{RxConfig, TxConfig};
+pub use link::{LinkConfig, LinkSim, LinkStats};
+pub use metrics::{BerCounter, PerCounter};
+pub use rx::{Receiver, RxError, RxFrame};
+pub use tx::{Transmitter, TxError};

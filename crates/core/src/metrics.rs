@@ -1,0 +1,252 @@
+//! BER / PER / throughput instrumentation — the measurement layer the
+//! paper uses to "validate performance of the software implementation".
+
+/// Accumulates bit-error statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BerCounter {
+    bits: u64,
+    errors: u64,
+}
+
+impl BerCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compares two equal-length bit slices (0/1 values) and accumulates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch — comparing misaligned streams would
+    /// produce garbage statistics silently.
+    pub fn compare_bits(&mut self, sent: &[u8], received: &[u8]) {
+        assert_eq!(sent.len(), received.len(), "bit stream length mismatch");
+        self.bits += sent.len() as u64;
+        self.errors += sent.iter().zip(received).filter(|(a, b)| a != b).count() as u64;
+    }
+
+    /// Compares two equal-length byte slices bitwise.
+    pub fn compare_bytes(&mut self, sent: &[u8], received: &[u8]) {
+        assert_eq!(sent.len(), received.len(), "byte stream length mismatch");
+        self.bits += sent.len() as u64 * 8;
+        self.errors += sent
+            .iter()
+            .zip(received)
+            .map(|(a, b)| (a ^ b).count_ones() as u64)
+            .sum::<u64>();
+    }
+
+    /// Marks `n` bits as all errored (for frames that never decoded, when
+    /// the caller chooses to count them against BER).
+    pub fn add_erased(&mut self, n: u64) {
+        self.bits += n;
+        self.errors += n;
+    }
+
+    /// Total bits compared.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Total bit errors.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Bit error rate; 0 when nothing compared.
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.bits as f64
+        }
+    }
+
+    /// Merges another counter.
+    pub fn merge(&mut self, other: &BerCounter) {
+        self.bits += other.bits;
+        self.errors += other.errors;
+    }
+}
+
+/// Accumulates packet-error statistics with per-failure-class attribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerCounter {
+    sent: u64,
+    ok: u64,
+    /// Frame never detected / sync failed.
+    sync_failures: u64,
+    /// SIGNAL field (L-SIG/HT-SIG) decode failures.
+    header_failures: u64,
+    /// Decoded but FCS mismatch.
+    fcs_failures: u64,
+}
+
+impl PerCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a delivered frame.
+    pub fn record_ok(&mut self) {
+        self.sent += 1;
+        self.ok += 1;
+    }
+
+    /// Records a detection/synchronization loss.
+    pub fn record_sync_failure(&mut self) {
+        self.sent += 1;
+        self.sync_failures += 1;
+    }
+
+    /// Records a SIGNAL-field failure.
+    pub fn record_header_failure(&mut self) {
+        self.sent += 1;
+        self.header_failures += 1;
+    }
+
+    /// Records a payload (FCS) failure.
+    pub fn record_fcs_failure(&mut self) {
+        self.sent += 1;
+        self.fcs_failures += 1;
+    }
+
+    /// Frames transmitted.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Frames delivered intact.
+    pub fn ok(&self) -> u64 {
+        self.ok
+    }
+
+    /// Sync-class failures.
+    pub fn sync_failures(&self) -> u64 {
+        self.sync_failures
+    }
+
+    /// Header-class failures.
+    pub fn header_failures(&self) -> u64 {
+        self.header_failures
+    }
+
+    /// FCS-class failures.
+    pub fn fcs_failures(&self) -> u64 {
+        self.fcs_failures
+    }
+
+    /// Packet error rate; 0 when nothing sent.
+    pub fn per(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            (self.sent - self.ok) as f64 / self.sent as f64
+        }
+    }
+
+    /// Goodput in Mb/s given the payload size and PHY rate: successful
+    /// payload bits over the airtime of all transmitted frames.
+    pub fn goodput_mbps(&self, payload_octets: usize, frame_airtime_us: f64) -> f64 {
+        if self.sent == 0 || frame_airtime_us <= 0.0 {
+            return 0.0;
+        }
+        (self.ok as f64 * payload_octets as f64 * 8.0) / (self.sent as f64 * frame_airtime_us)
+    }
+
+    /// Merges another counter.
+    pub fn merge(&mut self, other: &PerCounter) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.sync_failures += other.sync_failures;
+        self.header_failures += other.header_failures;
+        self.fcs_failures += other.fcs_failures;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_counting() {
+        let mut c = BerCounter::new();
+        c.compare_bits(&[0, 1, 1, 0], &[0, 1, 0, 0]);
+        assert_eq!(c.bits(), 4);
+        assert_eq!(c.errors(), 1);
+        assert!((c.ber() - 0.25).abs() < 1e-12);
+        c.compare_bytes(&[0xFF], &[0x0F]);
+        assert_eq!(c.bits(), 12);
+        assert_eq!(c.errors(), 5);
+    }
+
+    #[test]
+    fn ber_empty_and_erased() {
+        let mut c = BerCounter::new();
+        assert_eq!(c.ber(), 0.0);
+        c.add_erased(10);
+        assert_eq!(c.ber(), 1.0);
+    }
+
+    #[test]
+    fn ber_merge() {
+        let mut a = BerCounter::new();
+        a.compare_bits(&[0, 0], &[1, 0]);
+        let mut b = BerCounter::new();
+        b.compare_bits(&[1, 1], &[1, 1]);
+        a.merge(&b);
+        assert_eq!(a.bits(), 4);
+        assert_eq!(a.errors(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ber_rejects_misaligned() {
+        BerCounter::new().compare_bits(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn per_attribution() {
+        let mut p = PerCounter::new();
+        p.record_ok();
+        p.record_ok();
+        p.record_sync_failure();
+        p.record_header_failure();
+        p.record_fcs_failure();
+        assert_eq!(p.sent(), 5);
+        assert_eq!(p.ok(), 2);
+        assert!((p.per() - 0.6).abs() < 1e-12);
+        assert_eq!(p.sync_failures(), 1);
+        assert_eq!(p.header_failures(), 1);
+        assert_eq!(p.fcs_failures(), 1);
+    }
+
+    #[test]
+    fn goodput() {
+        let mut p = PerCounter::new();
+        for _ in 0..8 {
+            p.record_ok();
+        }
+        for _ in 0..2 {
+            p.record_fcs_failure();
+        }
+        // 8 of 10 frames × 1500 B over 100 µs airtime each:
+        // 8*12000 bits / 1000 µs = 96 Mb/s.
+        let g = p.goodput_mbps(1500, 100.0);
+        assert!((g - 96.0).abs() < 1e-9);
+        assert_eq!(PerCounter::new().goodput_mbps(100, 100.0), 0.0);
+    }
+
+    #[test]
+    fn per_merge() {
+        let mut a = PerCounter::new();
+        a.record_ok();
+        let mut b = PerCounter::new();
+        b.record_sync_failure();
+        a.merge(&b);
+        assert_eq!(a.sent(), 2);
+        assert!((a.per() - 0.5).abs() < 1e-12);
+    }
+}

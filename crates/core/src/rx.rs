@@ -1,0 +1,667 @@
+//! The MIMO-OFDM receiver state machine.
+//!
+//! Processing order (the practical pipeline the paper describes):
+//!
+//! 1. **Packet detection** — STF plateau across antennas, coarse CFO.
+//! 2. **Coarse CFO correction** over the whole buffer.
+//! 3. **Fine timing** — L-LTF cross-correlation (or detection geometry
+//!    when disabled, the A2 ablation).
+//! 4. **Fine CFO** from the two L-LTF repetitions, corrected.
+//! 5. **SNR / noise-variance estimation** from the LTF repetitions.
+//! 6. **L-SIG**, then **HT-SIG** decode (legacy channel estimate + MRC).
+//! 7. **HT-LTF MIMO channel estimation** (P-matrix despreading).
+//! 8. Per data symbol: FFT, **pilot phase tracking**, **ZF/MMSE/ML
+//!    detection**, per-stream deinterleave, stream deparse.
+//! 9. Depuncture → Viterbi (soft or hard) → descramble → PSDU.
+
+use crate::config::RxConfig;
+use crate::tx::{deparse_streams_soft, DATA_POLARITY_OFFSET};
+use mimonet_detect::chanest::ChannelEstimate;
+use mimonet_detect::snr::snr_from_ltf_repetitions;
+use mimonet_detect::{estimate_mimo_htltf, prepare as prepare_detector, smooth_frequency, Prepared};
+use mimonet_dsp::complex::Complex64;
+use mimonet_dsp::stats::lin_to_db;
+use mimonet_fec::interleaver::Interleaver;
+use mimonet_fec::puncture::depuncture_soft;
+use mimonet_fec::viterbi::decode_soft_unterminated;
+use mimonet_fec::{decode_hard, Symbol};
+use mimonet_frame::carriers::{carrier_to_bin, FFT_LEN, PILOT_CARRIERS};
+use mimonet_frame::mcs::Mcs;
+use mimonet_frame::ofdm::Ofdm;
+use mimonet_frame::pilots::{ht_pilots, legacy_pilots};
+use mimonet_frame::preamble::num_htltf;
+use mimonet_frame::psdu::descramble_data_bits;
+use mimonet_frame::sig::{HtSig, LSig, SigError};
+use mimonet_frame::Layout;
+use mimonet_sync::{fine_timing, DetectorConfig, PacketDetector, PhaseTracker, VanDeBeek};
+
+/// A successfully decoded frame plus the receiver's channel measurements —
+/// the paper's "fine grained SNR estimation, BER and PER computations"
+/// hang off these fields.
+#[derive(Clone, Debug)]
+pub struct RxFrame {
+    /// The decoded PSDU (length from HT-SIG; FCS *not* checked here — the
+    /// MAC layer / link simulator does that).
+    pub psdu: Vec<u8>,
+    /// MCS announced in HT-SIG.
+    pub mcs: u8,
+    /// Preamble-based SNR estimate in dB (average over RX antennas).
+    pub snr_db: f64,
+    /// Total CFO correction applied, in subcarrier spacings.
+    pub cfo: f64,
+    /// Sample index of the first L-LTF body in the input buffers.
+    pub timing: usize,
+    /// EVM-based SNR over the equalized data symbols, in dB.
+    pub evm_snr_db: Option<f64>,
+    /// Sample index just past the last data symbol — where a streaming
+    /// receiver resumes its search for the next frame.
+    pub frame_end: usize,
+    /// Hard decisions on the received coded stream (punctured domain),
+    /// for pre-FEC BER instrumentation.
+    pub coded_hard: Vec<u8>,
+}
+
+/// Receiver failure at a specific pipeline stage — each maps to an error
+/// class the PER instrumentation attributes separately.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RxError {
+    /// Antenna count or buffer lengths inconsistent with the config.
+    AntennaMismatch { expected: usize, got: usize },
+    /// No STF plateau found.
+    NoPacket,
+    /// The L-LTF could not be located after detection.
+    SyncLost,
+    /// Buffer ends before the announced frame does.
+    BufferTooShort,
+    /// L-SIG failed parity/decoding.
+    LSig(SigError),
+    /// HT-SIG failed CRC/decoding.
+    HtSig(SigError),
+    /// HT-SIG announces more streams than we have antennas.
+    TooManyStreams { streams: usize, antennas: usize },
+    /// The MIMO detector failed on a data carrier (singular channel under
+    /// ZF).
+    Detector,
+}
+
+impl std::fmt::Display for RxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RxError::AntennaMismatch { expected, got } => {
+                write!(f, "expected {expected} RX streams, got {got}")
+            }
+            RxError::NoPacket => write!(f, "no packet detected"),
+            RxError::SyncLost => write!(f, "synchronization lost after detection"),
+            RxError::BufferTooShort => write!(f, "buffer ends before the frame does"),
+            RxError::LSig(e) => write!(f, "L-SIG: {e}"),
+            RxError::HtSig(e) => write!(f, "HT-SIG: {e}"),
+            RxError::TooManyStreams { streams, antennas } => {
+                write!(f, "{streams} spatial streams but only {antennas} antennas")
+            }
+            RxError::Detector => write!(f, "MIMO detection failed"),
+        }
+    }
+}
+
+impl std::error::Error for RxError {}
+
+/// The receiver. Reusable across frames.
+#[derive(Clone, Debug)]
+pub struct Receiver {
+    cfg: RxConfig,
+    ofdm: Ofdm,
+}
+
+impl Receiver {
+    /// Creates a receiver.
+    pub fn new(cfg: RxConfig) -> Self {
+        Self { cfg, ofdm: Ofdm::new() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RxConfig {
+        &self.cfg
+    }
+
+    /// Scans a long multi-frame capture, decoding every frame it finds.
+    ///
+    /// Returns `(offset, frame)` pairs where `offset` is the start of the
+    /// slice in which the frame was decoded (its `timing`/`frame_end`
+    /// fields are relative to that offset). Decode failures after a
+    /// detection advance the scan by a fixed stride so one broken frame
+    /// cannot stall the stream; the scan ends at the first stretch with no
+    /// detectable packet.
+    pub fn receive_all(&self, rx: &[Vec<Complex64>]) -> Vec<(usize, RxFrame)> {
+        const ERROR_STRIDE: usize = 400;
+        let len = rx.first().map_or(0, |a| a.len());
+        let mut out = Vec::new();
+        let mut offset = 0usize;
+        while offset + 640 < len {
+            let window: Vec<Vec<Complex64>> =
+                rx.iter().map(|a| a[offset..].to_vec()).collect();
+            match self.receive(&window) {
+                Ok(frame) => {
+                    let end = frame.frame_end;
+                    out.push((offset, frame));
+                    offset += end.max(ERROR_STRIDE);
+                }
+                Err(RxError::NoPacket) => break,
+                Err(_) => offset += ERROR_STRIDE,
+            }
+        }
+        out
+    }
+
+    /// Attempts to detect and decode one frame from per-antenna buffers.
+    pub fn receive(&self, rx: &[Vec<Complex64>]) -> Result<RxFrame, RxError> {
+        if rx.len() != self.cfg.n_rx {
+            return Err(RxError::AntennaMismatch { expected: self.cfg.n_rx, got: rx.len() });
+        }
+        let len = rx[0].len();
+        if rx.iter().any(|a| a.len() != len) {
+            return Err(RxError::AntennaMismatch { expected: self.cfg.n_rx, got: rx.len() });
+        }
+
+        // --- 1. Packet detection + coarse CFO ---
+        let mut detector = PacketDetector::new(self.cfg.n_rx, DetectorConfig::default());
+        let refs: Vec<&[Complex64]> = rx.iter().map(|a| a.as_slice()).collect();
+        let det = detector.detect(&refs).ok_or(RxError::NoPacket)?;
+
+        // --- 2. Coarse CFO correction (whole buffer) ---
+        let mut bufs: Vec<Vec<Complex64>> = rx.to_vec();
+        let mut total_cfo = det.coarse_cfo;
+        for b in &mut bufs {
+            mimonet_channel::impairments::apply_cfo(b, -det.coarse_cfo, 0.0);
+        }
+
+        // --- 3. Fine timing: locate the first L-LTF body ---
+        // Detection confirms ~(warmup + min_run) samples into the STF; the
+        // LTF body then starts ≈ 160 + 32 − that far ahead.
+        let cfg_det = DetectorConfig::default();
+        let approx_stf_start = det
+            .confirmed_at
+            .saturating_sub(cfg_det.lag + cfg_det.window + cfg_det.min_run - 1);
+        let ltf_guess = approx_stf_start + 160 + 32;
+        let ltf_start = if self.cfg.fine_timing {
+            let win_lo = ltf_guess.saturating_sub(40);
+            // The window must contain BOTH 64-sample LTF repetitions past
+            // the last candidate offset, or the two-peak pairing inside
+            // fine_timing cannot score the true position.
+            let win_hi = (ltf_guess + 40 + 128 + 64).min(len);
+            if win_hi <= win_lo + 64 {
+                return Err(RxError::SyncLost);
+            }
+            let windows: Vec<&[Complex64]> = bufs.iter().map(|b| &b[win_lo..win_hi]).collect();
+            let ft = fine_timing(&windows).ok_or(RxError::SyncLost)?;
+            win_lo + ft.ltf_start
+        } else {
+            // Fallback refinement: the paper's MIMO-extended Van de Beek.
+            // Every field from the L-SIG onward is a CP-80 OFDM symbol, so
+            // run the joint CP metric over a post-L-LTF window (which
+            // starts on a symbol boundary if the guess is right) and fold
+            // the strongest boundary's mod-80 residue back into the guess.
+            let win_lo = (ltf_guess + 128).min(len);
+            let win_hi = (win_lo + 480).min(len);
+            if win_hi >= win_lo + 160 {
+                let windows: Vec<&[Complex64]> =
+                    bufs.iter().map(|b| &b[win_lo..win_hi]).collect();
+                let vdb = VanDeBeek::new(64, 16, self.cfg.vdb_snr_db);
+                match vdb.estimate(&windows) {
+                    Some(est) => {
+                        // Signed residue in (−40, 40]: how far the detected
+                        // boundary sits from the guessed symbol grid.
+                        let r = (est.timing % 80) as isize;
+                        let delta = if r > 40 { r - 80 } else { r };
+                        (ltf_guess as isize + delta).max(0) as usize
+                    }
+                    None => ltf_guess,
+                }
+            } else {
+                ltf_guess
+            }
+        };
+        // Back the FFT window into the cyclic prefix: every downstream
+        // window shifts identically, so the channel estimate absorbs the
+        // resulting phase ramp, while the window tail stays clear of the
+        // symbol transition.
+        let ltf_start = ltf_start.saturating_sub(self.cfg.timing_backoff);
+        if ltf_start + 128 > len {
+            return Err(RxError::BufferTooShort);
+        }
+
+        // --- 4. Fine CFO from the LTF repetitions ---
+        let mut gamma = Complex64::ZERO;
+        for b in &bufs {
+            let b1 = &b[ltf_start..ltf_start + 64];
+            let b2 = &b[ltf_start + 64..ltf_start + 128];
+            gamma += mimonet_dsp::complex::dot_conj(b1, b2);
+        }
+        let fine_cfo = -gamma.arg() / (2.0 * std::f64::consts::PI);
+        total_cfo += fine_cfo;
+        for b in &mut bufs {
+            mimonet_channel::impairments::apply_cfo(b, -fine_cfo, 0.0);
+        }
+
+        // --- 5. SNR and noise variance from the corrected LTFs ---
+        let scale52 = Ofdm::unit_power_scale(52);
+        let scale56 = Ofdm::unit_power_scale(56);
+        let mut snr_acc = 0.0;
+        let mut legacy_est: Vec<ChannelEstimate> = Vec::with_capacity(self.cfg.n_rx);
+        let mut noise_bin_var = 0.0;
+        for b in &bufs {
+            let b1 = &b[ltf_start..ltf_start + 64];
+            let b2 = &b[ltf_start + 64..ltf_start + 128];
+            snr_acc += snr_from_ltf_repetitions(b1, b2).unwrap_or(0.0);
+            let f1 = self.ofdm.demodulate_window(b1, scale52);
+            let f2 = self.ofdm.demodulate_window(b2, scale52);
+            // Frequency-domain noise variance over occupied carriers:
+            // E|F1-F2|^2 / 2 per repetition pair.
+            let mut acc = 0.0;
+            let mut n = 0.0;
+            for k in -26..=26i32 {
+                if k == 0 {
+                    continue;
+                }
+                let bin = carrier_to_bin(k);
+                acc += f1[bin].dist_sqr(f2[bin]);
+                n += 1.0;
+            }
+            noise_bin_var += acc / n / 2.0;
+            legacy_est.push(mimonet_detect::estimate_siso_lltf(&f1, &f2));
+        }
+        let snr_db = lin_to_db(snr_acc / self.cfg.n_rx as f64);
+        // Per-antenna bin noise at LTF scaling; data symbols use the
+        // 56-carrier scale, which raises the per-bin variance by 56/52.
+        let noise_var_sig = (noise_bin_var / self.cfg.n_rx as f64).max(1e-12);
+        let noise_var_data = noise_var_sig * 56.0 / 52.0;
+
+        // --- 6. L-SIG and HT-SIG ---
+        let lsig_start = ltf_start + 128;
+        if lsig_start + 3 * 80 > len {
+            return Err(RxError::BufferTooShort);
+        }
+        let lsig_bits = self.decode_legacy_symbol(&bufs, lsig_start, &legacy_est, 0, false)?;
+        let mut lsig24 = decode_hard(&to_symbols(&lsig_bits)).map_err(|_| RxError::SyncLost)?;
+        lsig24.extend_from_slice(&[0; 6]);
+        let _lsig = LSig::decode(&lsig24).map_err(RxError::LSig)?;
+
+        let ht1 = self.decode_legacy_symbol(&bufs, lsig_start + 80, &legacy_est, 1, true)?;
+        let ht2 = self.decode_legacy_symbol(&bufs, lsig_start + 160, &legacy_est, 2, true)?;
+        let mut coded = ht1;
+        coded.extend(ht2);
+        let mut htsig_bits = decode_hard(&to_symbols(&coded)).map_err(|_| RxError::SyncLost)?;
+        htsig_bits.extend_from_slice(&[0; 6]);
+        let htsig = HtSig::decode(&htsig_bits).map_err(RxError::HtSig)?;
+        let mcs = Mcs::from_index(htsig.mcs).expect("validated by HtSig::decode");
+        let n_ss = mcs.n_streams;
+        if n_ss > self.cfg.n_rx {
+            return Err(RxError::TooManyStreams { streams: n_ss, antennas: self.cfg.n_rx });
+        }
+
+        // --- 7. HT-LTF channel estimation ---
+        let n_ltf = num_htltf(n_ss);
+        let htltf_start = lsig_start + 240 + 80; // skip HT-STF
+        if htltf_start + n_ltf * 80 > len {
+            return Err(RxError::BufferTooShort);
+        }
+        let mut ltf_bins: Vec<Vec<[Complex64; FFT_LEN]>> = Vec::with_capacity(n_ltf);
+        for i in 0..n_ltf {
+            let base = htltf_start + i * 80;
+            let per_rx: Vec<[Complex64; FFT_LEN]> = bufs
+                .iter()
+                .map(|b| self.ofdm.demodulate(&b[base..base + 80], scale56))
+                .collect();
+            ltf_bins.push(per_rx);
+        }
+        let mut chan = estimate_mimo_htltf(&ltf_bins, n_ss);
+        if self.cfg.smoothing > 0 && htsig.smoothing {
+            chan = smooth_frequency(&chan, self.cfg.smoothing);
+        }
+
+        // --- 8/9. Data symbols ---
+        let n_sym = mcs.num_symbols(htsig.length as usize * 8);
+        let data_start = htltf_start + n_ltf * 80;
+        if data_start + n_sym * 80 > len {
+            return Err(RxError::BufferTooShort);
+        }
+
+        let interleavers: Vec<Interleaver> = (0..n_ss)
+            .map(|s| Interleaver::ht(mcs.n_cbpss(), mcs.n_bpsc(), s, n_ss))
+            .collect();
+        let data_carriers = Layout::Ht.data_carriers();
+        // The channel is block-fading: hoist the per-carrier detector
+        // preparation (matrix inversions, ML hypothesis predictions) out
+        // of the per-symbol loop.
+        let mut prepared: Vec<Prepared> = Vec::with_capacity(data_carriers.len());
+        for &k in &data_carriers {
+            let h = chan.at(k).ok_or(RxError::Detector)?;
+            prepared.push(
+                prepare_detector(self.cfg.detector, h, noise_var_data, mcs.modulation)
+                    .map_err(|_| RxError::Detector)?,
+            );
+        }
+        let mut tracker = PhaseTracker::new(0.5);
+        let mut evm = mimonet_detect::EvmSnrEstimator::new();
+        let mut all_llrs: Vec<f64> = Vec::with_capacity(n_sym * mcs.n_cbps());
+
+        for sym in 0..n_sym {
+            let base = data_start + sym * 80;
+            let mut bins: Vec<[Complex64; FFT_LEN]> = bufs
+                .iter()
+                .map(|b| self.ofdm.demodulate(&b[base..base + 80], scale56))
+                .collect();
+
+            // Pilot tracking: shared phase across antennas.
+            if self.cfg.pilot_tracking {
+                let mut obs = Vec::with_capacity(4 * self.cfg.n_rx);
+                for (i, &k) in PILOT_CARRIERS.iter().enumerate() {
+                    if let Some(h) = chan.at(k) {
+                        for r in 0..self.cfg.n_rx {
+                            let mut expected = Complex64::ZERO;
+                            for s in 0..n_ss {
+                                let p = ht_pilots(s, n_ss, sym, DATA_POLARITY_OFFSET)[i];
+                                expected += h[(r, s)] * p;
+                            }
+                            obs.push((k, expected, bins[r][carrier_to_bin(k)]));
+                        }
+                    }
+                }
+                if let Some(est) = tracker.update(&obs) {
+                    for b in bins.iter_mut() {
+                        for k in -28..=28i32 {
+                            if k == 0 {
+                                continue;
+                            }
+                            let bin = carrier_to_bin(k);
+                            b[bin] *= est.correction(k);
+                        }
+                    }
+                }
+            }
+
+            // Detect every data carrier with the prepared per-carrier state.
+            let mut stream_llrs: Vec<Vec<f64>> = vec![Vec::with_capacity(mcs.n_cbpss()); n_ss];
+            for (det, &k) in prepared.iter().zip(&data_carriers) {
+                let y: Vec<Complex64> =
+                    bins.iter().map(|b| b[carrier_to_bin(k)]).collect();
+                let decisions = det.apply(&y);
+                for (s, d) in decisions.iter().enumerate() {
+                    stream_llrs[s].extend(&d.llrs);
+                    evm.push_decided(d.symbol, mcs.modulation);
+                }
+            }
+
+            // Per-stream deinterleave, then merge via the stream deparser.
+            let deinterleaved: Vec<Vec<f64>> = stream_llrs
+                .iter()
+                .enumerate()
+                .map(|(s, l)| interleavers[s].deinterleave_soft(l))
+                .collect();
+            all_llrs.extend(deparse_streams_soft(&deinterleaved, mcs.n_bpsc()));
+        }
+
+        // --- 10. FEC decode + descramble ---
+        let mother_len = 2 * n_sym * mcs.n_dbps();
+        let full_llrs = depuncture_soft(&all_llrs, mcs.code_rate, mother_len);
+        let decoded = if self.cfg.soft_decoding {
+            decode_soft_unterminated(&full_llrs).map_err(|_| RxError::SyncLost)?
+        } else {
+            let hard: Vec<Symbol> = full_llrs
+                .iter()
+                .map(|&l| {
+                    if l == 0.0 {
+                        Symbol::Erased
+                    } else {
+                        Symbol::Bit(if l > 0.0 { 0 } else { 1 })
+                    }
+                })
+                .collect();
+            mimonet_fec::decode_hard_unterminated(&hard).map_err(|_| RxError::SyncLost)?
+        };
+        let psdu = descramble_data_bits(&decoded, htsig.length as usize)
+            .ok_or(RxError::SyncLost)?;
+
+        Ok(RxFrame {
+            psdu,
+            mcs: htsig.mcs,
+            snr_db,
+            cfo: total_cfo,
+            timing: ltf_start,
+            evm_snr_db: evm.snr_db(),
+            frame_end: data_start + n_sym * 80,
+            coded_hard: all_llrs.iter().map(|&l| if l > 0.0 { 0 } else { 1 }).collect(),
+        })
+    }
+
+    /// Demodulates and MRC-equalizes one legacy symbol, returning the 48
+    /// deinterleaved coded bits.
+    fn decode_legacy_symbol(
+        &self,
+        bufs: &[Vec<Complex64>],
+        start: usize,
+        legacy_est: &[ChannelEstimate],
+        sym_index: usize,
+        quadrature: bool,
+    ) -> Result<Vec<u8>, RxError> {
+        let scale52 = Ofdm::unit_power_scale(52);
+        let bins: Vec<[Complex64; FFT_LEN]> = bufs
+            .iter()
+            .map(|b| self.ofdm.demodulate(&b[start..start + 80], scale52))
+            .collect();
+
+        // Common phase correction from the four legacy pilots (MRC over
+        // antennas).
+        let pil = legacy_pilots(sym_index, 0);
+        let mut phase_acc = Complex64::ZERO;
+        for (i, &k) in PILOT_CARRIERS.iter().enumerate() {
+            for (r, est) in legacy_est.iter().enumerate() {
+                if let Some(h) = est.at(k) {
+                    let expected = h[(0, 0)] * pil[i];
+                    phase_acc += bins[r][carrier_to_bin(k)] * expected.conj();
+                }
+            }
+        }
+        let derot = if phase_acc.abs() > 1e-12 {
+            Complex64::cis(-phase_acc.arg())
+        } else {
+            Complex64::ONE
+        };
+
+        let rot = if quadrature {
+            // Undo the QBPSK 90° rotation.
+            Complex64::new(0.0, -1.0)
+        } else {
+            Complex64::ONE
+        };
+        let mut hard = Vec::with_capacity(48);
+        for &k in &Layout::Legacy.data_carriers() {
+            let bin = carrier_to_bin(k);
+            let mut num = Complex64::ZERO;
+            let mut den = 0.0;
+            for (r, est) in legacy_est.iter().enumerate() {
+                if let Some(h) = est.at(k) {
+                    let hv = h[(0, 0)];
+                    num += bins[r][bin] * hv.conj();
+                    den += hv.norm_sqr();
+                }
+            }
+            if den <= 1e-15 {
+                return Err(RxError::SyncLost);
+            }
+            let eq = num.scale(1.0 / den) * derot * rot;
+            hard.push(if eq.re > 0.0 { 1 } else { 0 });
+        }
+        let il = Interleaver::legacy(48, 1);
+        Ok(il.deinterleave(&hard))
+    }
+}
+
+fn to_symbols(bits: &[u8]) -> Vec<Symbol> {
+    bits.iter().map(|&b| Symbol::Bit(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TxConfig;
+    use crate::tx::Transmitter;
+    use mimonet_channel::{ChannelConfig, ChannelSim};
+
+    fn run_link(mcs: u8, psdu: &[u8], chan: ChannelConfig, seed: u64, rx_cfg: RxConfig)
+        -> Result<RxFrame, RxError> {
+        let tx = Transmitter::new(TxConfig::new(mcs).unwrap());
+        let mut streams = tx.transmit(psdu).unwrap();
+        // Lead-in/out silence so detection and channel tails have room.
+        for s in &mut streams {
+            let mut padded = vec![Complex64::ZERO; 120];
+            padded.extend_from_slice(s);
+            padded.extend(vec![Complex64::ZERO; 80]);
+            *s = padded;
+        }
+        let mut sim = ChannelSim::new(chan, seed);
+        let (rx, _) = sim.apply(&streams);
+        Receiver::new(rx_cfg).receive(&rx)
+    }
+
+    #[test]
+    fn siso_clean_channel_roundtrip() {
+        let psdu: Vec<u8> = (0..200u8).collect();
+        let frame = run_link(0, &psdu, ChannelConfig::awgn(1, 1, 35.0), 1, RxConfig::new(1))
+            .expect("decode");
+        assert_eq!(frame.psdu, psdu);
+        assert_eq!(frame.mcs, 0);
+        assert!((frame.snr_db - 35.0).abs() < 3.0, "snr {}", frame.snr_db);
+    }
+
+    #[test]
+    fn mimo_clean_channel_roundtrip() {
+        let psdu: Vec<u8> = (0..255u8).collect();
+        for mcs in [8u8, 9, 11] {
+            let frame = run_link(mcs, &psdu, ChannelConfig::awgn(2, 2, 35.0), 2, RxConfig::new(2))
+                .unwrap_or_else(|e| panic!("MCS{mcs}: {e}"));
+            assert_eq!(frame.psdu, psdu, "MCS{mcs}");
+            assert_eq!(frame.mcs, mcs);
+        }
+    }
+
+    #[test]
+    fn survives_cfo_and_timing_offset() {
+        let psdu: Vec<u8> = (0..100u8).collect();
+        let mut chan = ChannelConfig::awgn(2, 2, 30.0);
+        chan.cfo_norm = 0.35;
+        chan.timing_offset = 33.0;
+        let frame = run_link(9, &psdu, chan, 3, RxConfig::new(2)).expect("decode");
+        assert_eq!(frame.psdu, psdu);
+        assert!((frame.cfo - 0.35).abs() < 0.02, "cfo {}", frame.cfo);
+    }
+
+    #[test]
+    fn no_packet_in_noise() {
+        let rx = Receiver::new(RxConfig::new(1));
+        let mut sim = ChannelSim::new(ChannelConfig::awgn(1, 1, 0.0), 4);
+        let silence = vec![vec![Complex64::ZERO; 4000]];
+        let (noisy, _) = sim.apply(&silence);
+        assert!(matches!(rx.receive(&noisy), Err(RxError::NoPacket)));
+    }
+
+    #[test]
+    fn antenna_mismatch_detected() {
+        let rx = Receiver::new(RxConfig::new(2));
+        let buf = vec![vec![Complex64::ZERO; 100]];
+        assert!(matches!(rx.receive(&buf), Err(RxError::AntennaMismatch { .. })));
+    }
+
+    #[test]
+    fn truncated_frame_reports_short_buffer() {
+        let tx = Transmitter::new(TxConfig::new(0).unwrap());
+        let psdu = vec![0x42u8; 500];
+        let mut s = vec![Complex64::ZERO; 100];
+        s.extend(tx.transmit(&psdu).unwrap().remove(0));
+        s.truncate(s.len() - 600); // cut into the data symbols
+        let rx = Receiver::new(RxConfig::new(1));
+        assert!(matches!(rx.receive(&[s]), Err(RxError::BufferTooShort)));
+    }
+
+    #[test]
+    fn hard_decoding_also_works() {
+        let psdu: Vec<u8> = (0..150u8).collect();
+        let mut cfg = RxConfig::new(2);
+        cfg.soft_decoding = false;
+        let frame = run_link(10, &psdu, ChannelConfig::awgn(2, 2, 35.0), 5, cfg).expect("decode");
+        assert_eq!(frame.psdu, psdu);
+    }
+
+    #[test]
+    fn two_stream_frame_needs_two_antennas() {
+        // A 2-stream frame received by a 1-antenna receiver must be
+        // rejected at HT-SIG (TooManyStreams), not crash the detector.
+        let tx = Transmitter::new(TxConfig::new(9).unwrap());
+        let streams = tx.transmit(&[7u8; 40]).unwrap();
+        // Single-antenna capture: sum of both TX antennas (what one
+        // physical antenna would see on an identity-ish channel).
+        let mut capture = vec![Complex64::ZERO; 120];
+        capture.extend(
+            streams[0]
+                .iter()
+                .zip(&streams[1])
+                .map(|(&a, &b)| a + b),
+        );
+        capture.extend(vec![Complex64::ZERO; 80]);
+        let rx = Receiver::new(RxConfig::new(1));
+        match rx.receive(&[capture]) {
+            Err(RxError::TooManyStreams { streams: 2, antennas: 1 }) => {}
+            // The summed legacy preamble can also corrupt HT-SIG itself.
+            Err(RxError::HtSig(_)) | Err(RxError::SyncLost) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn receive_all_finds_back_to_back_frames() {
+        let tx = Transmitter::new(TxConfig::new(9).unwrap());
+        let rx = Receiver::new(RxConfig::new(2));
+        let psdus: Vec<Vec<u8>> = (0..3u8).map(|k| vec![k; 60 + 10 * k as usize]).collect();
+        // Concatenate three frames with inter-frame gaps into one capture.
+        let mut capture: Vec<Vec<Complex64>> = vec![vec![Complex64::ZERO; 150]; 2];
+        for psdu in &psdus {
+            let streams = tx.transmit(psdu).unwrap();
+            for (c, s) in capture.iter_mut().zip(&streams) {
+                c.extend_from_slice(s);
+                c.extend(vec![Complex64::ZERO; 200]);
+            }
+        }
+        let mut sim = ChannelSim::new(ChannelConfig::awgn(2, 2, 30.0), 9);
+        let (noisy, _) = sim.apply(&capture);
+        let frames = rx.receive_all(&noisy);
+        assert_eq!(frames.len(), 3, "found {} frames", frames.len());
+        for ((off, frame), want) in frames.iter().zip(&psdus) {
+            assert_eq!(&frame.psdu, want, "frame at offset {off}");
+        }
+        // Offsets are strictly increasing.
+        assert!(frames.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn receive_all_empty_capture() {
+        let rx = Receiver::new(RxConfig::new(1));
+        assert!(rx.receive_all(&[vec![Complex64::ZERO; 5000]]).is_empty());
+        assert!(rx.receive_all(&[vec![]]).is_empty());
+    }
+
+    #[test]
+    fn coded_hard_matches_tx_reference_on_clean_channel() {
+        let tx = Transmitter::new(TxConfig::new(8).unwrap());
+        let psdu: Vec<u8> = (0..64u8).collect();
+        let reference = tx.coded_bits(&psdu);
+        let frame = run_link(8, &psdu, ChannelConfig::awgn(2, 2, 40.0), 6, RxConfig::new(2))
+            .expect("decode");
+        assert_eq!(frame.coded_hard.len(), reference.len());
+        let errs = frame
+            .coded_hard
+            .iter()
+            .zip(&reference)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(errs, 0, "clean channel must have zero pre-FEC errors");
+    }
+}

@@ -1,0 +1,382 @@
+//! Channel estimation from the long training fields.
+//!
+//! Two estimators:
+//!
+//! * [`estimate_siso_lltf`] — legacy L-LTF least squares: the two identical
+//!   64-sample repetitions are averaged (3 dB noise reduction) and divided
+//!   by the known sequence, per occupied carrier.
+//! * [`estimate_mimo_htltf`] — HT-LTF least squares for spatial streams.
+//!   During HT-LTF symbol `n`, stream `s` transmits `L_k * P[s][n]`; per
+//!   carrier the received matrix `Y (n_rx × n_ltf)` satisfies
+//!   `Y = H * diag? — no: Y = H_eff * (L_k * P_block)`, so
+//!   `H_eff = Y * P_block^H / (n_ltf * L_k)` using the P matrix's
+//!   orthogonality (`P P^H = n_ltf I`). The estimate absorbs each stream's
+//!   cyclic shift — exactly what the equalizer wants.
+//!
+//! [`smooth_frequency`] optionally averages neighboring carriers (valid
+//! when the delay spread is short; the HT-SIG "smoothing" bit advertises
+//! it).
+
+// Index-based loops here are the clearer expression of the math
+// (matrix/carrier indexing); silence the iterator-style suggestion.
+#![allow(clippy::needless_range_loop)]
+use crate::linalg::CMat;
+use mimonet_dsp::complex::Complex64;
+use mimonet_frame::carriers::FFT_LEN;
+use mimonet_frame::preamble::{htltf_at, lltf_at, P_HTLTF};
+
+/// Per-carrier MIMO channel estimate: `h[k]` is an `n_rx × n_ss` matrix for
+/// logical carrier `k` (stored at `k + FFT_LEN/2`).
+#[derive(Clone, Debug)]
+pub struct ChannelEstimate {
+    n_rx: usize,
+    n_ss: usize,
+    /// Indexed `[carrier + 32]`; `None` on unoccupied carriers.
+    h: Vec<Option<CMat>>,
+}
+
+impl ChannelEstimate {
+    fn empty(n_rx: usize, n_ss: usize) -> Self {
+        Self { n_rx, n_ss, h: vec![None; FFT_LEN] }
+    }
+
+    /// Receive antenna count.
+    pub fn n_rx(&self) -> usize {
+        self.n_rx
+    }
+
+    /// Spatial stream count.
+    pub fn n_ss(&self) -> usize {
+        self.n_ss
+    }
+
+    /// The estimate at logical carrier `k`, if that carrier was trained.
+    pub fn at(&self, k: i32) -> Option<&CMat> {
+        self.h.get((k + FFT_LEN as i32 / 2) as usize)?.as_ref()
+    }
+
+    fn set(&mut self, k: i32, m: CMat) {
+        self.h[(k + FFT_LEN as i32 / 2) as usize] = Some(m);
+    }
+
+    /// Carriers with estimates, ascending.
+    pub fn carriers(&self) -> Vec<i32> {
+        (0..FFT_LEN)
+            .filter(|&i| self.h[i].is_some())
+            .map(|i| i as i32 - FFT_LEN as i32 / 2)
+            .collect()
+    }
+
+    /// Mean squared error against a reference channel (for experiments),
+    /// averaged over trained carriers and matrix entries.
+    pub fn mse_against<F>(&self, reference: F) -> f64
+    where
+        F: Fn(i32, usize, usize) -> Complex64, // (carrier, rx, ss) -> h
+    {
+        let mut err = 0.0;
+        let mut count = 0usize;
+        for k in self.carriers() {
+            let est = self.at(k).unwrap();
+            for r in 0..self.n_rx {
+                for s in 0..self.n_ss {
+                    err += est[(r, s)].dist_sqr(reference(k, r, s));
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            err / count as f64
+        }
+    }
+}
+
+/// Legacy L-LTF estimation for a SISO (or per-RX-antenna) link.
+///
+/// `rep1` and `rep2` are the two demodulated 64-bin L-LTF repetitions
+/// (same scaling as the data symbols). Returns a 1×1-matrix-per-carrier
+/// estimate over the 52 legacy carriers.
+pub fn estimate_siso_lltf(rep1: &[Complex64; FFT_LEN], rep2: &[Complex64; FFT_LEN]) -> ChannelEstimate {
+    let mut est = ChannelEstimate::empty(1, 1);
+    for k in -26..=26i32 {
+        let l = lltf_at(k);
+        if l == 0.0 {
+            continue;
+        }
+        let bin = mimonet_frame::carriers::carrier_to_bin(k);
+        let avg = (rep1[bin] + rep2[bin]).scale(0.5);
+        est.set(k, CMat::new(1, 1, vec![avg / l]));
+    }
+    est
+}
+
+/// HT-LTF MIMO estimation.
+///
+/// `ltf_bins[n][r]` holds the demodulated 64 bins of HT-LTF symbol `n` at
+/// receive antenna `r`. Requires `ltf_bins.len() >= n_ss` LTF symbols (2
+/// for 2 streams). Returns an `n_rx × n_ss` estimate per HT carrier.
+pub fn estimate_mimo_htltf(
+    ltf_bins: &[Vec<[Complex64; FFT_LEN]>],
+    n_ss: usize,
+) -> ChannelEstimate {
+    let n_ltf = ltf_bins.len();
+    assert!((1..=4).contains(&n_ss), "this transceiver supports 1-4 streams");
+    assert!(
+        n_ltf >= n_ss,
+        "need at least {n_ss} HT-LTF symbols, got {n_ltf}"
+    );
+    let n_rx = ltf_bins[0].len();
+    assert!(ltf_bins.iter().all(|s| s.len() == n_rx), "ragged antenna data");
+
+    let mut est = ChannelEstimate::empty(n_rx, n_ss);
+    for k in -28..=28i32 {
+        let l = htltf_at(k);
+        if l == 0.0 {
+            continue;
+        }
+        let bin = mimonet_frame::carriers::carrier_to_bin(k);
+        // Y: n_rx × n_ltf
+        let mut y = CMat::zeros(n_rx, n_ltf);
+        for (n, sym) in ltf_bins.iter().enumerate() {
+            for (r, ant) in sym.iter().enumerate() {
+                y[(r, n)] = ant[bin];
+            }
+        }
+        // P block: n_ss × n_ltf.
+        let mut p = CMat::zeros(n_ss, n_ltf);
+        for s in 0..n_ss {
+            for n in 0..n_ltf {
+                p[(s, n)] = Complex64::from_re(P_HTLTF[s][n]);
+            }
+        }
+        // H = Y P^H / (n_ltf * L_k).
+        let mut h = y.mul(&p.hermitian());
+        let scale = 1.0 / (n_ltf as f64 * l);
+        for r in 0..n_rx {
+            for s in 0..n_ss {
+                h[(r, s)] = h[(r, s)].scale(scale);
+            }
+        }
+        est.set(k, h);
+    }
+    est
+}
+
+/// Smooths an estimate across frequency with a centered moving average of
+/// `2*half + 1` carriers (clipped at band edges and the DC gap). Reduces
+/// noise ~(2·half+1)× on flat channels at the cost of bias on selective
+/// ones — experiment A-class territory.
+pub fn smooth_frequency(est: &ChannelEstimate, half: usize) -> ChannelEstimate {
+    let carriers = est.carriers();
+    let mut out = ChannelEstimate::empty(est.n_rx, est.n_ss);
+    for (idx, &k) in carriers.iter().enumerate() {
+        let lo = idx.saturating_sub(half);
+        let hi = (idx + half).min(carriers.len() - 1);
+        let mut acc = CMat::zeros(est.n_rx, est.n_ss);
+        let mut n = 0.0;
+        for &kk in &carriers[lo..=hi] {
+            let m = est.at(kk).unwrap();
+            for r in 0..est.n_rx {
+                for s in 0..est.n_ss {
+                    acc[(r, s)] += m[(r, s)];
+                }
+            }
+            n += 1.0;
+        }
+        for r in 0..est.n_rx {
+            for s in 0..est.n_ss {
+                acc[(r, s)] = acc[(r, s)].scale(1.0 / n);
+            }
+        }
+        out.set(k, acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimonet_channel::noise::crandn;
+    use mimonet_dsp::complex::C64;
+    use mimonet_frame::carriers::carrier_to_bin;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Simulates demodulated LTF bins through a flat per-carrier channel.
+    fn siso_ltf_through(h: impl Fn(i32) -> C64, noise: f64, rng: &mut ChaCha8Rng)
+        -> ([C64; FFT_LEN], [C64; FFT_LEN]) {
+        let mut r1 = [C64::ZERO; FFT_LEN];
+        let mut r2 = [C64::ZERO; FFT_LEN];
+        for k in -26..=26i32 {
+            let l = lltf_at(k);
+            if l == 0.0 {
+                continue;
+            }
+            let bin = carrier_to_bin(k);
+            let clean = h(k) * l;
+            r1[bin] = clean + crandn(rng).scale(noise.sqrt());
+            r2[bin] = clean + crandn(rng).scale(noise.sqrt());
+        }
+        (r1, r2)
+    }
+
+    #[test]
+    fn siso_estimate_exact_noiseless() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let h = |k: i32| C64::from_polar(1.0 + 0.01 * k as f64, 0.07 * k as f64);
+        let (r1, r2) = siso_ltf_through(h, 0.0, &mut rng);
+        let est = estimate_siso_lltf(&r1, &r2);
+        assert_eq!(est.carriers().len(), 52);
+        for k in est.carriers() {
+            assert!(est.at(k).unwrap()[(0, 0)].dist(h(k)) < 1e-12, "carrier {k}");
+        }
+        assert!(est.at(0).is_none());
+        assert!(est.at(27).is_none());
+    }
+
+    #[test]
+    fn siso_averaging_halves_noise_power() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let h = |_: i32| C64::ONE;
+        let noise = 0.1;
+        let mut mse = 0.0;
+        let trials = 200;
+        for _ in 0..trials {
+            let (r1, r2) = siso_ltf_through(h, noise, &mut rng);
+            let est = estimate_siso_lltf(&r1, &r2);
+            mse += est.mse_against(|_, _, _| C64::ONE);
+        }
+        mse /= trials as f64;
+        // Expected MSE = noise/2 (two averaged repetitions, |L|=1).
+        assert!((mse / (noise / 2.0) - 1.0).abs() < 0.1, "mse {mse}");
+    }
+
+    /// Builds HT-LTF observations through a given flat MIMO channel.
+    fn mimo_ltf_through(
+        h: &[[C64; 2]; 2],
+        noise: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Vec<[C64; FFT_LEN]>> {
+        let mut out = Vec::new();
+        for n in 0..2 {
+            let mut per_rx = Vec::new();
+            for r in 0..2 {
+                let mut bins = [C64::ZERO; FFT_LEN];
+                for k in -28..=28i32 {
+                    let l = htltf_at(k);
+                    if l == 0.0 {
+                        continue;
+                    }
+                    let bin = carrier_to_bin(k);
+                    let mut v = C64::ZERO;
+                    for s in 0..2 {
+                        v += h[r][s] * (l * P_HTLTF[s][n]);
+                    }
+                    bins[bin] = v + crandn(rng).scale(noise.sqrt());
+                }
+                per_rx.push(bins);
+            }
+            out.push(per_rx);
+        }
+        out
+    }
+
+    #[test]
+    fn mimo_estimate_exact_noiseless() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let h = [
+            [C64::new(0.9, 0.2), C64::new(-0.3, 0.6)],
+            [C64::new(0.1, -0.8), C64::new(1.1, 0.0)],
+        ];
+        let obs = mimo_ltf_through(&h, 0.0, &mut rng);
+        let est = estimate_mimo_htltf(&obs, 2);
+        assert_eq!(est.carriers().len(), 56);
+        for k in est.carriers() {
+            let m = est.at(k).unwrap();
+            for r in 0..2 {
+                for s in 0..2 {
+                    assert!(m[(r, s)].dist(h[r][s]) < 1e-10, "k={k} ({r},{s})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mimo_estimation_noise_scaling() {
+        // LS over 2 orthogonal LTFs: per-entry MSE = noise/2 (|L|=1,
+        // P P^H = 2I).
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let h = [[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]];
+        let noise = 0.2;
+        let mut mse = 0.0;
+        let trials = 200;
+        for _ in 0..trials {
+            let obs = mimo_ltf_through(&h, noise, &mut rng);
+            let est = estimate_mimo_htltf(&obs, 2);
+            mse += est.mse_against(|_, r, s| h[r][s]);
+        }
+        mse /= trials as f64;
+        assert!((mse / (noise / 2.0) - 1.0).abs() < 0.15, "mse {mse}");
+    }
+
+    #[test]
+    fn single_stream_htltf_estimation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // 1 stream over 2 RX antennas, one LTF symbol.
+        let h = [C64::new(0.7, -0.1), C64::new(-0.2, 0.5)];
+        let mut per_rx = Vec::new();
+        for r in 0..2 {
+            let mut bins = [C64::ZERO; FFT_LEN];
+            for k in -28..=28i32 {
+                let l = htltf_at(k);
+                if l != 0.0 {
+                    bins[carrier_to_bin(k)] = h[r] * l;
+                }
+            }
+            per_rx.push(bins);
+        }
+        let est = estimate_mimo_htltf(std::slice::from_ref(&per_rx), 1);
+        let _ = &mut rng;
+        for k in est.carriers() {
+            let m = est.at(k).unwrap();
+            assert!(m[(0, 0)].dist(h[0]) < 1e-10);
+            assert!(m[(1, 0)].dist(h[1]) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_noise_on_flat_channel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let h = |_: i32| C64::ONE;
+        let (r1, r2) = siso_ltf_through(h, 0.2, &mut rng);
+        let est = estimate_siso_lltf(&r1, &r2);
+        let smoothed = smooth_frequency(&est, 2);
+        let raw_mse = est.mse_against(|_, _, _| C64::ONE);
+        let smooth_mse = smoothed.mse_against(|_, _, _| C64::ONE);
+        assert!(
+            smooth_mse < raw_mse / 2.0,
+            "raw {raw_mse} smoothed {smooth_mse}"
+        );
+        assert_eq!(smoothed.carriers(), est.carriers());
+    }
+
+    #[test]
+    fn smoothing_biases_selective_channel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        // Fast-varying channel: smoothing must *hurt* (bias outweighs noise
+        // win at zero noise).
+        let h = |k: i32| C64::cis(1.3 * k as f64);
+        let (r1, r2) = siso_ltf_through(h, 0.0, &mut rng);
+        let est = estimate_siso_lltf(&r1, &r2);
+        let smoothed = smooth_frequency(&est, 3);
+        assert!(smoothed.mse_against(|k, _, _| h(k)) > est.mse_against(|k, _, _| h(k)));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least 2 HT-LTF")]
+    fn insufficient_ltfs_rejected() {
+        let bins = vec![vec![[C64::ZERO; FFT_LEN]; 2]];
+        estimate_mimo_htltf(&bins, 2);
+    }
+}

@@ -1,0 +1,609 @@
+//! MIMO detection: zero-forcing, MMSE and maximum-likelihood.
+//!
+//! Given the per-carrier model `y = H x + w` (`H` from
+//! [`crate::chanest`], `x` the per-stream constellation symbols, `w` white
+//! noise of variance `noise_var` per RX antenna), each detector returns
+//! per-stream symbol estimates and per-bit LLRs (positive ⇒ bit 0, the
+//! convention `mimonet_fec::viterbi::decode_soft` expects).
+//!
+//! * **ZF** — `x_hat = (H^H H)^-1 H^H y`. Per-stream post-detection noise
+//!   is `noise_var * [(H^H H)^-1]_ss`; simple but noise-enhancing on
+//!   ill-conditioned channels.
+//! * **MMSE** — `W = (H^H H + noise_var I)^-1 H^H`. Output is biased
+//!   (`E[x_tilde_s] = mu_s x_s` with `mu_s = [W H]_ss`); we unbias and
+//!   compute the exact per-stream interference-plus-noise variance.
+//! * **ML** — exhaustive max-log over the joint constellation (`M^n_ss`
+//!   hypotheses; 2 streams of 64-QAM = 4096). Optimal, and the reference
+//!   the F7 experiment compares against.
+
+use crate::linalg::CMat;
+use mimonet_dsp::complex::Complex64;
+use mimonet_frame::modulation::Modulation;
+
+/// Detector selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DetectorKind {
+    /// Zero forcing.
+    Zf,
+    /// Linear MMSE with unbiasing.
+    Mmse,
+    /// Exhaustive maximum likelihood (max-log LLRs).
+    Ml,
+}
+
+impl std::fmt::Display for DetectorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectorKind::Zf => write!(f, "ZF"),
+            DetectorKind::Mmse => write!(f, "MMSE"),
+            DetectorKind::Ml => write!(f, "ML"),
+        }
+    }
+}
+
+/// Per-stream detection output for one subcarrier.
+#[derive(Clone, Debug)]
+pub struct StreamDecision {
+    /// Equalized (unbiased) symbol estimate.
+    pub symbol: Complex64,
+    /// Per-bit LLRs, transmission order.
+    pub llrs: Vec<f64>,
+}
+
+/// Detection failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DetectError {
+    /// Channel matrix is singular (ZF) and cannot be inverted.
+    SingularChannel,
+}
+
+impl std::fmt::Display for DetectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectError::SingularChannel => write!(f, "channel matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+/// Detects the spatial streams on one subcarrier.
+///
+/// * `h` — `n_rx × n_ss` channel estimate.
+/// * `y` — received frequency-domain samples, one per RX antenna.
+/// * `noise_var` — complex noise variance per RX antenna.
+///
+/// Returns one [`StreamDecision`] per spatial stream.
+pub fn detect(
+    kind: DetectorKind,
+    h: &CMat,
+    y: &[Complex64],
+    noise_var: f64,
+    modulation: Modulation,
+) -> Result<Vec<StreamDecision>, DetectError> {
+    assert_eq!(y.len(), h.rows(), "one observation per RX antenna");
+    let nv = noise_var.max(1e-12);
+    match kind {
+        DetectorKind::Zf => zf(h, y, nv, modulation),
+        DetectorKind::Mmse => mmse(h, y, nv, modulation),
+        DetectorKind::Ml => Ok(ml(h, y, nv, modulation)),
+    }
+}
+
+fn zf(
+    h: &CMat,
+    y: &[Complex64],
+    noise_var: f64,
+    modulation: Modulation,
+) -> Result<Vec<StreamDecision>, DetectError> {
+    let hh = h.hermitian();
+    let gram = hh.mul(h); // n_ss × n_ss
+    let ginv = gram.inverse().ok_or(DetectError::SingularChannel)?;
+    let x = ginv.mul(&hh).mul_vec(y);
+    let n_ss = h.cols();
+    Ok((0..n_ss)
+        .map(|s| {
+            // Post-ZF noise variance on stream s.
+            let nv_s = noise_var * ginv[(s, s)].re.max(1e-15);
+            StreamDecision {
+                symbol: x[s],
+                llrs: modulation.demap_soft(x[s], nv_s),
+            }
+        })
+        .collect())
+}
+
+fn mmse(
+    h: &CMat,
+    y: &[Complex64],
+    noise_var: f64,
+    modulation: Modulation,
+) -> Result<Vec<StreamDecision>, DetectError> {
+    let hh = h.hermitian();
+    let mut gram = hh.mul(h);
+    gram.add_diag(noise_var);
+    // The regularized Gram matrix is positive definite, hence invertible.
+    let w = gram.inverse().ok_or(DetectError::SingularChannel)?.mul(&hh);
+    let x = w.mul_vec(y);
+    let wh = w.mul(h); // bias/interference matrix
+    let n_ss = h.cols();
+    let n_rx = h.rows();
+    Ok((0..n_ss)
+        .map(|s| {
+            let mu = wh[(s, s)];
+            let mu_mag = mu.abs().max(1e-15);
+            // Residual interference from other streams plus filtered noise.
+            let mut interf = 0.0;
+            for j in 0..n_ss {
+                if j != s {
+                    interf += wh[(s, j)].norm_sqr();
+                }
+            }
+            let mut wnorm = 0.0;
+            for r in 0..n_rx {
+                wnorm += w[(s, r)].norm_sqr();
+            }
+            let nv_s = (interf + noise_var * wnorm) / (mu_mag * mu_mag);
+            let unbiased = x[s] / mu;
+            StreamDecision {
+                symbol: unbiased,
+                llrs: modulation.demap_soft(unbiased, nv_s.max(1e-15)),
+            }
+        })
+        .collect())
+}
+
+fn ml(h: &CMat, y: &[Complex64], noise_var: f64, modulation: Modulation) -> Vec<StreamDecision> {
+    let n_ss = h.cols();
+    let n_rx = h.rows();
+    let points = modulation.constellation();
+    let m = points.len();
+    let bits_per = modulation.bits_per_symbol();
+    let n_hyp = m.pow(n_ss as u32);
+
+    // For every joint hypothesis, the squared distance ||y - Hx||^2.
+    // min-distance bookkeeping per (stream, bit, value).
+    let mut best_overall = f64::INFINITY;
+    let mut best_idx = vec![0usize; n_ss];
+    let mut min0 = vec![vec![f64::INFINITY; bits_per]; n_ss];
+    let mut min1 = vec![vec![f64::INFINITY; bits_per]; n_ss];
+
+    let mut idx = vec![0usize; n_ss];
+    for hyp in 0..n_hyp {
+        // Decode hypothesis into per-stream constellation indices.
+        let mut rem = hyp;
+        for slot in idx.iter_mut() {
+            *slot = rem % m;
+            rem /= m;
+        }
+        // Distance.
+        let mut d = 0.0;
+        for r in 0..n_rx {
+            let mut pred = Complex64::ZERO;
+            for (s, &pi) in idx.iter().enumerate() {
+                pred += h[(r, s)] * points[pi];
+            }
+            d += y[r].dist_sqr(pred);
+        }
+        if d < best_overall {
+            best_overall = d;
+            best_idx.copy_from_slice(&idx);
+        }
+        for (s, &pi) in idx.iter().enumerate() {
+            for b in 0..bits_per {
+                if (pi >> b) & 1 == 0 {
+                    if d < min0[s][b] {
+                        min0[s][b] = d;
+                    }
+                } else if d < min1[s][b] {
+                    min1[s][b] = d;
+                }
+            }
+        }
+    }
+
+    (0..n_ss)
+        .map(|s| StreamDecision {
+            symbol: points[best_idx[s]],
+            llrs: (0..bits_per)
+                .map(|b| (min1[s][b] - min0[s][b]) / noise_var)
+                .collect(),
+        })
+        .collect()
+}
+
+
+/// A detector with per-carrier precomputation hoisted out of the
+/// per-symbol loop.
+///
+/// On a block-fading channel `H(k)` is constant for the whole frame, so
+/// the linear combining matrices (ZF/MMSE) and the ML hypothesis
+/// predictions `H s` only need computing once per carrier; [`Prepared::apply`]
+/// then runs per received symbol. Results are identical to [`detect`] —
+/// the equivalence test below enforces it.
+pub enum Prepared {
+    /// Linear combiner: `x = W y`, unbias by `mu`, demap at `nv_eff`.
+    Linear {
+        /// Combining matrix, `n_ss × n_rx`.
+        w: CMat,
+        /// Per-stream unbiasing factor (`1` for ZF).
+        mu: Vec<Complex64>,
+        /// Per-stream effective noise variance.
+        nv_eff: Vec<f64>,
+        /// Modulation for demapping.
+        modulation: Modulation,
+    },
+    /// Exhaustive ML with precomputed `H s` per joint hypothesis.
+    Ml {
+        /// `pred[hyp][rx]` = received sample predicted by hypothesis `hyp`.
+        pred: Vec<Vec<Complex64>>,
+        /// Constellation points (for symbol output).
+        points: Vec<Complex64>,
+        /// Streams.
+        n_ss: usize,
+        /// Noise variance for LLR scaling.
+        noise_var: f64,
+        /// Modulation for bit bookkeeping.
+        modulation: Modulation,
+    },
+}
+
+/// Precomputes the per-carrier detector state for a block-fading frame.
+pub fn prepare(
+    kind: DetectorKind,
+    h: &CMat,
+    noise_var: f64,
+    modulation: Modulation,
+) -> Result<Prepared, DetectError> {
+    let nv = noise_var.max(1e-12);
+    let n_ss = h.cols();
+    let n_rx = h.rows();
+    match kind {
+        DetectorKind::Zf => {
+            let hh = h.hermitian();
+            let ginv = hh.mul(h).inverse().ok_or(DetectError::SingularChannel)?;
+            let w = ginv.mul(&hh);
+            let nv_eff = (0..n_ss).map(|s| nv * ginv[(s, s)].re.max(1e-15)).collect();
+            Ok(Prepared::Linear {
+                w,
+                mu: vec![Complex64::ONE; n_ss],
+                nv_eff,
+                modulation,
+            })
+        }
+        DetectorKind::Mmse => {
+            let hh = h.hermitian();
+            let mut gram = hh.mul(h);
+            gram.add_diag(nv);
+            let w = gram.inverse().ok_or(DetectError::SingularChannel)?.mul(&hh);
+            let wh = w.mul(h);
+            let mut mu = Vec::with_capacity(n_ss);
+            let mut nv_eff = Vec::with_capacity(n_ss);
+            for s in 0..n_ss {
+                let m = wh[(s, s)];
+                let m_mag = m.abs().max(1e-15);
+                let mut interf = 0.0;
+                for j in 0..n_ss {
+                    if j != s {
+                        interf += wh[(s, j)].norm_sqr();
+                    }
+                }
+                let mut wnorm = 0.0;
+                for r in 0..n_rx {
+                    wnorm += w[(s, r)].norm_sqr();
+                }
+                mu.push(m);
+                nv_eff.push(((interf + nv * wnorm) / (m_mag * m_mag)).max(1e-15));
+            }
+            Ok(Prepared::Linear { w, mu, nv_eff, modulation })
+        }
+        DetectorKind::Ml => {
+            let points = modulation.constellation();
+            let m = points.len();
+            let n_hyp = m.pow(n_ss as u32);
+            let mut pred = Vec::with_capacity(n_hyp);
+            let mut idx = vec![0usize; n_ss];
+            for hyp in 0..n_hyp {
+                let mut rem = hyp;
+                for slot in idx.iter_mut() {
+                    *slot = rem % m;
+                    rem /= m;
+                }
+                let mut row = Vec::with_capacity(n_rx);
+                for r in 0..n_rx {
+                    let mut p = Complex64::ZERO;
+                    for (s, &pi) in idx.iter().enumerate() {
+                        p += h[(r, s)] * points[pi];
+                    }
+                    row.push(p);
+                }
+                pred.push(row);
+            }
+            Ok(Prepared::Ml { pred, points, n_ss, noise_var: nv, modulation })
+        }
+    }
+}
+
+impl Prepared {
+    /// Detects one received vector (one symbol's samples on this carrier).
+    pub fn apply(&self, y: &[Complex64]) -> Vec<StreamDecision> {
+        match self {
+            Prepared::Linear { w, mu, nv_eff, modulation } => {
+                assert_eq!(y.len(), w.cols(), "one observation per RX antenna");
+                let x = w.mul_vec(y);
+                x.iter()
+                    .zip(mu.iter().zip(nv_eff))
+                    .map(|(&xs, (&m, &nv))| {
+                        let sym = xs / m;
+                        StreamDecision { symbol: sym, llrs: modulation.demap_soft(sym, nv) }
+                    })
+                    .collect()
+            }
+            Prepared::Ml { pred, points, n_ss, noise_var, modulation } => {
+                let m = points.len();
+                let bits_per = modulation.bits_per_symbol();
+                let mut best = f64::INFINITY;
+                let mut best_hyp = 0usize;
+                let mut min0 = vec![vec![f64::INFINITY; bits_per]; *n_ss];
+                let mut min1 = vec![vec![f64::INFINITY; bits_per]; *n_ss];
+                for (hyp, row) in pred.iter().enumerate() {
+                    let mut d = 0.0;
+                    for (yr, pr) in y.iter().zip(row) {
+                        d += yr.dist_sqr(*pr);
+                    }
+                    if d < best {
+                        best = d;
+                        best_hyp = hyp;
+                    }
+                    let mut rem = hyp;
+                    for s in 0..*n_ss {
+                        let pi = rem % m;
+                        rem /= m;
+                        for b in 0..bits_per {
+                            if (pi >> b) & 1 == 0 {
+                                if d < min0[s][b] {
+                                    min0[s][b] = d;
+                                }
+                            } else if d < min1[s][b] {
+                                min1[s][b] = d;
+                            }
+                        }
+                    }
+                }
+                (0..*n_ss)
+                    .map(|s| {
+                        let pi = best_hyp / m.pow(s as u32) % m;
+                        StreamDecision {
+                            symbol: points[pi],
+                            llrs: (0..bits_per)
+                                .map(|b| (min1[s][b] - min0[s][b]) / noise_var)
+                                .collect(),
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimonet_channel::noise::crandn;
+    use mimonet_dsp::complex::C64;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const KINDS: [DetectorKind; 3] = [DetectorKind::Zf, DetectorKind::Mmse, DetectorKind::Ml];
+
+    fn random_symbols(rng: &mut ChaCha8Rng, m: Modulation, n: usize) -> (Vec<u8>, Vec<C64>) {
+        let bits: Vec<u8> = (0..n * m.bits_per_symbol()).map(|_| rng.gen_range(0..2u8)).collect();
+        let syms = m.map(&bits);
+        (bits, syms)
+    }
+
+    fn well_conditioned_h() -> CMat {
+        CMat::new(
+            2,
+            2,
+            vec![
+                C64::new(1.0, 0.2),
+                C64::new(-0.3, 0.4),
+                C64::new(0.2, -0.5),
+                C64::new(0.9, -0.1),
+            ],
+        )
+    }
+
+    #[test]
+    fn all_detectors_recover_noiseless_2x2() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let h = well_conditioned_h();
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let (bits, syms) = random_symbols(&mut rng, m, 2);
+            let y = h.mul_vec(&syms);
+            for kind in KINDS {
+                let dec = detect(kind, &h, &y, 1e-6, m).unwrap();
+                for s in 0..2 {
+                    let got = m.demap_hard(dec[s].symbol);
+                    let want = &bits[s * m.bits_per_symbol()..(s + 1) * m.bits_per_symbol()];
+                    assert_eq!(got, want, "{kind} {m} stream {s}");
+                    // LLR signs agree with bits.
+                    for (b, l) in want.iter().zip(&dec[s].llrs) {
+                        assert!((*b == 0) == (*l > 0.0), "{kind} {m}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn siso_detection_reduces_to_equalization() {
+        let h = CMat::new(1, 1, vec![C64::new(0.5, 0.5)]);
+        let x = Modulation::Qpsk.map(&[1, 0]);
+        let y = h.mul_vec(&x);
+        for kind in KINDS {
+            let dec = detect(kind, &h, &y, 1e-4, Modulation::Qpsk).unwrap();
+            assert!(dec[0].symbol.dist(x[0]) < 1e-3, "{kind}");
+        }
+    }
+
+    #[test]
+    fn zf_rejects_singular_channel() {
+        let h = CMat::new(2, 2, vec![C64::ONE, C64::ONE, C64::ONE, C64::ONE]);
+        let y = [C64::ONE, C64::ONE];
+        assert!(matches!(
+            detect(DetectorKind::Zf, &h, &y, 0.1, Modulation::Bpsk),
+            Err(DetectError::SingularChannel)
+        ));
+        // MMSE regularizes and survives.
+        assert!(detect(DetectorKind::Mmse, &h, &y, 0.1, Modulation::Bpsk).is_ok());
+        // ML always works.
+        assert!(detect(DetectorKind::Ml, &h, &y, 0.1, Modulation::Bpsk).is_ok());
+    }
+
+    /// Monte-Carlo BER comparison on an ill-conditioned channel: ML must
+    /// beat ZF, and MMSE must sit in between (or tie ML).
+    #[test]
+    fn detector_ordering_on_hard_channel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // Nearly rank-deficient channel.
+        let h = CMat::new(
+            2,
+            2,
+            vec![
+                C64::new(1.0, 0.0),
+                C64::new(0.95, 0.05),
+                C64::new(0.7, -0.2),
+                C64::new(0.75, -0.15),
+            ],
+        );
+        let m = Modulation::Qpsk;
+        let nv: f64 = 0.05;
+        let mut errs = [0usize; 3];
+        let trials = 2000;
+        for _ in 0..trials {
+            let (bits, syms) = random_symbols(&mut rng, m, 2);
+            let mut y = h.mul_vec(&syms);
+            for v in &mut y {
+                *v += crandn(&mut rng).scale(nv.sqrt());
+            }
+            for (ki, kind) in KINDS.iter().enumerate() {
+                let dec = detect(*kind, &h, &y, nv, m).unwrap();
+                for s in 0..2 {
+                    let got = m.demap_hard(dec[s].symbol);
+                    let want = &bits[s * 2..s * 2 + 2];
+                    errs[ki] += got.iter().zip(want).filter(|(a, b)| a != b).count();
+                }
+            }
+        }
+        let [zf, mmse, ml] = errs;
+        assert!(ml < zf, "ML {ml} must beat ZF {zf}");
+        assert!(mmse <= zf, "MMSE {mmse} must not lose to ZF {zf}");
+        assert!(ml <= mmse, "ML {ml} must not lose to MMSE {mmse}");
+        assert!(zf > 0, "channel must actually be stressful");
+    }
+
+    #[test]
+    fn mmse_unbiasing_centers_constellation() {
+        // At moderate noise the unbiased MMSE output should average to the
+        // transmitted symbol, not a shrunk version of it.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let h = well_conditioned_h();
+        let m = Modulation::Bpsk;
+        let nv: f64 = 0.5;
+        let mut mean = C64::ZERO;
+        let trials = 3000;
+        for _ in 0..trials {
+            // Stream 0 fixed at +1; stream 1 random so its residual
+            // interference averages out and only stream 0's bias remains.
+            let other = if rng.gen_bool(0.5) { 1 } else { 0 };
+            let tx = m.map(&[1, other]);
+            let mut y = h.mul_vec(&tx);
+            for v in &mut y {
+                *v += crandn(&mut rng).scale(nv.sqrt());
+            }
+            let dec = detect(DetectorKind::Mmse, &h, &y, nv, m).unwrap();
+            mean += dec[0].symbol;
+        }
+        mean = mean.scale(1.0 / trials as f64);
+        let want = C64::ONE;
+        assert!(mean.dist(want) < 0.07, "biased mean {mean:?} vs {want:?}");
+    }
+
+    #[test]
+    fn llr_magnitude_grows_with_snr() {
+        let h = well_conditioned_h();
+        let m = Modulation::Qpsk;
+        let x = m.map(&[0, 1, 1, 0]);
+        let y = h.mul_vec(&x);
+        for kind in KINDS {
+            let lo = detect(kind, &h, &y, 0.5, m).unwrap();
+            let hi = detect(kind, &h, &y, 0.05, m).unwrap();
+            assert!(
+                hi[0].llrs[0].abs() > lo[0].llrs[0].abs(),
+                "{kind}: hi {} lo {}",
+                hi[0].llrs[0],
+                lo[0].llrs[0]
+            );
+        }
+    }
+
+    #[test]
+    fn ml_llr_is_max_log_exact_for_bpsk_siso() {
+        let h = CMat::new(1, 1, vec![C64::ONE]);
+        let y = [C64::new(0.3, 0.0)];
+        let nv = 0.2;
+        let dec = detect(DetectorKind::Ml, &h, &y, nv, Modulation::Bpsk).unwrap();
+        // min1 = |0.3-1|^2 = 0.49, min0 = |0.3+1|^2 = 1.69;
+        // llr = (0.49-1.69)/0.2 = -6.
+        assert!((dec[0].llrs[0] + 6.0).abs() < 1e-9, "llr {}", dec[0].llrs[0]);
+    }
+
+    #[test]
+    fn prepared_detectors_match_one_shot() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let h = well_conditioned_h();
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16] {
+            for kind in KINDS {
+                let prepared = prepare(kind, &h, 0.07, m).unwrap();
+                for _ in 0..30 {
+                    let (_, syms) = random_symbols(&mut rng, m, 2);
+                    let mut y = h.mul_vec(&syms);
+                    for v in &mut y {
+                        *v += crandn(&mut rng).scale(0.07f64.sqrt());
+                    }
+                    let a = detect(kind, &h, &y, 0.07, m).unwrap();
+                    let b = prepared.apply(&y);
+                    for (da, db) in a.iter().zip(&b) {
+                        assert!(da.symbol.dist(db.symbol) < 1e-9, "{kind} {m}");
+                        for (la, lb) in da.llrs.iter().zip(&db.llrs) {
+                            assert!(
+                                (la - lb).abs() <= 1e-9 * (1.0 + la.abs()),
+                                "{kind} {m}: {la} vs {lb}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_rejects_singular_zf() {
+        let h = CMat::new(2, 2, vec![C64::ONE, C64::ONE, C64::ONE, C64::ONE]);
+        assert!(matches!(
+            prepare(DetectorKind::Zf, &h, 0.1, Modulation::Bpsk),
+            Err(DetectError::SingularChannel)
+        ));
+        assert!(prepare(DetectorKind::Mmse, &h, 0.1, Modulation::Bpsk).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "one observation per RX antenna")]
+    fn wrong_observation_count_panics() {
+        let h = well_conditioned_h();
+        let _ = detect(DetectorKind::Zf, &h, &[C64::ONE], 0.1, Modulation::Bpsk);
+    }
+}

@@ -1,0 +1,24 @@
+//! # mimonet-detect
+//!
+//! Estimation and detection for MIMONet-rs:
+//!
+//! * [`linalg`] — small complex matrices (no external LA crate),
+//! * [`chanest`] — LS channel estimation from L-LTF (legacy) and HT-LTF
+//!   (MIMO, P-matrix despreading) with optional frequency smoothing,
+//! * [`detectors`] — ZF / MMSE / ML spatial-stream detection with
+//!   per-bit LLR output,
+//! * [`snr`] — preamble-based and EVM-based fine-grained SNR estimation,
+//! * [`stbc`] — Alamouti space-time block coding (transmit diversity),
+//!   the counterpart MIMO technique to spatial multiplexing.
+
+pub mod chanest;
+pub mod detectors;
+pub mod linalg;
+pub mod snr;
+pub mod stbc;
+
+pub use chanest::{estimate_mimo_htltf, estimate_siso_lltf, smooth_frequency, ChannelEstimate};
+pub use detectors::{detect, prepare, DetectError, DetectorKind, Prepared, StreamDecision};
+pub use linalg::CMat;
+pub use snr::{snr_from_ltf_mimo, snr_from_ltf_repetitions, EvmSnrEstimator};
+pub use stbc::{alamouti_decode, alamouti_encode, StbcDecision};

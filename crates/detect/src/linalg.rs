@@ -1,0 +1,315 @@
+//! Small dense complex matrices for MIMO detection.
+//!
+//! MIMO dimensions here are 1–4, so a simple heap-backed row-major matrix
+//! with Gauss–Jordan inversion (partial pivoting) is both adequate and easy
+//! to audit. No external linear-algebra crate is used.
+
+use mimonet_dsp::complex::Complex64;
+
+/// A dense complex matrix, row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMat {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    pub fn new(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// The `n × n` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::new(rows, cols, vec![Complex64::ZERO; rows * cols])
+    }
+
+    /// The identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn mul(&self, other: &CMat) -> CMat {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = CMat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(self.cols, v.len(), "vector length must equal cols");
+        (0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self[(i, j)] * v[j])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Conjugate transpose.
+    pub fn hermitian(&self) -> CMat {
+        let mut out = CMat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Adds `lambda` to each diagonal entry (in place), the MMSE
+    /// regularization.
+    pub fn add_diag(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += Complex64::from_re(lambda);
+        }
+    }
+
+    /// Inverse by Gauss–Jordan with partial pivoting. Returns `None` for
+    /// singular (or numerically singular) matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<CMat> {
+        assert_eq!(self.rows, self.cols, "inverse requires a square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = CMat::identity(n);
+        for col in 0..n {
+            // Pivot: largest magnitude in this column at or below the
+            // diagonal.
+            let pivot = (col..n)
+                .max_by(|&i, &j| {
+                    a[(i, col)]
+                        .norm_sqr()
+                        .partial_cmp(&a[(j, col)].norm_sqr())
+                        .unwrap()
+                })
+                .unwrap();
+            if a[(pivot, col)].norm_sqr() < 1e-24 {
+                return None;
+            }
+            if pivot != col {
+                for j in 0..n {
+                    let tmp = a[(col, j)];
+                    a[(col, j)] = a[(pivot, j)];
+                    a[(pivot, j)] = tmp;
+                    let tmp = inv[(col, j)];
+                    inv[(col, j)] = inv[(pivot, j)];
+                    inv[(pivot, j)] = tmp;
+                }
+            }
+            let d = a[(col, col)].inv();
+            for j in 0..n {
+                a[(col, j)] *= d;
+                inv[(col, j)] *= d;
+            }
+            for i in 0..n {
+                if i == col {
+                    continue;
+                }
+                let f = a[(i, col)];
+                if f == Complex64::ZERO {
+                    continue;
+                }
+                for j in 0..n {
+                    let s = a[(col, j)];
+                    a[(i, j)] -= f * s;
+                    let s = inv[(col, j)];
+                    inv[(i, j)] -= f * s;
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Frobenius norm squared.
+    pub fn frobenius_sqr(&self) -> f64 {
+        self.data.iter().map(|c| c.norm_sqr()).sum()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMat {
+    type Output = Complex64;
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimonet_dsp::complex::C64;
+
+    fn c(re: f64, im: f64) -> C64 {
+        C64::new(re, im)
+    }
+
+    fn assert_mat_close(a: &CMat, b: &CMat, tol: f64) {
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert!(
+                    a[(i, j)].dist(b[(i, j)]) < tol,
+                    "({i},{j}): {:?} vs {:?}",
+                    a[(i, j)],
+                    b[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let m = CMat::new(2, 2, vec![c(1.0, 2.0), c(-0.5, 0.0), c(0.0, 1.0), c(3.0, -1.0)]);
+        assert_mat_close(&m.mul(&CMat::identity(2)), &m, 1e-12);
+        assert_mat_close(&CMat::identity(2).mul(&m), &m, 1e-12);
+    }
+
+    #[test]
+    fn known_product() {
+        // [[1, i], [0, 2]] * [[1, 0], [1, 1]] = [[1+i, i], [2, 2]]
+        let a = CMat::new(2, 2, vec![C64::ONE, C64::I, C64::ZERO, c(2.0, 0.0)]);
+        let b = CMat::new(2, 2, vec![C64::ONE, C64::ZERO, C64::ONE, C64::ONE]);
+        let p = a.mul(&b);
+        assert!(p[(0, 0)].dist(c(1.0, 1.0)) < 1e-12);
+        assert!(p[(0, 1)].dist(C64::I) < 1e-12);
+        assert!(p[(1, 0)].dist(c(2.0, 0.0)) < 1e-12);
+        assert!(p[(1, 1)].dist(c(2.0, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn hermitian_properties() {
+        let m = CMat::new(2, 3, (0..6).map(|i| c(i as f64, -(i as f64) * 0.5)).collect());
+        let h = m.hermitian();
+        assert_eq!(h.rows(), 3);
+        assert_eq!(h.cols(), 2);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(h[(j, i)], m[(i, j)].conj());
+            }
+        }
+        // (AB)^H = B^H A^H
+        let a = CMat::new(2, 2, vec![c(1.0, 1.0), c(0.0, 2.0), c(-1.0, 0.5), c(2.0, 0.0)]);
+        let b = CMat::new(2, 2, vec![c(0.5, -1.0), C64::ONE, C64::I, c(1.0, 1.0)]);
+        assert_mat_close(&a.mul(&b).hermitian(), &b.hermitian().mul(&a.hermitian()), 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = CMat::new(
+            3,
+            3,
+            vec![
+                c(2.0, 1.0), c(0.0, -1.0), c(1.0, 0.0),
+                c(1.0, 0.0), c(3.0, 0.5), c(0.0, 0.0),
+                c(0.0, 2.0), c(1.0, -1.0), c(4.0, 0.0),
+            ],
+        );
+        let inv = m.inverse().expect("invertible");
+        assert_mat_close(&m.mul(&inv), &CMat::identity(3), 1e-10);
+        assert_mat_close(&inv.mul(&m), &CMat::identity(3), 1e-10);
+    }
+
+    #[test]
+    fn inverse_of_diagonal() {
+        let m = CMat::new(2, 2, vec![c(2.0, 0.0), C64::ZERO, C64::ZERO, c(0.0, 4.0)]);
+        let inv = m.inverse().unwrap();
+        assert!(inv[(0, 0)].dist(c(0.5, 0.0)) < 1e-12);
+        assert!(inv[(1, 1)].dist(c(0.0, -0.25)) < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let m = CMat::new(2, 2, vec![C64::ONE, c(2.0, 0.0), c(2.0, 0.0), c(4.0, 0.0)]);
+        assert!(m.inverse().is_none());
+        assert!(CMat::zeros(3, 3).inverse().is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let m = CMat::new(2, 2, vec![C64::ZERO, C64::ONE, C64::ONE, C64::ZERO]);
+        let inv = m.inverse().unwrap();
+        assert_mat_close(&m.mul(&inv), &CMat::identity(2), 1e-12);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let m = CMat::new(2, 3, (0..6).map(|i| c(i as f64 * 0.3, 1.0 - i as f64)).collect());
+        let v = vec![c(1.0, 0.0), c(0.0, 1.0), c(-1.0, 2.0)];
+        let as_mat = CMat::new(3, 1, v.clone());
+        let want = m.mul(&as_mat);
+        let got = m.mul_vec(&v);
+        for i in 0..2 {
+            assert!(got[i].dist(want[(i, 0)]) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn add_diag_regularizes() {
+        let mut m = CMat::zeros(2, 2);
+        m.add_diag(0.5);
+        assert!(m[(0, 0)].dist(c(0.5, 0.0)) < 1e-12);
+        assert!(m[(1, 1)].dist(c(0.5, 0.0)) < 1e-12);
+        assert!(m.inverse().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        CMat::identity(2).mul(&CMat::identity(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn nonsquare_inverse_panics() {
+        CMat::zeros(2, 3).inverse();
+    }
+}

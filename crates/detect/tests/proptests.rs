@@ -1,0 +1,134 @@
+//! Property-based tests of the linear algebra and detection invariants.
+
+use mimonet_detect::linalg::CMat;
+use mimonet_detect::{detect, DetectorKind};
+use mimonet_dsp::complex::Complex64;
+use mimonet_frame::modulation::Modulation;
+use proptest::prelude::*;
+
+fn c() -> impl Strategy<Value = Complex64> {
+    (-5.0..5.0f64, -5.0..5.0f64).prop_map(|(re, im)| Complex64::new(re, im))
+}
+
+fn mat(n: usize) -> impl Strategy<Value = CMat> {
+    prop::collection::vec(c(), n * n).prop_map(move |d| CMat::new(n, n, d))
+}
+
+proptest! {
+    #[test]
+    fn matmul_associativity(a in mat(2), b in mat(2), d in mat(2)) {
+        let lhs = a.mul(&b).mul(&d);
+        let rhs = a.mul(&b.mul(&d));
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!(lhs[(i, j)].dist(rhs[(i, j)]) <= 1e-6 * (1.0 + lhs[(i, j)].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_of_product(a in mat(3), b in mat(3)) {
+        let lhs = a.mul(&b).hermitian();
+        let rhs = b.hermitian().mul(&a.hermitian());
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!(lhs[(i, j)].dist(rhs[(i, j)]) < 1e-6 * (1.0 + lhs[(i, j)].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip_when_well_conditioned(a in mat(2)) {
+        // Regularize to guarantee invertibility (diagonally dominant).
+        let mut m = a;
+        m.add_diag(20.0);
+        let inv = m.inverse().expect("diagonally dominant");
+        let id = m.mul(&inv);
+        for i in 0..2 {
+            for j in 0..2 {
+                let want = if i == j { Complex64::ONE } else { Complex64::ZERO };
+                prop_assert!(id[(i, j)].dist(want) < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_vec_is_linear(a in mat(2), x in prop::collection::vec(c(), 2), k in c()) {
+        let scaled: Vec<Complex64> = x.iter().map(|&v| v * k).collect();
+        let ax = a.mul_vec(&x);
+        let ascaled = a.mul_vec(&scaled);
+        for (u, v) in ax.iter().zip(&ascaled) {
+            prop_assert!((*u * k).dist(*v) <= 1e-6 * (1.0 + v.abs()));
+        }
+    }
+}
+
+fn modulation() -> impl Strategy<Value = Modulation> {
+    prop_oneof![
+        Just(Modulation::Bpsk),
+        Just(Modulation::Qpsk),
+        Just(Modulation::Qam16),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_detectors_invert_clean_well_conditioned_channels(
+        m in modulation(),
+        seed in any::<u64>(),
+        diag in 1.0..3.0f64,
+        offdiag in -0.3..0.3f64,
+    ) {
+        // Channel = strong diagonal + weak coupling: always invertible.
+        let h = CMat::new(2, 2, vec![
+            Complex64::new(diag, 0.2),
+            Complex64::new(offdiag, -offdiag),
+            Complex64::new(-offdiag, offdiag),
+            Complex64::new(diag, -0.1),
+        ]);
+        let mut x = seed | 1;
+        let bits: Vec<u8> = (0..2 * m.bits_per_symbol()).map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x & 1) as u8
+        }).collect();
+        let tx = m.map(&bits);
+        let y = h.mul_vec(&tx);
+        for kind in [DetectorKind::Zf, DetectorKind::Mmse, DetectorKind::Ml] {
+            let dec = detect(kind, &h, &y, 1e-6, m).unwrap();
+            for (s, d) in dec.iter().enumerate() {
+                let got = m.demap_hard(d.symbol);
+                let want = &bits[s * m.bits_per_symbol()..(s + 1) * m.bits_per_symbol()];
+                prop_assert_eq!(got.as_slice(), want, "{} {:?}", kind, m);
+            }
+        }
+    }
+
+    #[test]
+    fn llr_signs_never_contradict_clean_symbols(
+        m in modulation(),
+        seed in any::<u64>(),
+    ) {
+        let h = CMat::identity(2);
+        let mut x = seed | 1;
+        let bits: Vec<u8> = (0..2 * m.bits_per_symbol()).map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x & 1) as u8
+        }).collect();
+        let y = h.mul_vec(&m.map(&bits));
+        for kind in [DetectorKind::Zf, DetectorKind::Mmse, DetectorKind::Ml] {
+            let dec = detect(kind, &h, &y, 0.01, m).unwrap();
+            for (s, d) in dec.iter().enumerate() {
+                for (i, l) in d.llrs.iter().enumerate() {
+                    let bit = bits[s * m.bits_per_symbol() + i];
+                    prop_assert!((bit == 0) == (*l > 0.0), "{kind} bit {bit} llr {l}");
+                }
+            }
+        }
+    }
+}

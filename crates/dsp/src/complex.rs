@@ -1,0 +1,414 @@
+//! Complex arithmetic for baseband signal processing.
+//!
+//! MIMONet-rs deliberately avoids external numeric crates; this module
+//! provides the small set of complex operations the transceiver needs.
+//! Samples are `f64` pairs (see DESIGN.md, "Numeric conventions").
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components, used for all baseband samples
+/// and frequency-domain symbols.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real (in-phase) component.
+    pub re: f64,
+    /// Imaginary (quadrature) component.
+    pub im: f64,
+}
+
+/// Shorthand alias used throughout the workspace.
+pub type C64 = Complex64;
+
+impl Complex64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar form: `r * exp(i * theta)`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Unit phasor `exp(i * theta)`. The workhorse of CFO application
+    /// and correction.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|^2`. Cheaper than [`Self::abs`]; prefer it for
+    /// energy computations and comparisons.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase angle in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`. Returns NaN components for zero input,
+    /// matching IEEE division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Euclidean distance to another point in the complex plane.
+    #[inline]
+    pub fn dist(self, other: Self) -> f64 {
+        (self - other).abs()
+    }
+
+    /// Squared Euclidean distance; prefer this for nearest-point searches
+    /// (ML detection, hard slicing).
+    #[inline]
+    pub fn dist_sqr(self, other: Self) -> f64 {
+        (self - other).norm_sqr()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z * w^-1
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = self.scale(rhs);
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex64> for Complex64 {
+    fn sum<I: Iterator<Item = &'a Complex64>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + *b)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::from_re(re)
+    }
+}
+
+impl From<(f64, f64)> for Complex64 {
+    #[inline]
+    fn from((re, im): (f64, f64)) -> Self {
+        Self::new(re, im)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Sum of squared magnitudes of a slice — the total energy of a signal
+/// segment.
+pub fn energy(xs: &[Complex64]) -> f64 {
+    xs.iter().map(|x| x.norm_sqr()).sum()
+}
+
+/// Mean squared magnitude of a slice — the average power of a signal
+/// segment. Returns 0.0 for an empty slice.
+pub fn mean_power(xs: &[Complex64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        energy(xs) / xs.len() as f64
+    }
+}
+
+/// Inner product `sum_k a[k] * conj(b[k])` over the common prefix of the two
+/// slices. This convention (conjugate on the second argument) matches the
+/// correlation sums in the Van de Beek estimator.
+pub fn dot_conj(a: &[Complex64], b: &[Complex64]) -> Complex64 {
+    a.iter()
+        .zip(b.iter())
+        .fold(Complex64::ZERO, |acc, (&x, &y)| acc + x * y.conj())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = C64::new(3.0, -4.0);
+        assert_eq!(z + C64::ZERO, z);
+        assert_eq!(z * C64::ONE, z);
+        assert_eq!(z - z, C64::ZERO);
+        assert_eq!(-z, C64::new(-3.0, 4.0));
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        // (1+2i)(3-i) = 3 - i + 6i - 2i^2 = 5 + 5i
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C64::new(2.5, -1.5);
+        let b = C64::new(-0.5, 3.0);
+        let q = (a * b) / b;
+        assert!(close(q.re, a.re) && close(q.im, a.im));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.conj(), C64::new(3.0, -4.0));
+        assert!(close(z.norm_sqr(), 25.0));
+        assert!(close(z.abs(), 5.0));
+        assert!(close((z * z.conj()).re, 25.0));
+        assert!(close((z * z.conj()).im, 0.0));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = C64::from_polar(2.0, 0.7);
+        assert!(close(z.abs(), 2.0));
+        assert!(close(z.arg(), 0.7));
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..32 {
+            let th = k as f64 * 0.41 - 6.0;
+            assert!(close(C64::cis(th).abs(), 1.0));
+        }
+    }
+
+    #[test]
+    fn inv_of_zero_is_nan() {
+        assert!(C64::ZERO.inv().is_nan());
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let z = C64::new(1.0, -2.0);
+        assert_eq!(z * 2.0, C64::new(2.0, -4.0));
+        assert_eq!(2.0 * z, z * 2.0);
+        assert_eq!(z / 2.0, C64::new(0.5, -1.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let xs = [C64::new(1.0, 1.0), C64::new(2.0, -3.0), C64::new(-1.0, 0.5)];
+        let s: C64 = xs.iter().sum();
+        assert_eq!(s, C64::new(2.0, -1.5));
+    }
+
+    #[test]
+    fn energy_and_power() {
+        let xs = [C64::new(1.0, 0.0), C64::new(0.0, 2.0)];
+        assert!(close(energy(&xs), 5.0));
+        assert!(close(mean_power(&xs), 2.5));
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+
+    #[test]
+    fn dot_conj_convention() {
+        // <a, b> = sum a conj(b); for a = i*b this must be i*|b|^2.
+        let b = [C64::new(1.0, 2.0), C64::new(-0.5, 0.25)];
+        let a: Vec<C64> = b.iter().map(|&x| C64::I * x).collect();
+        let d = dot_conj(&a, &b);
+        let e = energy(&b);
+        assert!(close(d.re, 0.0));
+        assert!(close(d.im, e));
+    }
+
+    #[test]
+    fn dist_metrics_agree() {
+        let a = C64::new(1.0, 1.0);
+        let b = C64::new(4.0, 5.0);
+        assert!(close(a.dist(b), 5.0));
+        assert!(close(a.dist_sqr(b), 25.0));
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", C64::new(1.0, -2.0)), "1-2i");
+        assert_eq!(format!("{:?}", C64::new(1.0, 2.0)), "1+2i");
+    }
+}

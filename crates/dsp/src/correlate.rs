@@ -1,0 +1,335 @@
+//! Correlation primitives used by packet detection and fine timing.
+//!
+//! Two families live here:
+//!
+//! * **Sliding cross-correlation** against a known reference (matched
+//!   filtering against a preamble) — [`cross_correlate`] and the normalized
+//!   variant used for detection thresholds.
+//! * **Lagged autocorrelation** of a signal with a delayed copy of itself —
+//!   the core of Schmidl–Cox-style detectors and the Van de Beek metric;
+//!   [`SlidingAutocorrelator`] maintains the running sums in O(1) per sample.
+
+use crate::complex::{dot_conj, Complex64};
+
+/// Cross-correlates `signal` against `reference` at every alignment where the
+/// reference fits entirely inside the signal.
+///
+/// Output length is `signal.len() - reference.len() + 1`; entry `d` is
+/// `sum_k signal[d+k] * conj(reference[k])`.
+///
+/// Returns an empty vector when the reference is longer than the signal.
+pub fn cross_correlate(signal: &[Complex64], reference: &[Complex64]) -> Vec<Complex64> {
+    if reference.is_empty() || reference.len() > signal.len() {
+        return Vec::new();
+    }
+    let n = signal.len() - reference.len() + 1;
+    (0..n)
+        .map(|d| dot_conj(&signal[d..d + reference.len()], reference))
+        .collect()
+}
+
+/// Normalized cross-correlation magnitude in `[0, 1]`:
+/// `|<s_d, r>| / (||s_d|| * ||r||)`, where `s_d` is the signal window at
+/// offset `d`. Windows with (near-)zero energy produce 0.
+pub fn normalized_cross_correlate(signal: &[Complex64], reference: &[Complex64]) -> Vec<f64> {
+    if reference.is_empty() || reference.len() > signal.len() {
+        return Vec::new();
+    }
+    let r_energy: f64 = reference.iter().map(|x| x.norm_sqr()).sum();
+    if r_energy <= f64::EPSILON {
+        return vec![0.0; signal.len() - reference.len() + 1];
+    }
+    let n = signal.len() - reference.len() + 1;
+    (0..n)
+        .map(|d| {
+            let win = &signal[d..d + reference.len()];
+            let s_energy: f64 = win.iter().map(|x| x.norm_sqr()).sum();
+            if s_energy <= f64::EPSILON {
+                0.0
+            } else {
+                dot_conj(win, reference).abs() / (s_energy * r_energy).sqrt()
+            }
+        })
+        .collect()
+}
+
+/// Index of the maximum value in a real slice; `None` for empty input.
+/// Ties resolve to the earliest index, matching "first peak wins" detection
+/// semantics.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in xs.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Running lagged autocorrelation over a sliding window.
+///
+/// At each pushed sample the correlator maintains, in O(1):
+///
+/// * `gamma = sum_{k in window} x[k] * conj(x[k+lag])` — the complex
+///   correlation between the window and its lag-delayed copy, and
+/// * `phi = 1/2 * sum_{k in window} (|x[k]|^2 + |x[k+lag]|^2)` — the
+///   corresponding energy term.
+///
+/// These are exactly the Γ(θ) and Φ(θ) sums of the Van de Beek ML estimator
+/// (and of Schmidl–Cox when `lag == window`). The caller defines which sample
+/// index the window refers to; see `mimonet-sync` for usage.
+#[derive(Clone, Debug)]
+pub struct SlidingAutocorrelator {
+    lag: usize,
+    window: usize,
+    history: Vec<Complex64>, // ring buffer of the last `lag + window` samples
+    head: usize,             // next write slot
+    filled: usize,
+    gamma: Complex64,
+    phi: f64,
+}
+
+impl SlidingAutocorrelator {
+    /// Creates a correlator with the given delay `lag` and summation window
+    /// length `window` (both in samples, both nonzero).
+    pub fn new(lag: usize, window: usize) -> Self {
+        assert!(lag > 0 && window > 0, "lag and window must be nonzero");
+        Self {
+            lag,
+            window,
+            history: vec![Complex64::ZERO; lag + window],
+            head: 0,
+            filled: 0,
+            gamma: Complex64::ZERO,
+            phi: 0.0,
+        }
+    }
+
+    /// Number of samples that must be pushed before outputs are valid.
+    pub fn warmup(&self) -> usize {
+        self.lag + self.window
+    }
+
+    /// `true` once enough samples have been pushed for `gamma`/`phi` to cover
+    /// a full window.
+    pub fn is_warm(&self) -> bool {
+        self.filled >= self.warmup()
+    }
+
+    fn at(&self, age: usize) -> Complex64 {
+        // age 0 = most recently pushed sample.
+        let len = self.history.len();
+        self.history[(self.head + len - 1 - age) % len]
+    }
+
+    /// Pushes one sample and updates the running sums.
+    ///
+    /// After pushing sample `x[n]`, the window covers pairs
+    /// `(x[n - lag - window + 1 + k], x[n - window + 1 + k])` for
+    /// `k in 0..window`; i.e. the *newest* pair is `(x[n-lag], x[n])`.
+    pub fn push(&mut self, x: Complex64) {
+        // The pair leaving the window (only once warm): the oldest pair is
+        // (x[n - lag - window + 1], x[n - window + 1]) *before* this push.
+        if self.is_warm() {
+            let old_early = self.at(self.lag + self.window - 1);
+            let old_late = self.at(self.window - 1);
+            self.gamma -= old_early * old_late.conj();
+            self.phi -= 0.5 * (old_early.norm_sqr() + old_late.norm_sqr());
+        }
+
+        self.history[self.head] = x;
+        self.head = (self.head + 1) % self.history.len();
+        self.filled = (self.filled + 1).min(self.warmup() + 1);
+
+        // The pair entering: (x[n - lag], x[n]) where x[n] = just pushed.
+        if self.filled > self.lag {
+            let early = self.at(self.lag);
+            let late = x;
+            self.gamma += early * late.conj();
+            self.phi += 0.5 * (early.norm_sqr() + late.norm_sqr());
+        }
+    }
+
+    /// Current complex correlation sum Γ. Valid once [`Self::is_warm`].
+    pub fn gamma(&self) -> Complex64 {
+        self.gamma
+    }
+
+    /// Current energy sum Φ. Valid once [`Self::is_warm`].
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    /// Normalized correlation magnitude `|Γ| / Φ` in `[0, 1]` (up to noise);
+    /// the standard plateau/peak detection metric. Returns 0 when Φ is
+    /// negligible.
+    pub fn metric(&self) -> f64 {
+        if self.phi <= f64::EPSILON {
+            0.0
+        } else {
+            self.gamma.abs() / self.phi
+        }
+    }
+
+    /// Resets all state, as after `new`.
+    pub fn reset(&mut self) {
+        self.history.fill(Complex64::ZERO);
+        self.head = 0;
+        self.filled = 0;
+        self.gamma = Complex64::ZERO;
+        self.phi = 0.0;
+    }
+}
+
+/// Batch lagged autocorrelation: for each position where a full window of
+/// pairs is available, returns `(gamma, phi)` as defined on
+/// [`SlidingAutocorrelator`] — i.e. `gamma = sum_k x[i+k] * conj(x[i+k+lag])`,
+/// the Van de Beek convention. Output index `i` covers pairs
+/// `(x[i+k], x[i+k+lag])` for `k in 0..window`.
+pub fn lagged_autocorrelation(
+    x: &[Complex64],
+    lag: usize,
+    window: usize,
+) -> Vec<(Complex64, f64)> {
+    if x.len() < lag + window {
+        return Vec::new();
+    }
+    let n = x.len() - lag - window + 1;
+    let mut out = Vec::with_capacity(n);
+    let mut corr = SlidingAutocorrelator::new(lag, window);
+    for (i, &s) in x.iter().enumerate() {
+        corr.push(s);
+        if i + 1 >= lag + window {
+            out.push((corr.gamma(), corr.phi()));
+        }
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+
+    #[test]
+    fn cross_correlation_peaks_at_embedded_reference() {
+        let reference: Vec<C64> = (0..16)
+            .map(|i| C64::cis(i as f64 * 1.1) * (1.0 + 0.1 * i as f64))
+            .collect();
+        let mut signal = vec![C64::new(0.01, -0.02); 100];
+        let offset = 37;
+        for (k, &r) in reference.iter().enumerate() {
+            signal[offset + k] = r;
+        }
+        let c = normalized_cross_correlate(&signal, &reference);
+        assert_eq!(argmax(&c), Some(offset));
+        assert!(c[offset] > 0.99);
+    }
+
+    #[test]
+    fn normalized_correlation_is_bounded() {
+        let reference: Vec<C64> = (0..8).map(|i| C64::cis(i as f64)).collect();
+        let signal: Vec<C64> = (0..64).map(|i| C64::cis(i as f64 * 0.3)).collect();
+        for v in normalized_cross_correlate(&signal, &reference) {
+            assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn cross_correlate_handles_degenerate_inputs() {
+        let sig = vec![C64::ONE; 4];
+        assert!(cross_correlate(&sig, &[]).is_empty());
+        assert!(cross_correlate(&sig, &[C64::ONE; 5]).is_empty());
+        assert!(normalized_cross_correlate(&[], &sig).is_empty());
+    }
+
+    #[test]
+    fn argmax_basics() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0]), Some(0));
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        // Ties resolve to the earliest.
+        assert_eq!(argmax(&[2.0, 5.0, 5.0]), Some(1));
+    }
+
+    fn naive_lagged(x: &[C64], lag: usize, window: usize) -> Vec<(C64, f64)> {
+        if x.len() < lag + window {
+            return Vec::new();
+        }
+        (0..=x.len() - lag - window)
+            .map(|i| {
+                let mut g = C64::ZERO;
+                let mut p = 0.0;
+                for k in 0..window {
+                    g += x[i + k] * x[i + k + lag].conj();
+                    p += 0.5 * (x[i + k].norm_sqr() + x[i + k + lag].norm_sqr());
+                }
+                (g, p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sliding_matches_naive() {
+        let x: Vec<C64> = (0..60)
+            .map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        for &(lag, window) in &[(1usize, 1usize), (4, 8), (16, 16), (16, 32), (7, 3)] {
+            let got = lagged_autocorrelation(&x, lag, window);
+            let want = naive_lagged(&x, lag, window);
+            assert_eq!(got.len(), want.len(), "lag={lag} window={window}");
+            for (i, ((gg, gp), (wg, wp))) in got.iter().zip(&want).enumerate() {
+                assert!(gg.dist(*wg) < 1e-9, "gamma mismatch at {i} lag={lag} w={window}");
+                assert!((gp - wp).abs() < 1e-9, "phi mismatch at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_signal_saturates_metric() {
+        // A signal with period `lag` has |gamma| == phi, metric == 1.
+        let lag = 16;
+        let base: Vec<C64> = (0..lag).map(|i| C64::cis(i as f64 * 0.9)).collect();
+        let x: Vec<C64> = (0..4 * lag).map(|i| base[i % lag]).collect();
+        let mut c = SlidingAutocorrelator::new(lag, lag);
+        for &s in &x {
+            c.push(s);
+        }
+        assert!(c.is_warm());
+        assert!((c.metric() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut c = SlidingAutocorrelator::new(4, 4);
+        for i in 0..20 {
+            c.push(C64::cis(i as f64));
+        }
+        assert!(c.is_warm());
+        c.reset();
+        assert!(!c.is_warm());
+        assert_eq!(c.gamma(), C64::ZERO);
+        assert_eq!(c.phi(), 0.0);
+    }
+
+    #[test]
+    fn warmup_accounting() {
+        let mut c = SlidingAutocorrelator::new(3, 5);
+        assert_eq!(c.warmup(), 8);
+        for i in 0..7 {
+            c.push(C64::ONE);
+            assert!(!c.is_warm(), "not warm after {} samples", i + 1);
+        }
+        c.push(C64::ONE);
+        assert!(c.is_warm());
+    }
+
+    #[test]
+    fn empty_or_short_input_yields_empty_batch() {
+        assert!(lagged_autocorrelation(&[], 4, 4).is_empty());
+        assert!(lagged_autocorrelation(&[C64::ONE; 7], 4, 4).is_empty());
+        assert_eq!(lagged_autocorrelation(&[C64::ONE; 8], 4, 4).len(), 1);
+    }
+}

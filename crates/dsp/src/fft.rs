@@ -1,0 +1,332 @@
+//! Radix-2 decimation-in-time FFT / IFFT.
+//!
+//! OFDM modulation in this workspace uses a 64-point transform, so an
+//! iterative radix-2 kernel with precomputed twiddles is ample. The planner
+//! ([`Fft`]) precomputes bit-reversal permutation and twiddle tables once and
+//! is then reusable (and cheap to clone) for any number of transforms of that
+//! size — the same pattern FFTW/RustFFT planners use.
+//!
+//! Conventions: forward transform uses `exp(-i 2 pi k n / N)` with no
+//! scaling; inverse uses `exp(+i 2 pi k n / N)` scaled by `1/N`, so
+//! `ifft(fft(x)) == x`.
+
+use crate::complex::Complex64;
+
+/// Transform direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Time → frequency, `exp(-i...)`, unscaled.
+    Forward,
+    /// Frequency → time, `exp(+i...)`, scaled by `1/N`.
+    Inverse,
+}
+
+/// A planned fixed-size FFT.
+///
+/// # Examples
+///
+/// ```
+/// use mimonet_dsp::fft::Fft;
+/// use mimonet_dsp::complex::Complex64;
+///
+/// let fft = Fft::new(64);
+/// let mut buf = vec![Complex64::ONE; 64];
+/// fft.forward(&mut buf);
+/// // A constant signal concentrates all energy in bin 0.
+/// assert!((buf[0].re - 64.0).abs() < 1e-9);
+/// assert!(buf[1].abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fft {
+    n: usize,
+    // twiddles[s] holds the factors for stage with half-size m = 2^s.
+    twiddles_fwd: Vec<Vec<Complex64>>,
+    twiddles_inv: Vec<Vec<Complex64>>,
+    bitrev: Vec<u32>,
+}
+
+impl Fft {
+    /// Plans a transform of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two, got {n}");
+        let stages = n.trailing_zeros() as usize;
+
+        let mut bitrev = vec![0u32; n];
+        for (i, slot) in bitrev.iter_mut().enumerate() {
+            *slot = (i as u32).reverse_bits() >> (32 - stages.max(1) as u32);
+        }
+        if n == 1 {
+            bitrev[0] = 0;
+        }
+
+        let mut twiddles_fwd = Vec::with_capacity(stages);
+        let mut twiddles_inv = Vec::with_capacity(stages);
+        for s in 0..stages {
+            let m = 1usize << s; // half the butterfly span at this stage
+            let mut tf = Vec::with_capacity(m);
+            let mut ti = Vec::with_capacity(m);
+            for k in 0..m {
+                let theta = std::f64::consts::PI * k as f64 / m as f64;
+                tf.push(Complex64::cis(-theta));
+                ti.push(Complex64::cis(theta));
+            }
+            twiddles_fwd.push(tf);
+            twiddles_inv.push(ti);
+        }
+
+        Self {
+            n,
+            twiddles_fwd,
+            twiddles_inv,
+            bitrev,
+        }
+    }
+
+    /// The planned transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when planned for size 1 (degenerate identity transform).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn run(&self, buf: &mut [Complex64], dir: Direction) {
+        assert_eq!(
+            buf.len(),
+            self.n,
+            "buffer length {} does not match planned FFT size {}",
+            buf.len(),
+            self.n
+        );
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if j > i {
+                buf.swap(i, j);
+            }
+        }
+
+        let tables = match dir {
+            Direction::Forward => &self.twiddles_fwd,
+            Direction::Inverse => &self.twiddles_inv,
+        };
+
+        for (s, tw) in tables.iter().enumerate() {
+            let m = 1usize << s; // half span
+            let span = m << 1;
+            let mut base = 0;
+            while base < n {
+                for k in 0..m {
+                    let w = tw[k];
+                    let a = buf[base + k];
+                    let b = buf[base + k + m] * w;
+                    buf[base + k] = a + b;
+                    buf[base + k + m] = a - b;
+                }
+                base += span;
+            }
+        }
+
+        if dir == Direction::Inverse {
+            let inv_n = 1.0 / n as f64;
+            for x in buf.iter_mut() {
+                *x = x.scale(inv_n);
+            }
+        }
+    }
+
+    /// In-place forward transform (time → frequency, unscaled).
+    pub fn forward(&self, buf: &mut [Complex64]) {
+        self.run(buf, Direction::Forward);
+    }
+
+    /// In-place inverse transform (frequency → time, scaled by `1/N`).
+    pub fn inverse(&self, buf: &mut [Complex64]) {
+        self.run(buf, Direction::Inverse);
+    }
+}
+
+/// One-shot forward FFT of a slice, returning a new vector.
+/// Plans internally; for repeated transforms of the same size prefer [`Fft`].
+pub fn fft(x: &[Complex64]) -> Vec<Complex64> {
+    let mut buf = x.to_vec();
+    Fft::new(x.len()).forward(&mut buf);
+    buf
+}
+
+/// One-shot inverse FFT of a slice, returning a new vector.
+pub fn ifft(x: &[Complex64]) -> Vec<Complex64> {
+    let mut buf = x.to_vec();
+    Fft::new(x.len()).inverse(&mut buf);
+    buf
+}
+
+/// Rotates a spectrum so that index 0 (DC) moves to the middle — the
+/// classic `fftshift`. For even `n` the negative frequencies come first.
+pub fn fftshift(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&x[half..]);
+    out.extend_from_slice(&x[..half]);
+    out
+}
+
+/// Inverse of [`fftshift`].
+pub fn ifftshift(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    let half = n / 2;
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&x[half..]);
+    out.extend_from_slice(&x[..half]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+
+    fn naive_dft(x: &[C64], sign: f64) -> Vec<C64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|t| {
+                        x[t] * C64::cis(sign * 2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64)
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[C64], b: &[C64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                x.dist(*y) < tol,
+                "index {i}: {x:?} vs {y:?} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_various_sizes() {
+        for &n in &[1usize, 2, 4, 8, 16, 64, 128] {
+            let x: Vec<C64> = (0..n)
+                .map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let got = fft(&x);
+            let want = naive_dft(&x, -1.0);
+            assert_close(&got, &want, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let n = 64;
+        let x: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64).sin(), (i as f64 * 2.0).cos()))
+            .collect();
+        let y = ifft(&fft(&x));
+        assert_close(&y, &x, 1e-10);
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let mut x = vec![C64::ZERO; 32];
+        x[0] = C64::ONE;
+        let y = fft(&x);
+        for v in &y {
+            assert!(v.dist(C64::ONE) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<C64> = (0..n)
+            .map(|t| C64::cis(2.0 * std::f64::consts::PI * (k0 * t) as f64 / n as f64))
+            .collect();
+        let y = fft(&x);
+        for (k, v) in y.iter().enumerate() {
+            if k == k0 {
+                assert!((v.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "bin {k} leaked {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 128;
+        let x: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 1.3).sin(), (i as f64 * 0.7).sin()))
+            .collect();
+        let y = fft(&x);
+        let et: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ef: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((et - ef).abs() < 1e-8);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 16;
+        let a: Vec<C64> = (0..n).map(|i| C64::new(i as f64, -(i as f64))).collect();
+        let b: Vec<C64> = (0..n).map(|i| C64::new((i as f64).cos(), 0.5)).collect();
+        let sum: Vec<C64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fsum = fft(&sum);
+        let want: Vec<C64> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert_close(&fsum, &want, 1e-10);
+    }
+
+    #[test]
+    fn shift_roundtrip() {
+        let x: Vec<C64> = (0..8).map(|i| C64::from_re(i as f64)).collect();
+        assert_eq!(ifftshift(&fftshift(&x)), x);
+        // For even n, fftshift puts bin n/2 first.
+        assert_eq!(fftshift(&x)[0], C64::from_re(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        Fft::new(48);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn rejects_wrong_buffer_length() {
+        let f = Fft::new(8);
+        let mut b = vec![C64::ZERO; 4];
+        f.forward(&mut b);
+    }
+
+    #[test]
+    fn planner_is_reusable() {
+        let f = Fft::new(64);
+        let x: Vec<C64> = (0..64).map(|i| C64::from_re(i as f64)).collect();
+        let mut b1 = x.clone();
+        let mut b2 = x.clone();
+        f.forward(&mut b1);
+        f.forward(&mut b2);
+        assert_eq!(b1, b2);
+        f.inverse(&mut b1);
+        assert_close(&b1, &x, 1e-9);
+    }
+}

@@ -1,0 +1,23 @@
+//! # mimonet-dsp
+//!
+//! Numerics substrate for MIMONet-rs, the Rust reproduction of the SRIF'14
+//! MIMO-OFDM spatial-multiplexing transceiver. Everything here is
+//! implemented from scratch (no external numeric crates): complex
+//! arithmetic, a planned radix-2 FFT, correlation kernels for
+//! synchronization, FIR filtering, fractional resampling and streaming
+//! statistics.
+//!
+//! The crate is intentionally free of any protocol knowledge; 802.11n
+//! specifics live in `mimonet-frame` and above.
+
+pub mod complex;
+pub mod correlate;
+pub mod fft;
+pub mod filter;
+pub mod resample;
+pub mod spectrum;
+pub mod stats;
+pub mod window;
+
+pub use complex::{Complex64, C64};
+pub use fft::Fft;

@@ -1,0 +1,174 @@
+//! Power spectral density estimation (Welch's method) and occupied-
+//! bandwidth measurement.
+//!
+//! Used by the evaluation harness to verify the transmitter's spectral
+//! shape (energy confined to the occupied subcarriers, nulls at DC and the
+//! band edges) — the closest software analogue of a spectrum-analyzer
+//! check on a real SDR transmit chain.
+
+use crate::complex::Complex64;
+use crate::fft::Fft;
+use crate::window::hann;
+
+/// Welch PSD estimate.
+///
+/// Splits `x` into `segment_len`-sample segments with 50% overlap, Hann-
+/// windows each, and averages the squared FFT magnitudes. Returns
+/// `segment_len` bins of *linear* power, bin `k` at normalized frequency
+/// `k/segment_len` cycles/sample (use [`crate::fft::fftshift`] to center).
+///
+/// # Panics
+///
+/// Panics if `segment_len` is not a power of two or `x` is shorter than
+/// one segment.
+pub fn welch_psd(x: &[Complex64], segment_len: usize) -> Vec<f64> {
+    assert!(segment_len.is_power_of_two(), "segment length must be a power of two");
+    assert!(
+        x.len() >= segment_len,
+        "signal ({} samples) shorter than one segment ({segment_len})",
+        x.len()
+    );
+    let fft = Fft::new(segment_len);
+    let win = hann(segment_len);
+    let win_power: f64 = win.iter().map(|w| w * w).sum::<f64>() / segment_len as f64;
+    let hop = segment_len / 2;
+
+    let mut acc = vec![0.0f64; segment_len];
+    let mut count = 0usize;
+    let mut start = 0usize;
+    while start + segment_len <= x.len() {
+        let mut seg: Vec<Complex64> = x[start..start + segment_len]
+            .iter()
+            .zip(&win)
+            .map(|(&s, &w)| s.scale(w))
+            .collect();
+        fft.forward(&mut seg);
+        for (a, v) in acc.iter_mut().zip(&seg) {
+            *a += v.norm_sqr();
+        }
+        count += 1;
+        start += hop;
+    }
+    // Parseval with the unscaled forward FFT: sum_k |X_k|^2 = N sum_n
+    // |w_n x_n|^2 = N^2 * win_power * P_sig — hence the N^2 below, so the
+    // bins sum to the mean signal power.
+    let norm = 1.0 / (count as f64 * (segment_len * segment_len) as f64 * win_power);
+    for a in &mut acc {
+        *a *= norm;
+    }
+    acc
+}
+
+/// Fraction of total PSD power inside normalized frequencies
+/// `[-half_bw, half_bw]` (cycles/sample), given an *unshifted* PSD.
+pub fn power_in_band(psd: &[f64], half_bw: f64) -> f64 {
+    assert!((0.0..=0.5).contains(&half_bw), "half bandwidth in [0, 0.5]");
+    let n = psd.len();
+    let total: f64 = psd.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut inside = 0.0;
+    for (k, &p) in psd.iter().enumerate() {
+        // Normalized frequency in [-0.5, 0.5).
+        let f = if k < n / 2 { k as f64 } else { k as f64 - n as f64 } / n as f64;
+        if f.abs() <= half_bw {
+            inside += p;
+        }
+    }
+    inside / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+
+    fn tone(n: usize, f: f64, amp: f64) -> Vec<C64> {
+        (0..n)
+            .map(|i| C64::cis(2.0 * std::f64::consts::PI * f * i as f64).scale(amp))
+            .collect()
+    }
+
+    #[test]
+    fn tone_concentrates_in_its_bin() {
+        let f = 10.0 / 64.0;
+        let psd = welch_psd(&tone(1024, f, 1.0), 64);
+        let peak = crate::correlate::argmax(&psd).unwrap();
+        assert_eq!(peak, 10);
+        // At least 90% of power within ±1 bin of the tone.
+        let local: f64 = psd[9..=11].iter().sum();
+        let total: f64 = psd.iter().sum();
+        assert!(local / total > 0.9, "concentration {}", local / total);
+    }
+
+    #[test]
+    fn psd_total_power_matches_signal_power() {
+        // Parseval-like: sum of PSD bins ≈ mean signal power.
+        let x = tone(4096, 0.13, 0.7);
+        let psd = welch_psd(&x, 128);
+        let total: f64 = psd.iter().sum();
+        let sig_power = crate::complex::mean_power(&x);
+        assert!(
+            (total / sig_power - 1.0).abs() < 0.05,
+            "PSD total {total} vs signal power {sig_power}"
+        );
+    }
+
+    #[test]
+    fn negative_frequencies_land_in_upper_bins() {
+        let psd = welch_psd(&tone(1024, -5.0 / 64.0, 1.0), 64);
+        let peak = crate::correlate::argmax(&psd).unwrap();
+        assert_eq!(peak, 64 - 5);
+    }
+
+    #[test]
+    fn power_in_band_full_and_none() {
+        let psd = welch_psd(&tone(512, 0.1, 1.0), 64);
+        assert!((power_in_band(&psd, 0.5) - 1.0).abs() < 1e-12);
+        // Tone at 0.1: a 0.05-wide band around DC misses it.
+        assert!(power_in_band(&psd, 0.05) < 0.1);
+        // And a band that includes 0.1 captures it.
+        assert!(power_in_band(&psd, 0.15) > 0.9);
+    }
+
+    #[test]
+    fn white_noise_is_flat() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let x: Vec<C64> = (0..65536)
+            .map(|_| {
+                // Inline Box-Muller to avoid a channel-crate dev-dependency cycle.
+                use rand::Rng;
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen();
+                let r = (-2.0f64 * u1.ln()).sqrt();
+                C64::new(
+                    r * (2.0 * std::f64::consts::PI * u2).cos(),
+                    r * (2.0 * std::f64::consts::PI * u2).sin(),
+                )
+                .scale(std::f64::consts::FRAC_1_SQRT_2)
+            })
+            .collect();
+        let psd = welch_psd(&x, 64);
+        let mean: f64 = psd.iter().sum::<f64>() / psd.len() as f64;
+        for (k, &p) in psd.iter().enumerate() {
+            assert!(
+                (p / mean - 1.0).abs() < 0.3,
+                "bin {k}: {p} vs mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_segment() {
+        welch_psd(&[C64::ZERO; 100], 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than one segment")]
+    fn rejects_short_signal() {
+        welch_psd(&[C64::ZERO; 10], 64);
+    }
+}

@@ -1,0 +1,138 @@
+//! CRC-32 (IEEE 802.3 / 802.11 FCS).
+//!
+//! The MIMONet packet format appends this FCS to every PSDU so the receiver
+//! can count packet errors (PER) exactly as the paper's instrumentation
+//! does. Parameters: polynomial 0x04C11DB7 (reflected 0xEDB88320), init
+//! 0xFFFFFFFF, reflected input/output, final XOR 0xFFFFFFFF.
+
+/// Byte-at-a-time lookup table for the reflected polynomial.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// Streaming CRC-32 accumulator.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a fresh accumulator.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.state = t[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Finalizes and returns the CRC value.
+    pub fn finalize(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finalize()
+}
+
+/// Appends the FCS to `data` in the 802.11 wire order (little-endian).
+pub fn append_fcs(data: &mut Vec<u8>) {
+    let fcs = crc32(data);
+    data.extend_from_slice(&fcs.to_le_bytes());
+}
+
+/// Checks a frame that ends with a little-endian FCS; returns the payload
+/// on success.
+pub fn check_fcs(frame: &[u8]) -> Option<&[u8]> {
+    if frame.len() < 4 {
+        return None;
+    }
+    let (payload, fcs_bytes) = frame.split_at(frame.len() - 4);
+    let got = u32::from_le_bytes([fcs_bytes[0], fcs_bytes[1], fcs_bytes[2], fcs_bytes[3]]);
+    if crc32(payload) == got {
+        Some(payload)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut c = Crc32::new();
+        c.update(&data[..100]);
+        c.update(&data[100..]);
+        assert_eq!(c.finalize(), crc32(&data));
+    }
+
+    #[test]
+    fn fcs_roundtrip() {
+        let mut frame = b"hello mimo world".to_vec();
+        append_fcs(&mut frame);
+        assert_eq!(frame.len(), 20);
+        assert_eq!(check_fcs(&frame), Some(b"hello mimo world".as_slice()));
+    }
+
+    #[test]
+    fn fcs_detects_single_bit_flip_anywhere() {
+        let mut frame = vec![0x42u8; 64];
+        append_fcs(&mut frame);
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(check_fcs(&bad).is_none(), "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_frames_rejected() {
+        assert!(check_fcs(&[]).is_none());
+        assert!(check_fcs(&[1, 2, 3]).is_none());
+        // Exactly 4 bytes: empty payload; valid only if the 4 bytes are the
+        // CRC of nothing (0).
+        let mut empty = Vec::new();
+        append_fcs(&mut empty);
+        assert_eq!(check_fcs(&empty), Some(&[][..]));
+    }
+}

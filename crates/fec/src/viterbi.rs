@@ -1,0 +1,433 @@
+//! Viterbi decoding for the K=7 (133, 171) convolutional code.
+//!
+//! Two front ends share one trellis search:
+//!
+//! * [`decode_hard`] takes hard bits (0/1) and uses Hamming branch metrics;
+//! * [`decode_soft`] takes log-likelihood ratios (LLRs, positive ⇒ bit 0
+//!   more likely, the convention produced by `mimonet-detect`'s demappers)
+//!   and uses correlation branch metrics, which is the max-likelihood
+//!   metric for BPSK-like per-bit channels.
+//!
+//! Punctured positions are passed as *erasures*: [`Symbol::Erased`] for hard
+//! input, LLR 0.0 for soft input — both contribute nothing to any branch
+//! metric, which is exactly the ML treatment of depunctured bits.
+//!
+//! Decoding is block-oriented with a terminated trellis (six zero tail bits,
+//! as produced by [`crate::conv::encode_terminated`]); `decode_*` returns the
+//! data bits *without* the tail.
+
+// Index-based loops here are the clearer expression of the math
+// (matrix/carrier indexing); silence the iterator-style suggestion.
+#![allow(clippy::needless_range_loop)]
+use crate::conv::{encode_step, NUM_STATES, TAIL_BITS};
+
+/// One received coded bit for hard-decision decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Symbol {
+    /// A received hard bit.
+    Bit(u8),
+    /// A punctured (never transmitted) position.
+    Erased,
+}
+
+impl Symbol {
+    /// Wraps a 0/1 bit.
+    pub fn bit(b: u8) -> Self {
+        debug_assert!(b <= 1);
+        Symbol::Bit(b)
+    }
+}
+
+/// Errors from the decoder front ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViterbiError {
+    /// Input length is odd — the rate-1/2 mother code emits bit pairs.
+    OddLength(usize),
+    /// Input is shorter than the six tail-bit pairs.
+    TooShort(usize),
+}
+
+impl std::fmt::Display for ViterbiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViterbiError::OddLength(n) => {
+                write!(f, "coded input length {n} is odd; expected (A,B) pairs")
+            }
+            ViterbiError::TooShort(n) => {
+                write!(f, "coded input length {n} too short for a terminated block")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ViterbiError {}
+
+/// Precomputed trellis: for each (state, input bit) the output pair and next
+/// state. Built once lazily; 64 states is tiny.
+struct Trellis {
+    // [state][input] -> (a, b, next)
+    step: [[(u8, u8, u8); 2]; NUM_STATES],
+}
+
+impl Trellis {
+    fn new() -> Self {
+        let mut step = [[(0u8, 0u8, 0u8); 2]; NUM_STATES];
+        for (s, row) in step.iter_mut().enumerate() {
+            for (bit, slot) in row.iter_mut().enumerate() {
+                *slot = encode_step(s as u8, bit as u8);
+            }
+        }
+        Self { step }
+    }
+}
+
+fn trellis() -> &'static Trellis {
+    use std::sync::OnceLock;
+    static T: OnceLock<Trellis> = OnceLock::new();
+    T.get_or_init(Trellis::new)
+}
+
+/// Core Viterbi search maximizing a per-branch *reward*.
+///
+/// `rewards(t)` must return, for trellis step `t`, a closure-computable pair
+/// reward for hypothesized output bits `(a, b)`. We pass the per-position
+/// bit rewards and combine inside.
+fn search(
+    num_steps: usize,
+    bit_reward: impl Fn(usize, u8) -> f64, // (coded bit index, hypothesized bit) -> reward
+    terminated: bool,
+) -> Vec<u8> {
+    let tr = trellis();
+    const NEG: f64 = f64::NEG_INFINITY;
+
+    let mut metric = vec![NEG; NUM_STATES];
+    metric[0] = 0.0; // encoder starts in the zero state
+    // survivor[t][next_state] = (prev_state, input bit)
+    let mut survivor: Vec<[(u8, u8); NUM_STATES]> = Vec::with_capacity(num_steps);
+
+    let mut next_metric = vec![NEG; NUM_STATES];
+    for t in 0..num_steps {
+        next_metric.fill(NEG);
+        let mut surv = [(0u8, 0u8); NUM_STATES];
+        for s in 0..NUM_STATES {
+            let m = metric[s];
+            if m == NEG {
+                continue;
+            }
+            for bit in 0..2u8 {
+                let (a, b, ns) = tr.step[s][bit as usize];
+                let r = bit_reward(2 * t, a) + bit_reward(2 * t + 1, b);
+                let cand = m + r;
+                if cand > next_metric[ns as usize] {
+                    next_metric[ns as usize] = cand;
+                    surv[ns as usize] = (s as u8, bit);
+                }
+            }
+        }
+        survivor.push(surv);
+        std::mem::swap(&mut metric, &mut next_metric);
+    }
+
+    // Final state: zero for terminated blocks, otherwise best metric.
+    let mut state = if terminated {
+        0usize
+    } else {
+        metric
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    };
+
+    let mut bits = vec![0u8; num_steps];
+    for t in (0..num_steps).rev() {
+        let (prev, bit) = survivor[t][state];
+        bits[t] = bit;
+        state = prev as usize;
+    }
+    bits
+}
+
+/// Hard-decision decoding of a terminated block.
+///
+/// `coded` holds the (possibly depunctured) coded stream as
+/// `[a0, b0, a1, b1, ...]` with erasures at punctured positions. Returns the
+/// decoded data bits with the six tail bits stripped.
+pub fn decode_hard(coded: &[Symbol]) -> Result<Vec<u8>, ViterbiError> {
+    if !coded.len().is_multiple_of(2) {
+        return Err(ViterbiError::OddLength(coded.len()));
+    }
+    let steps = coded.len() / 2;
+    if steps < TAIL_BITS {
+        return Err(ViterbiError::TooShort(coded.len()));
+    }
+    let bits = search(
+        steps,
+        |idx, hyp| match coded[idx] {
+            Symbol::Erased => 0.0,
+            Symbol::Bit(rx) => {
+                if rx == hyp {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        },
+        true,
+    );
+    Ok(bits[..steps - TAIL_BITS].to_vec())
+}
+
+/// Hard-decision decoding of an *unterminated* stream: the trellis may end
+/// in any state (the survivor with the best metric wins) and **all** input
+/// positions decode to output bits — nothing is stripped.
+///
+/// This is the mode for the 802.11 DATA field, whose six tail bits sit
+/// between the PSDU and the scrambled pad bits, so the encoder does not
+/// finish in the zero state.
+pub fn decode_hard_unterminated(coded: &[Symbol]) -> Result<Vec<u8>, ViterbiError> {
+    if !coded.len().is_multiple_of(2) {
+        return Err(ViterbiError::OddLength(coded.len()));
+    }
+    let steps = coded.len() / 2;
+    if steps == 0 {
+        return Ok(Vec::new());
+    }
+    Ok(search(
+        steps,
+        |idx, hyp| match coded[idx] {
+            Symbol::Erased => 0.0,
+            Symbol::Bit(rx) => {
+                if rx == hyp {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        },
+        false,
+    ))
+}
+
+/// Soft-decision decoding of an unterminated stream; see
+/// [`decode_hard_unterminated`].
+pub fn decode_soft_unterminated(llrs: &[f64]) -> Result<Vec<u8>, ViterbiError> {
+    if !llrs.len().is_multiple_of(2) {
+        return Err(ViterbiError::OddLength(llrs.len()));
+    }
+    let steps = llrs.len() / 2;
+    if steps == 0 {
+        return Ok(Vec::new());
+    }
+    Ok(search(
+        steps,
+        |idx, hyp| {
+            let l = llrs[idx];
+            if hyp == 0 {
+                0.5 * l
+            } else {
+                -0.5 * l
+            }
+        },
+        false,
+    ))
+}
+
+/// Soft-decision decoding of a terminated block.
+///
+/// `llrs[i]` is the log-likelihood ratio of coded bit `i`:
+/// `log P(bit=0) - log P(bit=1)` (positive ⇒ 0 more likely). Punctured
+/// positions must carry LLR `0.0`. Returns data bits without the tail.
+pub fn decode_soft(llrs: &[f64]) -> Result<Vec<u8>, ViterbiError> {
+    if !llrs.len().is_multiple_of(2) {
+        return Err(ViterbiError::OddLength(llrs.len()));
+    }
+    let steps = llrs.len() / 2;
+    if steps < TAIL_BITS {
+        return Err(ViterbiError::TooShort(llrs.len()));
+    }
+    let bits = search(
+        steps,
+        // Reward of hypothesizing bit value `hyp` at position `idx`:
+        // +llr/2 for 0, -llr/2 for 1 (constant offsets cancel).
+        |idx, hyp| {
+            let l = llrs[idx];
+            if hyp == 0 {
+                0.5 * l
+            } else {
+                -0.5 * l
+            }
+        },
+        true,
+    );
+    Ok(bits[..steps - TAIL_BITS].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::encode_terminated;
+
+    fn to_symbols(bits: &[u8]) -> Vec<Symbol> {
+        bits.iter().map(|&b| Symbol::bit(b)).collect()
+    }
+
+    fn pattern(len: usize, seed: u64) -> Vec<u8> {
+        // Small deterministic PRBS for tests.
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 1) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_roundtrip_hard() {
+        let data = pattern(200, 42);
+        let coded = encode_terminated(&data);
+        let decoded = decode_hard(&to_symbols(&coded)).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn clean_roundtrip_soft() {
+        let data = pattern(177, 7);
+        let coded = encode_terminated(&data);
+        let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 4.0 } else { -4.0 }).collect();
+        let decoded = decode_soft(&llrs).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn corrects_scattered_bit_errors() {
+        // Free distance 10 ⇒ any 4 errors sufficiently separated correct.
+        let data = pattern(120, 99);
+        let mut coded = encode_terminated(&data);
+        for &pos in &[5usize, 60, 130, 200] {
+            coded[pos] ^= 1;
+        }
+        let decoded = decode_hard(&to_symbols(&coded)).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn corrects_burst_of_four_within_capability() {
+        let data = pattern(100, 3);
+        let mut coded = encode_terminated(&data);
+        // Four errors in a short span: within d_free/2 for this code only if
+        // spread over ≥ the traceback span; use pairs 40,41 and 80,81.
+        coded[40] ^= 1;
+        coded[41] ^= 1;
+        coded[80] ^= 1;
+        coded[81] ^= 1;
+        assert_eq!(decode_hard(&to_symbols(&coded)).unwrap(), data);
+    }
+
+    #[test]
+    fn erasures_decode_like_punctured_bits() {
+        let data = pattern(90, 17);
+        let coded = encode_terminated(&data);
+        let mut syms = to_symbols(&coded);
+        // Erase every 6th coded bit (a rate-ish 6/5 puncture — well within
+        // the code's margin on a clean channel).
+        for i in (0..syms.len()).step_by(6) {
+            syms[i] = Symbol::Erased;
+        }
+        assert_eq!(decode_hard(&syms).unwrap(), data);
+    }
+
+    #[test]
+    fn soft_zero_llrs_at_punctures() {
+        let data = pattern(90, 21);
+        let coded = encode_terminated(&data);
+        let mut llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 2.0 } else { -2.0 }).collect();
+        for i in (0..llrs.len()).step_by(6) {
+            llrs[i] = 0.0;
+        }
+        assert_eq!(decode_soft(&llrs).unwrap(), data);
+    }
+
+    #[test]
+    fn soft_outperforms_hard_with_weak_bits() {
+        // Flip three bits but mark them as low-confidence in the soft input;
+        // soft decoding must recover, as must hard (3 < d_free/2), but a
+        // soft decoder with *confidence* on correct bits and doubt on
+        // errors converges with far fewer metric ties.
+        let data = pattern(60, 5);
+        let coded = encode_terminated(&data);
+        let mut llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 5.0 } else { -5.0 }).collect();
+        for &pos in &[10usize, 50, 90] {
+            // wrong sign but small magnitude
+            llrs[pos] = -llrs[pos].signum() * 0.2;
+        }
+        assert_eq!(decode_soft(&llrs).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_data_block() {
+        // Only the 6 tail bits.
+        let coded = encode_terminated(&[]);
+        assert_eq!(coded.len(), 12);
+        assert_eq!(decode_hard(&to_symbols(&coded)).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            decode_hard(&[Symbol::bit(0)]),
+            Err(ViterbiError::OddLength(1))
+        );
+        assert_eq!(
+            decode_hard(&to_symbols(&[0, 0])),
+            Err(ViterbiError::TooShort(2))
+        );
+        assert_eq!(decode_soft(&[0.0; 3]), Err(ViterbiError::OddLength(3)));
+        assert_eq!(decode_soft(&[0.0; 4]), Err(ViterbiError::TooShort(4)));
+    }
+
+    #[test]
+    fn unterminated_decodes_full_stream() {
+        // Encode WITHOUT tail bits: the encoder ends in a data-dependent
+        // state; the unterminated decoder must still recover everything.
+        let data = pattern(150, 31);
+        let coded = crate::conv::ConvEncoder::new().encode(&data);
+        let got = decode_hard_unterminated(&to_symbols(&coded)).unwrap();
+        assert_eq!(got, data);
+        let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 3.0 } else { -3.0 }).collect();
+        assert_eq!(decode_soft_unterminated(&llrs).unwrap(), data);
+    }
+
+    #[test]
+    fn unterminated_corrects_errors_midstream() {
+        let data = pattern(150, 8);
+        let mut coded = crate::conv::ConvEncoder::new().encode(&data);
+        for &p in &[40usize, 120, 200] {
+            coded[p] ^= 1;
+        }
+        assert_eq!(decode_hard_unterminated(&to_symbols(&coded)).unwrap(), data);
+    }
+
+    #[test]
+    fn unterminated_empty_input() {
+        assert_eq!(decode_hard_unterminated(&[]).unwrap(), Vec::<u8>::new());
+        assert_eq!(decode_soft_unterminated(&[]).unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            decode_soft_unterminated(&[1.0]),
+            Err(ViterbiError::OddLength(1))
+        );
+    }
+
+    #[test]
+    fn all_erased_still_terminates() {
+        // With no channel information the decoder must still return *some*
+        // path ending in state 0 (all-zero data is such a path).
+        let syms = vec![Symbol::Erased; 2 * (20 + TAIL_BITS)];
+        let out = decode_hard(&syms).unwrap();
+        assert_eq!(out.len(), 20);
+    }
+}

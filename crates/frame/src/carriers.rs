@@ -1,0 +1,145 @@
+//! OFDM subcarrier layout for the 20 MHz 802.11 channelization.
+//!
+//! Both the legacy (802.11a) and HT (802.11n) mixed-format layouts use a
+//! 64-point FFT with a 16-sample cyclic prefix. Subcarriers are indexed by
+//! *logical* frequency `-32..=31`; index 0 is DC and is always null.
+//!
+//! | format | data carriers | pilots | occupied |
+//! |--------|---------------|--------|----------|
+//! | legacy | 48            | ±7, ±21| −26..26  |
+//! | HT     | 52            | ±7, ±21| −28..28  |
+
+/// FFT size of the 20 MHz channelization.
+pub const FFT_LEN: usize = 64;
+/// Cyclic-prefix length (0.8 µs at 20 Msps).
+pub const CP_LEN: usize = 16;
+/// Total samples per OFDM symbol including the cyclic prefix.
+pub const SYM_LEN: usize = FFT_LEN + CP_LEN;
+
+/// Pilot subcarrier positions (logical indices), common to both formats.
+pub const PILOT_CARRIERS: [i32; 4] = [-21, -7, 7, 21];
+
+/// Number of data carriers in the legacy format.
+pub const LEGACY_DATA_CARRIERS: usize = 48;
+/// Number of data carriers in the HT format.
+pub const HT_DATA_CARRIERS: usize = 52;
+
+/// Subcarrier layout descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// 802.11a legacy: occupied −26..26.
+    Legacy,
+    /// 802.11n HT 20 MHz: occupied −28..28.
+    Ht,
+}
+
+impl Layout {
+    /// The highest occupied |subcarrier| index.
+    pub fn edge(self) -> i32 {
+        match self {
+            Layout::Legacy => 26,
+            Layout::Ht => 28,
+        }
+    }
+
+    /// Number of data subcarriers.
+    pub fn num_data(self) -> usize {
+        match self {
+            Layout::Legacy => LEGACY_DATA_CARRIERS,
+            Layout::Ht => HT_DATA_CARRIERS,
+        }
+    }
+
+    /// Data subcarrier logical indices in increasing frequency order
+    /// (pilots and DC excluded).
+    pub fn data_carriers(self) -> Vec<i32> {
+        let edge = self.edge();
+        (-edge..=edge)
+            .filter(|&k| k != 0 && !PILOT_CARRIERS.contains(&k))
+            .collect()
+    }
+
+    /// `true` if logical index `k` is a pilot.
+    pub fn is_pilot(self, k: i32) -> bool {
+        PILOT_CARRIERS.contains(&k)
+    }
+
+    /// `true` if logical index `k` carries energy (data or pilot).
+    pub fn is_occupied(self, k: i32) -> bool {
+        k != 0 && k >= -self.edge() && k <= self.edge()
+    }
+}
+
+/// Maps a logical subcarrier index (−32..=31) to its FFT bin (0..=63).
+/// Negative frequencies occupy the upper half of the FFT input.
+pub fn carrier_to_bin(k: i32) -> usize {
+    debug_assert!((-(FFT_LEN as i32) / 2..FFT_LEN as i32 / 2).contains(&k));
+    k.rem_euclid(FFT_LEN as i32) as usize
+}
+
+/// Inverse of [`carrier_to_bin`]: maps an FFT bin to the logical index.
+pub fn bin_to_carrier(bin: usize) -> i32 {
+    debug_assert!(bin < FFT_LEN);
+    if bin < FFT_LEN / 2 {
+        bin as i32
+    } else {
+        bin as i32 - FFT_LEN as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_carrier_counts() {
+        assert_eq!(Layout::Legacy.data_carriers().len(), 48);
+        assert_eq!(Layout::Ht.data_carriers().len(), 52);
+    }
+
+    #[test]
+    fn data_carriers_exclude_pilots_and_dc() {
+        for layout in [Layout::Legacy, Layout::Ht] {
+            let dc = layout.data_carriers();
+            assert!(!dc.contains(&0));
+            for p in PILOT_CARRIERS {
+                assert!(!dc.contains(&p));
+            }
+            assert!(dc.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
+        }
+    }
+
+    #[test]
+    fn occupancy_edges() {
+        assert!(Layout::Legacy.is_occupied(-26));
+        assert!(!Layout::Legacy.is_occupied(-27));
+        assert!(Layout::Ht.is_occupied(28));
+        assert!(!Layout::Ht.is_occupied(29));
+        assert!(!Layout::Ht.is_occupied(0));
+    }
+
+    #[test]
+    fn bin_mapping_roundtrip() {
+        for k in -32..32 {
+            let bin = carrier_to_bin(k);
+            assert!(bin < FFT_LEN);
+            assert_eq!(bin_to_carrier(bin), k);
+        }
+    }
+
+    #[test]
+    fn bin_mapping_known_points() {
+        assert_eq!(carrier_to_bin(0), 0);
+        assert_eq!(carrier_to_bin(1), 1);
+        assert_eq!(carrier_to_bin(-1), 63);
+        assert_eq!(carrier_to_bin(-26), 38);
+        assert_eq!(carrier_to_bin(26), 26);
+    }
+
+    #[test]
+    fn symbol_timing_constants() {
+        assert_eq!(SYM_LEN, 80);
+        assert_eq!(FFT_LEN, 64);
+        assert_eq!(CP_LEN, 16);
+    }
+}

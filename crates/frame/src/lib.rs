@@ -1,0 +1,26 @@
+//! # mimonet-frame
+//!
+//! IEEE 802.11n-style framing for MIMONet-rs: subcarrier layout, gray-coded
+//! constellations, the HT MCS table, preamble waveforms (L-STF, L-LTF,
+//! HT-STF, HT-LTF with P-matrix mapping and cyclic shift diversity),
+//! SIGNAL-field codecs (L-SIG, HT-SIG) and PSDU/DATA-field assembly.
+//!
+//! The paper "builds the framework of the standard IEEE 802.11n"; this
+//! crate is that framework. All sequences and tables follow the standard's
+//! 20 MHz channelization; deviations (none known) would be bugs.
+
+pub mod carriers;
+pub mod mcs;
+pub mod modulation;
+pub mod ofdm;
+pub mod pilots;
+pub mod preamble;
+pub mod psdu;
+pub mod sig;
+
+pub use carriers::Layout;
+pub use mcs::Mcs;
+pub use modulation::Modulation;
+pub use ofdm::Ofdm;
+pub use psdu::Mpdu;
+pub use sig::{HtSig, LSig};

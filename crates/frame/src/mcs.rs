@@ -1,0 +1,221 @@
+//! HT modulation-and-coding-scheme (MCS) table, 20 MHz, 800 ns GI
+//! (IEEE 802.11n Table 20-30 / 20-31).
+//!
+//! MCS 0–7 are single-stream; MCS 8–15 are the same modulation/rate pairs
+//! over two spatially-multiplexed streams — the configuration the SRIF'14
+//! paper implements.
+
+use crate::carriers::HT_DATA_CARRIERS;
+use crate::modulation::Modulation;
+use mimonet_fec::puncture::CodeRate;
+
+/// OFDM symbol duration with the 800 ns guard interval, in microseconds.
+pub const SYMBOL_DURATION_US: f64 = 4.0;
+
+/// Highest supported MCS index (MCS 0–31 = 1–4 spatial streams).
+pub const MAX_MCS: u8 = 31;
+
+/// One row of the HT MCS table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mcs {
+    /// MCS index (0–31).
+    pub index: u8,
+    /// Number of spatial streams.
+    pub n_streams: usize,
+    /// Subcarrier modulation.
+    pub modulation: Modulation,
+    /// Convolutional code rate.
+    pub code_rate: CodeRate,
+}
+
+/// Errors from MCS lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidMcs(pub u8);
+
+impl std::fmt::Display for InvalidMcs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MCS index {} is outside the supported range 0-31", self.0)
+    }
+}
+
+impl std::error::Error for InvalidMcs {}
+
+impl Mcs {
+    /// Looks up MCS `index` (0–31; each block of 8 adds a spatial stream).
+    pub fn from_index(index: u8) -> Result<Self, InvalidMcs> {
+        if index > MAX_MCS {
+            return Err(InvalidMcs(index));
+        }
+        let (modulation, code_rate) = match index % 8 {
+            0 => (Modulation::Bpsk, CodeRate::R1_2),
+            1 => (Modulation::Qpsk, CodeRate::R1_2),
+            2 => (Modulation::Qpsk, CodeRate::R3_4),
+            3 => (Modulation::Qam16, CodeRate::R1_2),
+            4 => (Modulation::Qam16, CodeRate::R3_4),
+            5 => (Modulation::Qam64, CodeRate::R2_3),
+            6 => (Modulation::Qam64, CodeRate::R3_4),
+            7 => (Modulation::Qam64, CodeRate::R5_6),
+            _ => unreachable!(),
+        };
+        Ok(Self {
+            index,
+            n_streams: index as usize / 8 + 1,
+            modulation,
+            code_rate,
+        })
+    }
+
+    /// All thirty-two MCS entries.
+    pub fn all() -> Vec<Mcs> {
+        (0..=MAX_MCS).map(|i| Mcs::from_index(i).unwrap()).collect()
+    }
+
+    /// Coded bits per subcarrier (N_BPSC).
+    pub fn n_bpsc(&self) -> usize {
+        self.modulation.bits_per_symbol()
+    }
+
+    /// Coded bits per OFDM symbol per spatial stream (N_CBPSS).
+    pub fn n_cbpss(&self) -> usize {
+        HT_DATA_CARRIERS * self.n_bpsc()
+    }
+
+    /// Coded bits per OFDM symbol over all streams (N_CBPS).
+    pub fn n_cbps(&self) -> usize {
+        self.n_cbpss() * self.n_streams
+    }
+
+    /// Data bits per OFDM symbol (N_DBPS).
+    pub fn n_dbps(&self) -> usize {
+        // N_CBPS * R; all products are exact integers for the standard
+        // rates.
+        self.n_cbps() * self.code_rate.k() / self.code_rate.n()
+    }
+
+    /// PHY data rate in Mb/s (800 ns GI).
+    pub fn rate_mbps(&self) -> f64 {
+        self.n_dbps() as f64 / SYMBOL_DURATION_US
+    }
+
+    /// Number of OFDM symbols needed to carry `payload_bits` data bits plus
+    /// the 16-bit SERVICE field and 6 tail bits, with padding to a whole
+    /// symbol (802.11n §20.3.11).
+    pub fn num_symbols(&self, payload_bits: usize) -> usize {
+        let total = 16 + payload_bits + 6;
+        total.div_ceil(self.n_dbps())
+    }
+
+    /// Number of pad bits appended after the tail for `payload_bits`.
+    pub fn pad_bits(&self, payload_bits: usize) -> usize {
+        self.num_symbols(payload_bits) * self.n_dbps() - (16 + payload_bits + 6)
+    }
+}
+
+impl std::fmt::Display for Mcs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MCS{} ({} stream{}, {}, r={})",
+            self.index,
+            self.n_streams,
+            if self.n_streams == 1 { "" } else { "s" },
+            self.modulation,
+            self.code_rate
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_match_the_standard_table() {
+        // 802.11n 20 MHz, 800 ns GI data rates in Mb/s.
+        let want = [
+            6.5, 13.0, 19.5, 26.0, 39.0, 52.0, 58.5, 65.0, // 1 stream
+            13.0, 26.0, 39.0, 52.0, 78.0, 104.0, 117.0, 130.0, // 2 streams
+        ];
+        for (i, &rate) in want.iter().enumerate() {
+            let mcs = Mcs::from_index(i as u8).unwrap();
+            assert!(
+                (mcs.rate_mbps() - rate).abs() < 1e-9,
+                "MCS{i}: got {} want {rate}",
+                mcs.rate_mbps()
+            );
+        }
+    }
+
+    #[test]
+    fn ndbps_values() {
+        assert_eq!(Mcs::from_index(0).unwrap().n_dbps(), 26);
+        assert_eq!(Mcs::from_index(7).unwrap().n_dbps(), 260);
+        assert_eq!(Mcs::from_index(8).unwrap().n_dbps(), 52);
+        assert_eq!(Mcs::from_index(15).unwrap().n_dbps(), 520);
+    }
+
+    #[test]
+    fn ncbps_is_interleaver_compatible() {
+        // N_CBPSS must be divisible by N_BPSC * 13 (HT interleaver columns).
+        for mcs in Mcs::all() {
+            assert_eq!(mcs.n_cbpss() % (mcs.n_bpsc() * 13), 0, "{mcs}");
+        }
+    }
+
+    #[test]
+    fn stream_counts() {
+        for i in 0..8u8 {
+            assert_eq!(Mcs::from_index(i).unwrap().n_streams, 1);
+            assert_eq!(Mcs::from_index(i + 8).unwrap().n_streams, 2);
+            assert_eq!(Mcs::from_index(i + 16).unwrap().n_streams, 3);
+            assert_eq!(Mcs::from_index(i + 24).unwrap().n_streams, 4);
+        }
+    }
+
+    #[test]
+    fn three_and_four_stream_rates() {
+        // 3 streams triple the 1-stream rates; 4 streams quadruple them.
+        for i in 0..8u8 {
+            let base = Mcs::from_index(i).unwrap().rate_mbps();
+            assert!((Mcs::from_index(i + 16).unwrap().rate_mbps() - 3.0 * base).abs() < 1e-9);
+            assert!((Mcs::from_index(i + 24).unwrap().rate_mbps() - 4.0 * base).abs() < 1e-9);
+        }
+        // Spot check the table ceiling: MCS31 = 4x 64-QAM 5/6 = 260 Mb/s.
+        assert!((Mcs::from_index(31).unwrap().rate_mbps() - 260.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_index_rejected() {
+        assert_eq!(Mcs::from_index(32), Err(InvalidMcs(32)));
+        assert_eq!(Mcs::from_index(255), Err(InvalidMcs(255)));
+    }
+
+    #[test]
+    fn symbol_count_and_padding() {
+        let mcs = Mcs::from_index(0).unwrap(); // 26 data bits/symbol
+        // 1 byte payload: 16 + 8 + 6 = 30 bits → 2 symbols, 22 pad bits.
+        assert_eq!(mcs.num_symbols(8), 2);
+        assert_eq!(mcs.pad_bits(8), 22);
+        // Exactly filling: 26*3 - 22 = 56 payload bits → 3 symbols, 0 pad.
+        assert_eq!(mcs.num_symbols(56), 3);
+        assert_eq!(mcs.pad_bits(56), 0);
+    }
+
+    #[test]
+    fn padding_is_always_less_than_one_symbol() {
+        for mcs in Mcs::all() {
+            for payload in [0usize, 1, 7, 100, 999, 12000] {
+                let pad = mcs.pad_bits(payload);
+                assert!(pad < mcs.n_dbps(), "{mcs} payload {payload}");
+                let total = 16 + payload + 6 + pad;
+                assert_eq!(total % mcs.n_dbps(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn display_formatting() {
+        let mcs = Mcs::from_index(11).unwrap();
+        assert_eq!(mcs.to_string(), "MCS11 (2 streams, 16-QAM, r=1/2)");
+    }
+}

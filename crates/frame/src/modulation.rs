@@ -1,0 +1,458 @@
+//! Constellation mapping and demapping (gray-coded BPSK / QPSK / 16-QAM /
+//! 64-QAM per IEEE 802.11-2012 §18.3.5.8).
+//!
+//! Mapping consumes bits LSB... wait — bits are consumed in transmission
+//! order, first bit = in-phase MSB, per the standard's Table 18-9..18-12.
+//! Demapping produces either hard bits or per-bit LLRs
+//! (`log P(0) − log P(1)`, positive ⇒ 0); the max-log approximation is used
+//! for the LLRs, which is what practical receivers (and gr-ieee802-11) do.
+
+use mimonet_dsp::complex::Complex64;
+
+/// Modulation order used on data subcarriers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// 1 bit/carrier.
+    Bpsk,
+    /// 2 bits/carrier.
+    Qpsk,
+    /// 4 bits/carrier.
+    Qam16,
+    /// 6 bits/carrier.
+    Qam64,
+}
+
+impl Modulation {
+    /// Coded bits per subcarrier (N_BPSC).
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Normalization factor K_MOD so the constellation has unit average
+    /// energy.
+    pub fn kmod(self) -> f64 {
+        match self {
+            Modulation::Bpsk => 1.0,
+            Modulation::Qpsk => 1.0 / 2f64.sqrt(),
+            Modulation::Qam16 => 1.0 / 10f64.sqrt(),
+            Modulation::Qam64 => 1.0 / 42f64.sqrt(),
+        }
+    }
+
+    /// All constellation points, indexed by the integer whose bit `i`
+    /// (LSB = first transmitted bit) is the i-th mapped bit.
+    pub fn constellation(self) -> Vec<Complex64> {
+        let m = self.bits_per_symbol();
+        (0..(1usize << m))
+            .map(|idx| {
+                let bits: Vec<u8> = (0..m).map(|i| ((idx >> i) & 1) as u8).collect();
+                self.map_bits(&bits)
+            })
+            .collect()
+    }
+
+    /// Gray map for one axis: `bits` are the per-axis bits in transmission
+    /// order, producing amplitudes {±1}, {±1,±3} or {±1,±3,±5,±7}.
+    fn axis_level(bits: &[u8]) -> f64 {
+        match bits.len() {
+            1 => {
+                if bits[0] == 0 {
+                    -1.0
+                } else {
+                    1.0
+                }
+            }
+            2 => {
+                // Gray: 00→−3, 01→−1, 11→+1, 10→+3
+                match (bits[0], bits[1]) {
+                    (0, 0) => -3.0,
+                    (0, 1) => -1.0,
+                    (1, 1) => 1.0,
+                    (1, 0) => 3.0,
+                    _ => unreachable!(),
+                }
+            }
+            3 => {
+                // Gray: 000→−7, 001→−5, 011→−3, 010→−1,
+                //       110→+1, 111→+3, 101→+5, 100→+7
+                match (bits[0], bits[1], bits[2]) {
+                    (0, 0, 0) => -7.0,
+                    (0, 0, 1) => -5.0,
+                    (0, 1, 1) => -3.0,
+                    (0, 1, 0) => -1.0,
+                    (1, 1, 0) => 1.0,
+                    (1, 1, 1) => 3.0,
+                    (1, 0, 1) => 5.0,
+                    (1, 0, 0) => 7.0,
+                    _ => unreachable!(),
+                }
+            }
+            n => panic!("unsupported axis width {n}"),
+        }
+    }
+
+    /// Maps `bits_per_symbol` bits (transmission order) to one point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.bits_per_symbol()`.
+    pub fn map_bits(self, bits: &[u8]) -> Complex64 {
+        assert_eq!(
+            bits.len(),
+            self.bits_per_symbol(),
+            "{self:?} maps {} bits at a time",
+            self.bits_per_symbol()
+        );
+        let k = self.kmod();
+        match self {
+            Modulation::Bpsk => Complex64::new(Self::axis_level(&bits[..1]) * k, 0.0),
+            Modulation::Qpsk => Complex64::new(
+                Self::axis_level(&bits[..1]) * k,
+                Self::axis_level(&bits[1..2]) * k,
+            ),
+            Modulation::Qam16 => Complex64::new(
+                Self::axis_level(&bits[..2]) * k,
+                Self::axis_level(&bits[2..4]) * k,
+            ),
+            Modulation::Qam64 => Complex64::new(
+                Self::axis_level(&bits[..3]) * k,
+                Self::axis_level(&bits[3..6]) * k,
+            ),
+        }
+    }
+
+    /// Maps a whole bit stream; length must be a multiple of
+    /// `bits_per_symbol`.
+    pub fn map(self, bits: &[u8]) -> Vec<Complex64> {
+        assert!(
+            bits.len().is_multiple_of(self.bits_per_symbol()),
+            "bit stream length {} not a multiple of {}",
+            bits.len(),
+            self.bits_per_symbol()
+        );
+        bits.chunks(self.bits_per_symbol())
+            .map(|c| self.map_bits(c))
+            .collect()
+    }
+
+    /// Bits carried on the in-phase axis (the rest ride quadrature).
+    fn i_axis_bits(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 1,
+            Modulation::Qam16 => 2,
+            Modulation::Qam64 => 3,
+        }
+    }
+
+    /// All levels on one axis of width `w` bits, indexed by the axis bit
+    /// pattern (bit i of the index = i-th transmitted bit of that axis),
+    /// scaled by K_MOD.
+    fn axis_table(self, w: usize) -> Vec<f64> {
+        let k = self.kmod();
+        (0..(1usize << w))
+            .map(|idx| {
+                let bits: Vec<u8> = (0..w).map(|i| ((idx >> i) & 1) as u8).collect();
+                Self::axis_level(&bits) * k
+            })
+            .collect()
+    }
+
+    /// Hard-decision demapping of one symbol (minimum distance).
+    ///
+    /// Gray square constellations separate per axis, so this is an
+    /// O(sqrt(M)) search rather than O(M).
+    pub fn demap_hard(self, y: Complex64) -> Vec<u8> {
+        let wi = self.i_axis_bits();
+        let wq = self.bits_per_symbol() - wi;
+        let mut out = Vec::with_capacity(self.bits_per_symbol());
+        let nearest = |v: f64, table: &[f64]| -> usize {
+            let mut best = 0usize;
+            let mut bd = f64::INFINITY;
+            for (idx, &lvl) in table.iter().enumerate() {
+                let d = (v - lvl) * (v - lvl);
+                if d < bd {
+                    bd = d;
+                    best = idx;
+                }
+            }
+            best
+        };
+        let bi = nearest(y.re, &self.axis_table(wi));
+        for i in 0..wi {
+            out.push(((bi >> i) & 1) as u8);
+        }
+        if wq > 0 {
+            let bq = nearest(y.im, &self.axis_table(wq));
+            for i in 0..wq {
+                out.push(((bq >> i) & 1) as u8);
+            }
+        }
+        out
+    }
+
+    /// Max-log LLR demapping of one symbol.
+    ///
+    /// `noise_var` is the complex noise variance N0 on this subcarrier
+    /// (after equalization scaling). LLR convention:
+    /// `llr = (min_{s: bit=1} |y-s|² − min_{s: bit=0} |y-s|²) / N0`,
+    /// so positive values favour bit 0 — the convention
+    /// `mimonet_fec::viterbi::decode_soft` expects.
+    ///
+    /// Because the constellations are gray-coded and square, the joint 2-D
+    /// minimization separates per axis: the quadrature term is common to
+    /// both hypotheses of an in-phase bit and cancels in the difference,
+    /// leaving two O(sqrt(M)) scans. (Exactly equal to the full 2-D
+    /// max-log — the tests enforce it.)
+    pub fn demap_soft(self, y: Complex64, noise_var: f64) -> Vec<f64> {
+        let nv = noise_var.max(1e-12);
+        let wi = self.i_axis_bits();
+        let wq = self.bits_per_symbol() - wi;
+        let mut out = Vec::with_capacity(self.bits_per_symbol());
+        let axis_llrs = |v: f64, w: usize, out: &mut Vec<f64>| {
+            let table = self.axis_table(w);
+            for bit in 0..w {
+                let mut d0 = f64::INFINITY;
+                let mut d1 = f64::INFINITY;
+                for (idx, &lvl) in table.iter().enumerate() {
+                    let d = (v - lvl) * (v - lvl);
+                    if (idx >> bit) & 1 == 0 {
+                        d0 = d0.min(d);
+                    } else {
+                        d1 = d1.min(d);
+                    }
+                }
+                out.push((d1 - d0) / nv);
+            }
+        };
+        axis_llrs(y.re, wi, &mut out);
+        if wq > 0 {
+            axis_llrs(y.im, wq, &mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Modulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Modulation::Bpsk => write!(f, "BPSK"),
+            Modulation::Qpsk => write!(f, "QPSK"),
+            Modulation::Qam16 => write!(f, "16-QAM"),
+            Modulation::Qam64 => write!(f, "64-QAM"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimonet_dsp::complex::C64;
+
+    const ALL: [Modulation; 4] = [
+        Modulation::Bpsk,
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+    ];
+
+    fn prbs(len: usize, mut x: u64) -> Vec<u8> {
+        x |= 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 1) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn constellations_have_unit_average_energy() {
+        for m in ALL {
+            let pts = m.constellation();
+            assert_eq!(pts.len(), 1 << m.bits_per_symbol());
+            let avg: f64 = pts.iter().map(|p| p.norm_sqr()).sum::<f64>() / pts.len() as f64;
+            assert!((avg - 1.0).abs() < 1e-12, "{m}: avg energy {avg}");
+        }
+    }
+
+    #[test]
+    fn constellation_points_are_distinct() {
+        for m in ALL {
+            let pts = m.constellation();
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    assert!(pts[i].dist(pts[j]) > 1e-9, "{m}: {i} and {j} coincide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gray_coding_neighbors_differ_by_one_bit() {
+        // Along each axis, adjacent amplitude levels must differ in exactly
+        // one bit — check via 16-QAM rows.
+        let m = Modulation::Qam16;
+        let pts = m.constellation();
+        let k = m.kmod();
+        // Collect (I level, index) for points with the same Q bits (=0b00).
+        let mut row: Vec<(f64, usize)> = (0..16)
+            .filter(|i| (i >> 2) & 0b11 == 0)
+            .map(|i| (pts[i].re / k, i))
+            .collect();
+        row.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in row.windows(2) {
+            let diff = (w[0].1 ^ w[1].1).count_ones();
+            assert_eq!(diff, 1, "adjacent I levels differ by {diff} bits");
+        }
+    }
+
+    #[test]
+    fn known_bpsk_and_qpsk_points() {
+        assert_eq!(Modulation::Bpsk.map_bits(&[0]), C64::new(-1.0, 0.0));
+        assert_eq!(Modulation::Bpsk.map_bits(&[1]), C64::new(1.0, 0.0));
+        let s = 1.0 / 2f64.sqrt();
+        assert!(Modulation::Qpsk.map_bits(&[1, 1]).dist(C64::new(s, s)) < 1e-12);
+        assert!(Modulation::Qpsk.map_bits(&[0, 0]).dist(C64::new(-s, -s)) < 1e-12);
+    }
+
+    #[test]
+    fn known_64qam_extremes() {
+        let k = 1.0 / 42f64.sqrt();
+        // bits (1,0,0) on I → +7, (1,0,0) on Q → +7
+        let p = Modulation::Qam64.map_bits(&[1, 0, 0, 1, 0, 0]);
+        assert!(p.dist(C64::new(7.0 * k, 7.0 * k)) < 1e-12);
+    }
+
+    #[test]
+    fn hard_demap_roundtrip_noiseless() {
+        for m in ALL {
+            let bits = prbs(m.bits_per_symbol() * 64, 3);
+            for chunk in bits.chunks(m.bits_per_symbol()) {
+                let y = m.map_bits(chunk);
+                assert_eq!(m.demap_hard(y), chunk, "{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn hard_demap_tolerates_small_noise() {
+        for m in ALL {
+            let bits = prbs(m.bits_per_symbol() * 32, 11);
+            // Perturbation well inside half the minimum distance.
+            let eps = match m {
+                Modulation::Bpsk => 0.4,
+                Modulation::Qpsk => 0.25,
+                Modulation::Qam16 => 0.1,
+                Modulation::Qam64 => 0.05,
+            };
+            for (i, chunk) in bits.chunks(m.bits_per_symbol()).enumerate() {
+                let y = m.map_bits(chunk) + C64::new(eps * ((i % 3) as f64 - 1.0), eps * 0.7);
+                assert_eq!(m.demap_hard(y), chunk, "{m} sym {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn soft_demap_sign_matches_hard_decision() {
+        for m in ALL {
+            let bits = prbs(m.bits_per_symbol() * 32, 21);
+            for chunk in bits.chunks(m.bits_per_symbol()) {
+                let y = m.map_bits(chunk);
+                let llrs = m.demap_soft(y, 0.1);
+                for (b, l) in chunk.iter().zip(&llrs) {
+                    // bit 0 ⇒ positive LLR.
+                    assert!(
+                        (*b == 0) == (*l > 0.0),
+                        "{m}: bit {b} got LLR {l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soft_demap_scales_inversely_with_noise() {
+        let m = Modulation::Qpsk;
+        let y = m.map_bits(&[1, 0]);
+        let l1 = m.demap_soft(y, 0.1);
+        let l2 = m.demap_soft(y, 0.2);
+        for (a, b) in l1.iter().zip(&l2) {
+            assert!((a / b - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn soft_demap_ambiguous_point_gives_zero_llr() {
+        // Exactly between BPSK points.
+        let l = Modulation::Bpsk.demap_soft(C64::ZERO, 1.0);
+        assert!(l[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn axis_demap_equals_exhaustive_2d_maxlog() {
+        // The per-axis shortcut must reproduce the full 2-D max-log LLRs
+        // exactly, for arbitrary received points.
+        for m in ALL {
+            let points = m.constellation();
+            let nb = m.bits_per_symbol();
+            for t in 0..200 {
+                let y = C64::new(
+                    ((t * 37) % 41) as f64 / 10.0 - 2.0,
+                    ((t * 53) % 47) as f64 / 12.0 - 2.0,
+                );
+                let nv = 0.17;
+                let fast = m.demap_soft(y, nv);
+                // Reference: brute force over the full constellation.
+                #[allow(clippy::needless_range_loop)] // bit doubles as a shift count
+                for bit in 0..nb {
+                    let mut d0 = f64::INFINITY;
+                    let mut d1 = f64::INFINITY;
+                    for (idx, &s) in points.iter().enumerate() {
+                        let d = y.dist_sqr(s);
+                        if (idx >> bit) & 1 == 0 {
+                            d0 = d0.min(d);
+                        } else {
+                            d1 = d1.min(d);
+                        }
+                    }
+                    let want = (d1 - d0) / nv;
+                    assert!(
+                        (fast[bit] - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                        "{m} bit {bit}: fast {} vs exhaustive {want}",
+                        fast[bit]
+                    );
+                }
+                // Hard decisions must also agree with nearest-point search.
+                let hard = m.demap_hard(y);
+                let best = points
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| y.dist_sqr(*a.1).partial_cmp(&y.dist_sqr(*b.1)).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let want_bits: Vec<u8> = (0..nb).map(|i| ((best >> i) & 1) as u8).collect();
+                assert_eq!(hard, want_bits, "{m} at {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_block_length_check() {
+        let m = Modulation::Qam16;
+        assert_eq!(m.map(&prbs(64, 1)).len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn map_rejects_ragged_stream() {
+        Modulation::Qam64.map(&[1, 0, 1]);
+    }
+}

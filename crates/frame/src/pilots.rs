@@ -1,0 +1,180 @@
+//! Pilot sub-carrier values (802.11 §18.3.5.10, 802.11n §20.3.11.10).
+//!
+//! Pilots serve the SRIF'14 paper's "use of pilot sub-carriers for channel
+//! estimation": the receiver tracks residual phase (and optionally channel
+//! drift) from the four known pilots in every data symbol.
+//!
+//! Two mechanisms combine:
+//!
+//! * a **polarity sequence** `p_n` (period 127, identical to the scrambler
+//!   keystream with the all-ones seed, mapped 0 → +1, 1 → −1) flips all four
+//!   pilots per symbol, whitening their spectrum, and
+//! * per-stream **pilot patterns** Ψ that rotate across the four pilot
+//!   positions from symbol to symbol in the HT format, keeping the streams'
+//!   pilots orthogonal over any 4-symbol span.
+
+use mimonet_fec::scrambler::Scrambler;
+
+/// Length of the pilot polarity sequence.
+pub const POLARITY_PERIOD: usize = 127;
+
+/// Returns the pilot polarity `p_n ∈ {+1, −1}` for symbol index `n`
+/// (n counts from the first SIGNAL symbol, per the standard).
+pub fn polarity(n: usize) -> f64 {
+    // The standard's p_0..p_126 equals the scrambler keystream seeded with
+    // all ones, mapped 0→+1, 1→−1.
+    use std::sync::OnceLock;
+    static SEQ: OnceLock<[f64; POLARITY_PERIOD]> = OnceLock::new();
+    let seq = SEQ.get_or_init(|| {
+        let mut s = Scrambler::new(0x7F);
+        let mut out = [0.0; POLARITY_PERIOD];
+        for slot in &mut out {
+            *slot = if s.next_bit() == 0 { 1.0 } else { -1.0 };
+        }
+        out
+    });
+    seq[n % POLARITY_PERIOD]
+}
+
+/// Legacy pilot base values at carriers (−21, −7, +7, +21).
+pub const LEGACY_PILOTS: [f64; 4] = [1.0, 1.0, 1.0, -1.0];
+
+/// HT per-stream pilot patterns Ψ for 20 MHz (Table 20-19); row = stream,
+/// column = pilot position before rotation.
+const HT_PSI_1: [[f64; 4]; 1] = [[1.0, 1.0, 1.0, -1.0]];
+const HT_PSI_2: [[f64; 4]; 2] = [
+    [1.0, 1.0, -1.0, -1.0],
+    [1.0, -1.0, -1.0, 1.0],
+];
+const HT_PSI_3: [[f64; 4]; 3] = [
+    [1.0, 1.0, -1.0, -1.0],
+    [1.0, -1.0, 1.0, -1.0],
+    [-1.0, 1.0, 1.0, -1.0],
+];
+const HT_PSI_4: [[f64; 4]; 4] = [
+    [1.0, 1.0, 1.0, -1.0],
+    [1.0, 1.0, -1.0, 1.0],
+    [1.0, -1.0, 1.0, 1.0],
+    [-1.0, 1.0, 1.0, 1.0],
+];
+
+/// Pilot values for the four pilot carriers (in increasing frequency order
+/// −21, −7, +7, +21) of data symbol `sym` (0-based within the HT-Data
+/// portion), for `stream` of `n_streams`, *including* the polarity factor.
+///
+/// `polarity_offset` is the index of the first data symbol in the polarity
+/// sequence (the legacy SIGNAL symbol consumes p_0, so data usually starts
+/// at offset 1 for legacy frames; HT-mixed frames consume more — the TX and
+/// RX chains pass the same offset).
+pub fn ht_pilots(stream: usize, n_streams: usize, sym: usize, polarity_offset: usize) -> [f64; 4] {
+    assert!(stream < n_streams, "stream {stream} of {n_streams}");
+    let psi: &[[f64; 4]] = match n_streams {
+        1 => &HT_PSI_1,
+        2 => &HT_PSI_2,
+        3 => &HT_PSI_3,
+        4 => &HT_PSI_4,
+        _ => panic!("unsupported stream count {n_streams}"),
+    };
+    let p = polarity(sym + polarity_offset);
+    let mut out = [0.0; 4];
+    for (i, slot) in out.iter_mut().enumerate() {
+        // The Ψ pattern rotates by one position per symbol.
+        *slot = psi[stream][(i + sym) % 4] * p;
+    }
+    out
+}
+
+/// Legacy pilot values for symbol `sym` with the given polarity offset.
+pub fn legacy_pilots(sym: usize, polarity_offset: usize) -> [f64; 4] {
+    let p = polarity(sym + polarity_offset);
+    let mut out = LEGACY_PILOTS;
+    for v in &mut out {
+        *v *= p;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_known_prefix() {
+        // p_0..p_7 from the standard: 1,1,1,1,-1,-1,-1,1
+        let want = [1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, 1.0];
+        for (n, &w) in want.iter().enumerate() {
+            assert_eq!(polarity(n), w, "p_{n}");
+        }
+    }
+
+    #[test]
+    fn polarity_is_periodic() {
+        for n in 0..260 {
+            assert_eq!(polarity(n), polarity(n + POLARITY_PERIOD));
+        }
+    }
+
+    #[test]
+    fn polarity_is_balanced() {
+        let ones = (0..POLARITY_PERIOD).filter(|&n| polarity(n) < 0.0).count();
+        assert_eq!(ones, 64); // 64 of the 127 values are −1
+    }
+
+    #[test]
+    fn two_stream_pilots_are_orthogonal_over_four_symbols() {
+        // Summed over any 4 consecutive symbols, the per-position product of
+        // the two streams' pilots cancels (polarity is common, Ψ rows are
+        // orthogonal under rotation).
+        for start in 0..8 {
+            for pos in 0..4 {
+                let dot: f64 = (start..start + 4)
+                    .map(|sym| {
+                        let a = ht_pilots(0, 2, sym, 3)[pos];
+                        let b = ht_pilots(1, 2, sym, 3)[pos];
+                        a * b
+                    })
+                    .sum();
+                assert_eq!(dot, 0.0, "start {start} pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn pilot_magnitudes_are_unit() {
+        for sym in 0..10 {
+            for stream in 0..2 {
+                for v in ht_pilots(stream, 2, sym, 1) {
+                    assert_eq!(v.abs(), 1.0);
+                }
+            }
+            for v in legacy_pilots(sym, 1) {
+                assert_eq!(v.abs(), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_shifts_pattern() {
+        // Symbol n+1's pattern at position i equals symbol n's at i+1,
+        // modulo the polarity change.
+        let a = ht_pilots(0, 2, 0, 0);
+        let b = ht_pilots(0, 2, 1, 0);
+        let p0 = polarity(0);
+        let p1 = polarity(1);
+        for i in 0..3 {
+            assert_eq!(a[i + 1] / p0, b[i] / p1);
+        }
+    }
+
+    #[test]
+    fn legacy_pilot_base_pattern() {
+        let p = legacy_pilots(0, 0);
+        assert_eq!(p, [1.0, 1.0, 1.0, -1.0]); // polarity(0) = +1
+    }
+
+    #[test]
+    #[should_panic(expected = "stream")]
+    fn stream_bounds_checked() {
+        ht_pilots(2, 2, 0, 0);
+    }
+}

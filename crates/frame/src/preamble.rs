@@ -1,0 +1,311 @@
+//! 802.11n mixed-format preamble generation: L-STF, L-LTF, HT-STF and
+//! HT-LTF, with per-antenna cyclic shift diversity and the orthogonal
+//! P-matrix mapping of HT-LTFs across space-time streams.
+//!
+//! The SRIF'14 paper "put all the preambles needed for synchronization and
+//! channel estimation"; this module is that frame skeleton. Sequences come
+//! from IEEE 802.11-2012 §18.3.3 (legacy) and 802.11n §20.3.9.4 (HT).
+
+// Index-based loops here are the clearer expression of the math
+// (matrix/carrier indexing); silence the iterator-style suggestion.
+#![allow(clippy::needless_range_loop)]
+use crate::carriers::{FFT_LEN};
+use crate::ofdm::{apply_cyclic_shift, ht_cyclic_shift, legacy_cyclic_shift, Ofdm};
+use mimonet_dsp::complex::Complex64;
+
+/// Samples in the legacy short training field (10 × 16).
+pub const LSTF_LEN: usize = 160;
+/// Samples in the legacy long training field (32 CP + 2 × 64).
+pub const LLTF_LEN: usize = 160;
+/// Samples in one HT field (HT-STF or one HT-LTF): 16 CP + 64.
+pub const HT_FIELD_LEN: usize = 80;
+/// Period of the short-training pattern in samples.
+pub const STF_PERIOD: usize = 16;
+
+/// L-LTF frequency sequence over logical carriers −26..=26 (index 26 = DC).
+pub const LLTF_SEQ: [i8; 53] = [
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, //
+    0, //
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+];
+
+/// Returns the L-LTF value at logical carrier `k` (zero outside −26..26).
+pub fn lltf_at(k: i32) -> f64 {
+    if !(-26..=26).contains(&k) {
+        0.0
+    } else {
+        LLTF_SEQ[(k + 26) as usize] as f64
+    }
+}
+
+/// Returns the HT-LTF value at logical carrier `k` (zero outside −28..28).
+/// The HT sequence extends the legacy one with `{1, 1}` below and
+/// `{−1, −1}` above the legacy band (802.11n §20.3.9.4.6).
+pub fn htltf_at(k: i32) -> f64 {
+    match k {
+        -28 | -27 => 1.0,
+        27 | 28 => -1.0,
+        _ => lltf_at(k),
+    }
+}
+
+/// The nonzero L-STF carriers `(k, value)` with unit scaling applied
+/// (`sqrt(13/6)` is folded in so total sequence power equals 52).
+pub fn lstf_carriers() -> Vec<(i32, Complex64)> {
+    let s = (13.0f64 / 6.0).sqrt();
+    let p = Complex64::new(s, s); // sqrt(13/6) * (1 + j)
+    let m = -p;
+    vec![
+        (-24, p),
+        (-20, m),
+        (-16, p),
+        (-12, m),
+        (-8, m),
+        (-4, p),
+        (4, m),
+        (8, m),
+        (12, p),
+        (16, p),
+        (20, p),
+        (24, p),
+    ]
+}
+
+/// The orthogonal HT-LTF mapping matrix P (802.11n Eq. 20-27). Entry
+/// `P[stream][ltf_symbol]`; the 2×2 upper-left block maps two streams onto
+/// two HT-LTF symbols.
+pub const P_HTLTF: [[f64; 4]; 4] = [
+    [1.0, -1.0, 1.0, 1.0],
+    [1.0, 1.0, -1.0, 1.0],
+    [1.0, 1.0, 1.0, -1.0],
+    [-1.0, 1.0, 1.0, 1.0],
+];
+
+/// Number of HT-LTF symbols required for `n_sts` space-time streams
+/// (Table 20-12; 1→1, 2→2, 3→4, 4→4).
+pub fn num_htltf(n_sts: usize) -> usize {
+    match n_sts {
+        1 => 1,
+        2 => 2,
+        3 | 4 => 4,
+        _ => panic!("unsupported stream count {n_sts}"),
+    }
+}
+
+fn lstf_bins(shift: i32) -> [Complex64; FFT_LEN] {
+    let mut bins = [Complex64::ZERO; FFT_LEN];
+    for (k, v) in lstf_carriers() {
+        bins[crate::carriers::carrier_to_bin(k)] = v;
+    }
+    apply_cyclic_shift(&mut bins, shift);
+    bins
+}
+
+fn lltf_bins(shift: i32) -> [Complex64; FFT_LEN] {
+    let mut bins = [Complex64::ZERO; FFT_LEN];
+    for k in -26..=26 {
+        bins[crate::carriers::carrier_to_bin(k)] = Complex64::from_re(lltf_at(k));
+    }
+    apply_cyclic_shift(&mut bins, shift);
+    bins
+}
+
+fn htltf_bins(shift: i32, sign: f64) -> [Complex64; FFT_LEN] {
+    let mut bins = [Complex64::ZERO; FFT_LEN];
+    for k in -28..=28 {
+        bins[crate::carriers::carrier_to_bin(k)] = Complex64::from_re(htltf_at(k) * sign);
+    }
+    apply_cyclic_shift(&mut bins, shift);
+    bins
+}
+
+/// Generates the 160-sample L-STF for one antenna (with its legacy cyclic
+/// shift). Average power is 1.0.
+pub fn lstf_time(antenna: usize, n_tx: usize) -> Vec<Complex64> {
+    let bins = lstf_bins(legacy_cyclic_shift(antenna, n_tx));
+    // The STF has 12 occupied carriers of power 13/3 each → sequence power
+    // 52, so the 52-carrier unit scale applies. The base 64-sample IFFT is
+    // 16-periodic; the field is 10 periods = 160 samples.
+    let mut td = bins.to_vec();
+    let fft = mimonet_dsp::fft::Fft::new(FFT_LEN);
+    fft.inverse(&mut td);
+    let scale = Ofdm::unit_power_scale(52);
+    let base: Vec<Complex64> = td.iter().map(|x| x.scale(scale)).collect();
+    (0..LSTF_LEN).map(|i| base[i % FFT_LEN]).collect()
+}
+
+/// Generates the 160-sample L-LTF for one antenna: a 32-sample cyclic
+/// prefix followed by two repetitions of the 64-sample long training
+/// symbol. Average power is 1.0.
+pub fn lltf_time(antenna: usize, n_tx: usize) -> Vec<Complex64> {
+    let bins = lltf_bins(legacy_cyclic_shift(antenna, n_tx));
+    let mut td = bins.to_vec();
+    let fft = mimonet_dsp::fft::Fft::new(FFT_LEN);
+    fft.inverse(&mut td);
+    let scale = Ofdm::unit_power_scale(52);
+    let base: Vec<Complex64> = td.iter().map(|x| x.scale(scale)).collect();
+    let mut out = Vec::with_capacity(LLTF_LEN);
+    out.extend_from_slice(&base[FFT_LEN - 32..]);
+    out.extend_from_slice(&base);
+    out.extend_from_slice(&base);
+    out
+}
+
+/// Generates the 80-sample HT-STF for one space-time stream (with the HT
+/// cyclic shift). Same frequency sequence as the L-STF.
+pub fn htstf_time(ofdm: &Ofdm, stream: usize, n_sts: usize) -> Vec<Complex64> {
+    let bins = lstf_bins(ht_cyclic_shift(stream, n_sts));
+    ofdm.modulate_bins(&bins, Ofdm::unit_power_scale(52))
+}
+
+/// Generates HT-LTF symbol `ltf_index` (0-based) for `stream`, applying the
+/// P-matrix sign and the HT cyclic shift. 80 samples.
+pub fn htltf_time(ofdm: &Ofdm, stream: usize, n_sts: usize, ltf_index: usize) -> Vec<Complex64> {
+    assert!(ltf_index < num_htltf(n_sts), "HT-LTF index out of range");
+    let sign = P_HTLTF[stream][ltf_index];
+    let bins = htltf_bins(ht_cyclic_shift(stream, n_sts), sign);
+    ofdm.modulate_bins(&bins, Ofdm::unit_power_scale(56))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimonet_dsp::complex::mean_power;
+
+    #[test]
+    fn lltf_sequence_structure() {
+        assert_eq!(LLTF_SEQ.len(), 53);
+        assert_eq!(lltf_at(0), 0.0);
+        assert_eq!(lltf_at(-26), 1.0);
+        assert_eq!(lltf_at(26), 1.0);
+        assert_eq!(lltf_at(27), 0.0);
+        assert_eq!(lltf_at(-27), 0.0);
+        // First few values from the standard: 1, 1, −1, −1, 1, 1, ...
+        assert_eq!(lltf_at(-25), 1.0);
+        assert_eq!(lltf_at(-24), -1.0);
+        assert_eq!(lltf_at(-23), -1.0);
+    }
+
+    #[test]
+    fn htltf_extends_lltf() {
+        for k in -26..=26 {
+            assert_eq!(htltf_at(k), lltf_at(k));
+        }
+        assert_eq!(htltf_at(-28), 1.0);
+        assert_eq!(htltf_at(-27), 1.0);
+        assert_eq!(htltf_at(27), -1.0);
+        assert_eq!(htltf_at(28), -1.0);
+        assert_eq!(htltf_at(29), 0.0);
+        // 56 occupied carriers.
+        let n: usize = (-28..=28).filter(|&k| htltf_at(k) != 0.0).count();
+        assert_eq!(n, 56);
+    }
+
+    #[test]
+    fn lstf_carrier_power() {
+        let total: f64 = lstf_carriers().iter().map(|(_, v)| v.norm_sqr()).sum();
+        assert!((total - 52.0).abs() < 1e-9);
+        // All carriers are multiples of 4 → 16-sample periodicity.
+        for (k, _) in lstf_carriers() {
+            assert_eq!(k % 4, 0);
+        }
+    }
+
+    #[test]
+    fn lstf_is_16_periodic_and_unit_power() {
+        let stf = lstf_time(0, 1);
+        assert_eq!(stf.len(), LSTF_LEN);
+        for i in 0..LSTF_LEN - STF_PERIOD {
+            assert!(stf[i].dist(stf[i + STF_PERIOD]) < 1e-9, "period break at {i}");
+        }
+        assert!((mean_power(&stf) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lltf_structure() {
+        let ltf = lltf_time(0, 1);
+        assert_eq!(ltf.len(), LLTF_LEN);
+        // Two identical 64-sample symbols after the 32-sample CP.
+        for i in 0..64 {
+            assert!(ltf[32 + i].dist(ltf[96 + i]) < 1e-9);
+        }
+        // CP is the tail of the symbol.
+        for i in 0..32 {
+            assert!(ltf[i].dist(ltf[128 + i]) < 1e-9);
+        }
+        assert!((mean_power(&ltf) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_antenna_lltf_is_cyclic_shift_of_first() {
+        let a0 = lltf_time(0, 2);
+        let a1 = lltf_time(1, 2);
+        // Shift −4: antenna 1's base symbol is antenna 0's advanced by 4.
+        for i in 0..64 {
+            assert!(a1[32 + i].dist(a0[32 + (i + 4) % 64]) < 1e-9, "i={i}");
+        }
+    }
+
+    #[test]
+    fn p_matrix_rows_are_orthogonal() {
+        for i in 0..4 {
+            for j in 0..4 {
+                let dot: f64 = (0..4).map(|k| P_HTLTF[i][k] * P_HTLTF[j][k]).sum();
+                if i == j {
+                    assert_eq!(dot, 4.0);
+                } else {
+                    assert_eq!(dot, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_stream_block_is_orthogonal() {
+        // The 2×2 upper-left block used for 2 streams must itself be
+        // invertible with orthogonal columns.
+        let p = [[P_HTLTF[0][0], P_HTLTF[0][1]], [P_HTLTF[1][0], P_HTLTF[1][1]]];
+        let det = p[0][0] * p[1][1] - p[0][1] * p[1][0];
+        assert!(det.abs() > 1.0);
+        let col_dot = p[0][0] * p[0][1] + p[1][0] * p[1][1];
+        assert_eq!(col_dot, 0.0);
+    }
+
+    #[test]
+    fn num_htltf_table() {
+        assert_eq!(num_htltf(1), 1);
+        assert_eq!(num_htltf(2), 2);
+        assert_eq!(num_htltf(3), 4);
+        assert_eq!(num_htltf(4), 4);
+    }
+
+    #[test]
+    fn htltf_signs_follow_p_matrix() {
+        let ofdm = Ofdm::new();
+        // Stream 0: +LTF, +LTF. Stream 1: −LTF then +LTF... per P:
+        // P[0] = [1, -1], P[1] = [1, 1] for the first two symbols.
+        let s0_l0 = htltf_time(&ofdm, 0, 2, 0);
+        let s0_l1 = htltf_time(&ofdm, 0, 2, 1);
+        for (a, b) in s0_l0.iter().zip(&s0_l1) {
+            assert!(a.dist(-*b) < 1e-9, "P[0] = [1,-1] ⇒ symbols negate");
+        }
+        let s1_l0 = htltf_time(&ofdm, 1, 2, 0);
+        let s1_l1 = htltf_time(&ofdm, 1, 2, 1);
+        for (a, b) in s1_l0.iter().zip(&s1_l1) {
+            assert!(a.dist(*b) < 1e-9, "P[1] = [1,1] ⇒ symbols equal");
+        }
+    }
+
+    #[test]
+    fn ht_fields_have_unit_power() {
+        let ofdm = Ofdm::new();
+        assert!((mean_power(&htstf_time(&ofdm, 0, 2)[16..]) - 1.0).abs() < 1e-9);
+        assert!((mean_power(&htltf_time(&ofdm, 1, 2, 0)[16..]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn htltf_index_bounds() {
+        htltf_time(&Ofdm::new(), 0, 1, 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! PSDU construction: a compact MAC-style header, FCS concatenation, and
+//! the PHY DATA-field bit assembly (SERVICE + PSDU + tail + pad) with
+//! frame-synchronous scrambling.
+//!
+//! This is the "concatenation of FEC in the packet construction" half that
+//! sits above the codec: every MPDU carries a CRC-32 FCS so the receiver
+//! can attribute packet errors exactly, and the DATA field framing follows
+//! IEEE 802.11-2012 §18.3.5.2–18.3.5.4.
+
+use mimonet_fec::bits::{bits_to_bytes, bytes_to_bits};
+use mimonet_fec::crc::{append_fcs, check_fcs};
+use mimonet_fec::scrambler::Scrambler;
+
+use crate::mcs::Mcs;
+
+/// Number of SERVICE bits prepended to the PSDU (all zero before
+/// scrambling; the first 7 reveal the scrambler seed to the receiver).
+pub const SERVICE_BITS: usize = 16;
+/// Number of encoder tail bits.
+pub const TAIL_BITS: usize = 6;
+/// Length of the MAC-style header in octets.
+pub const HEADER_LEN: usize = 18;
+/// FCS length in octets.
+pub const FCS_LEN: usize = 4;
+
+/// Frame types carried in the header's first octet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameType {
+    /// User data.
+    Data,
+    /// Acknowledgement.
+    Ack,
+    /// Network beacon / probe.
+    Beacon,
+}
+
+impl FrameType {
+    fn to_code(self) -> u8 {
+        match self {
+            FrameType::Data => 0x08,
+            FrameType::Ack => 0x1D,
+            FrameType::Beacon => 0x80,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0x08 => Some(FrameType::Data),
+            0x1D => Some(FrameType::Ack),
+            0x80 => Some(FrameType::Beacon),
+            _ => None,
+        }
+    }
+}
+
+/// Compact MAC header: type, duration, destination, source, sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MacHeader {
+    /// Frame type.
+    pub frame_type: FrameType,
+    /// Duration/ID field (microseconds, NAV-style).
+    pub duration: u16,
+    /// Destination address.
+    pub dst: [u8; 6],
+    /// Source address.
+    pub src: [u8; 6],
+    /// Sequence number (12 bits used).
+    pub seq: u16,
+}
+
+impl MacHeader {
+    /// Serializes to [`HEADER_LEN`] bytes.
+    pub fn to_bytes(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0] = self.frame_type.to_code();
+        out[1] = 0; // flags, unused
+        out[2..4].copy_from_slice(&self.duration.to_le_bytes());
+        out[4..10].copy_from_slice(&self.dst);
+        out[10..16].copy_from_slice(&self.src);
+        out[16..18].copy_from_slice(&(self.seq & 0x0FFF).to_le_bytes());
+        out
+    }
+
+    /// Parses from bytes; `None` on short input or unknown type code.
+    pub fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() < HEADER_LEN {
+            return None;
+        }
+        Some(Self {
+            frame_type: FrameType::from_code(b[0])?,
+            duration: u16::from_le_bytes([b[2], b[3]]),
+            dst: b[4..10].try_into().unwrap(),
+            src: b[10..16].try_into().unwrap(),
+            seq: u16::from_le_bytes([b[16], b[17]]) & 0x0FFF,
+        })
+    }
+}
+
+/// A MAC protocol data unit: header + payload (FCS added on serialization).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mpdu {
+    /// The MAC header.
+    pub header: MacHeader,
+    /// The payload octets.
+    pub payload: Vec<u8>,
+}
+
+impl Mpdu {
+    /// Builds a data MPDU between two addresses.
+    pub fn data(src: [u8; 6], dst: [u8; 6], seq: u16, payload: Vec<u8>) -> Self {
+        Self {
+            header: MacHeader { frame_type: FrameType::Data, duration: 0, dst, src, seq },
+            payload,
+        }
+    }
+
+    /// Serializes header + payload + FCS — the PSDU handed to the PHY.
+    pub fn to_psdu(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + FCS_LEN);
+        out.extend_from_slice(&self.header.to_bytes());
+        out.extend_from_slice(&self.payload);
+        append_fcs(&mut out);
+        out
+    }
+
+    /// Parses and FCS-checks a received PSDU.
+    pub fn from_psdu(psdu: &[u8]) -> Option<Self> {
+        let inner = check_fcs(psdu)?;
+        let header = MacHeader::from_bytes(inner)?;
+        Some(Self { header, payload: inner[HEADER_LEN..].to_vec() })
+    }
+
+    /// PSDU length in octets for this MPDU.
+    pub fn psdu_len(&self) -> usize {
+        HEADER_LEN + self.payload.len() + FCS_LEN
+    }
+}
+
+/// Assembles the pre-scrambling DATA-field bit stream for a PSDU:
+/// `SERVICE (16 zeros) | PSDU bits | 6 tail zeros | pad zeros`, padded to a
+/// whole number of OFDM symbols for `mcs`.
+pub fn assemble_data_bits(psdu: &[u8], mcs: &Mcs) -> Vec<u8> {
+    let psdu_bits = bytes_to_bits(psdu);
+    let pad = mcs.pad_bits(psdu_bits.len());
+    let mut bits = Vec::with_capacity(SERVICE_BITS + psdu_bits.len() + TAIL_BITS + pad);
+    bits.extend_from_slice(&[0u8; SERVICE_BITS]);
+    bits.extend_from_slice(&psdu_bits);
+    bits.extend(std::iter::repeat_n(0u8, TAIL_BITS + pad));
+    bits
+}
+
+/// Scrambles an assembled DATA field and re-zeroes the six tail bits
+/// (§18.3.5.3: the tail must be zero *after* scrambling so the encoder
+/// terminates).
+pub fn scramble_data_bits(bits: &mut [u8], psdu_len_octets: usize, seed: u8) {
+    let mut s = Scrambler::new(seed);
+    s.scramble_in_place(bits);
+    let tail_start = SERVICE_BITS + psdu_len_octets * 8;
+    for b in &mut bits[tail_start..tail_start + TAIL_BITS] {
+        *b = 0;
+    }
+}
+
+/// Descrambles a received DATA field (seed recovered from the first seven
+/// bits, which descramble the all-zero SERVICE prefix) and extracts the
+/// PSDU octets. Returns `None` when the seed is unrecoverable.
+pub fn descramble_data_bits(bits: &[u8], psdu_len_octets: usize) -> Option<Vec<u8>> {
+    if bits.len() < SERVICE_BITS + psdu_len_octets * 8 {
+        return None;
+    }
+    let first7: [u8; 7] = bits[..7].try_into().unwrap();
+    let seed = mimonet_fec::scrambler::recover_seed(&first7)?;
+    let mut s = Scrambler::new(seed);
+    let clear = s.scramble(bits);
+    let psdu_bits = &clear[SERVICE_BITS..SERVICE_BITS + psdu_len_octets * 8];
+    Some(bits_to_bytes(psdu_bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(x: u8) -> [u8; 6] {
+        [x; 6]
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = MacHeader {
+            frame_type: FrameType::Beacon,
+            duration: 314,
+            dst: addr(0xFF),
+            src: addr(0x42),
+            seq: 0x0ABC,
+        };
+        assert_eq!(MacHeader::from_bytes(&h.to_bytes()), Some(h));
+    }
+
+    #[test]
+    fn header_rejects_garbage() {
+        assert_eq!(MacHeader::from_bytes(&[0u8; 17]), None);
+        let mut b = [0u8; 18];
+        b[0] = 0x77; // unknown type code
+        assert_eq!(MacHeader::from_bytes(&b), None);
+    }
+
+    #[test]
+    fn seq_is_twelve_bits() {
+        let h = MacHeader {
+            frame_type: FrameType::Data,
+            duration: 0,
+            dst: addr(1),
+            src: addr(2),
+            seq: 0xFFFF,
+        };
+        assert_eq!(MacHeader::from_bytes(&h.to_bytes()).unwrap().seq, 0x0FFF);
+    }
+
+    #[test]
+    fn mpdu_psdu_roundtrip() {
+        let m = Mpdu::data(addr(1), addr(2), 7, b"the quick brown fox".to_vec());
+        let psdu = m.to_psdu();
+        assert_eq!(psdu.len(), m.psdu_len());
+        assert_eq!(Mpdu::from_psdu(&psdu), Some(m));
+    }
+
+    #[test]
+    fn corrupted_psdu_fails_fcs() {
+        let m = Mpdu::data(addr(1), addr(2), 7, vec![0xAA; 64]);
+        let mut psdu = m.to_psdu();
+        psdu[20] ^= 0x10;
+        assert_eq!(Mpdu::from_psdu(&psdu), None);
+    }
+
+    #[test]
+    fn data_bits_assembly_length() {
+        let mcs = Mcs::from_index(8).unwrap(); // 52 data bits/symbol
+        let psdu = vec![0x5Au8; 25]; // 200 bits
+        let bits = assemble_data_bits(&psdu, &mcs);
+        // 16 + 200 + 6 = 222 → 5 symbols of 52 = 260 bits.
+        assert_eq!(bits.len(), 260);
+        assert_eq!(&bits[..16], &[0u8; 16]);
+        // Tail + pad are zero.
+        assert!(bits[216..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn scramble_descramble_recovers_psdu() {
+        let mcs = Mcs::from_index(3).unwrap();
+        let psdu: Vec<u8> = (0..100u8).collect();
+        let mut bits = assemble_data_bits(&psdu, &mcs);
+        scramble_data_bits(&mut bits, psdu.len(), 0x35);
+        // Tail bits must be zero after scrambling.
+        let tail_start = SERVICE_BITS + psdu.len() * 8;
+        assert!(bits[tail_start..tail_start + TAIL_BITS].iter().all(|&b| b == 0));
+        let got = descramble_data_bits(&bits, psdu.len()).unwrap();
+        assert_eq!(got, psdu);
+    }
+
+    #[test]
+    fn every_seed_is_recoverable() {
+        let mcs = Mcs::from_index(0).unwrap();
+        let psdu = vec![0u8; 10];
+        for seed in 1..0x80u8 {
+            let mut bits = assemble_data_bits(&psdu, &mcs);
+            scramble_data_bits(&mut bits, psdu.len(), seed);
+            assert_eq!(
+                descramble_data_bits(&bits, psdu.len()),
+                Some(psdu.clone()),
+                "seed {seed:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn descramble_rejects_short_input() {
+        assert_eq!(descramble_data_bits(&[0u8; 10], 10), None);
+    }
+}

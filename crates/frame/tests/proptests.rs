@@ -1,0 +1,151 @@
+//! Property-based tests of framing invariants: constellations, OFDM
+//! symbol assembly, SIGNAL codecs and PSDU framing.
+
+use mimonet_dsp::complex::Complex64;
+use mimonet_frame::carriers::{bin_to_carrier, carrier_to_bin, FFT_LEN};
+use mimonet_frame::mcs::Mcs;
+use mimonet_frame::modulation::Modulation;
+use mimonet_frame::ofdm::Ofdm;
+use mimonet_frame::psdu::{FrameType, MacHeader, Mpdu};
+use mimonet_frame::sig::{HtSig, LSig};
+use proptest::prelude::*;
+
+fn modulation() -> impl Strategy<Value = Modulation> {
+    prop_oneof![
+        Just(Modulation::Bpsk),
+        Just(Modulation::Qpsk),
+        Just(Modulation::Qam16),
+        Just(Modulation::Qam64),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn map_demap_roundtrip(m in modulation(), seed in any::<u64>()) {
+        let mut x = seed | 1;
+        let bits: Vec<u8> = (0..m.bits_per_symbol() * 20).map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x & 1) as u8
+        }).collect();
+        for chunk in bits.chunks(m.bits_per_symbol()) {
+            let symbol = m.map_bits(chunk);
+            prop_assert_eq!(m.demap_hard(symbol), chunk);
+            // LLR signs agree with the bits.
+            for (b, l) in chunk.iter().zip(m.demap_soft(symbol, 0.1)) {
+                prop_assert!((*b == 0) == (l > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn demap_hard_is_idempotent_under_requantization(
+        m in modulation(),
+        re in -2.0..2.0f64,
+        im in -2.0..2.0f64,
+    ) {
+        let y = Complex64::new(re, im);
+        let bits = m.demap_hard(y);
+        let snapped = m.map_bits(&bits);
+        prop_assert_eq!(m.demap_hard(snapped), bits);
+    }
+
+    #[test]
+    fn soft_llr_magnitude_scales_with_noise(
+        m in modulation(),
+        re in -2.0..2.0f64,
+        im in -2.0..2.0f64,
+        nv in 0.01..1.0f64,
+    ) {
+        let y = Complex64::new(re, im);
+        let l1 = m.demap_soft(y, nv);
+        let l2 = m.demap_soft(y, nv * 2.0);
+        for (a, b) in l1.iter().zip(&l2) {
+            prop_assert!((a - 2.0 * b).abs() <= 1e-9 * (1.0 + a.abs()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ofdm_roundtrip_arbitrary_bins(values in prop::collection::vec((-2.0..2.0f64, -2.0..2.0f64), FFT_LEN)) {
+        let mut bins = [Complex64::ZERO; FFT_LEN];
+        for (b, (re, im)) in bins.iter_mut().zip(values) {
+            *b = Complex64::new(re, im);
+        }
+        let ofdm = Ofdm::new();
+        let scale = Ofdm::unit_power_scale(56);
+        let sym = ofdm.modulate_bins(&bins, scale);
+        let back = ofdm.demodulate(&sym, scale);
+        for (a, b) in bins.iter().zip(back.iter()) {
+            prop_assert!(a.dist(*b) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn carrier_bin_bijection(k in -32i32..32) {
+        prop_assert_eq!(bin_to_carrier(carrier_to_bin(k)), k);
+    }
+}
+
+proptest! {
+    #[test]
+    fn lsig_roundtrip(rate_idx in 0usize..8, len in 1u16..4096) {
+        let rate = mimonet_frame::sig::LEGACY_RATE_CODES[rate_idx].1;
+        let sig = LSig::new(rate, len);
+        prop_assert_eq!(LSig::decode(&sig.encode()), Ok(sig));
+    }
+
+    #[test]
+    fn htsig_roundtrip(mcs in 0u8..16, len in any::<u16>()) {
+        let sig = HtSig::new(mcs, len);
+        prop_assert_eq!(HtSig::decode(&sig.encode()), Ok(sig));
+    }
+
+    #[test]
+    fn htsig_single_flip_always_detected(mcs in 0u8..16, len in any::<u16>(), pos in 0usize..42) {
+        let mut bits = HtSig::new(mcs, len).encode();
+        bits[pos] ^= 1;
+        prop_assert!(HtSig::decode(&bits).is_err());
+    }
+
+    #[test]
+    fn mpdu_roundtrip(
+        src in any::<[u8; 6]>(),
+        dst in any::<[u8; 6]>(),
+        seq in 0u16..0x1000,
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mpdu = Mpdu::data(src, dst, seq, payload);
+        let psdu = mpdu.to_psdu();
+        prop_assert_eq!(psdu.len(), mpdu.psdu_len());
+        prop_assert_eq!(Mpdu::from_psdu(&psdu), Some(mpdu));
+    }
+
+    #[test]
+    fn mac_header_roundtrip(duration in any::<u16>(), seq in any::<u16>()) {
+        let h = MacHeader {
+            frame_type: FrameType::Data,
+            duration,
+            dst: [1; 6],
+            src: [2; 6],
+            seq,
+        };
+        let parsed = MacHeader::from_bytes(&h.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.duration, duration);
+        prop_assert_eq!(parsed.seq, seq & 0x0FFF);
+    }
+
+    #[test]
+    fn mcs_padding_invariants(idx in 0u8..16, payload_bits in 0usize..20000) {
+        let mcs = Mcs::from_index(idx).unwrap();
+        let pad = mcs.pad_bits(payload_bits);
+        let syms = mcs.num_symbols(payload_bits);
+        prop_assert!(pad < mcs.n_dbps());
+        prop_assert_eq!(16 + payload_bits + 6 + pad, syms * mcs.n_dbps());
+        prop_assert!(syms >= 1);
+    }
+}

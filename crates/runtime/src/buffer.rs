@@ -1,0 +1,318 @@
+//! Stream items, tags and the buffers blocks read from / write to.
+//!
+//! GNU Radio streams are typed (`gr_complex`, `float`, `char`); MIMONet's
+//! runtime carries a small tagged union [`Item`] instead, which keeps the
+//! scheduler monomorphic while still letting a graph mix sample, soft-bit
+//! and byte streams. Stream [`Tag`]s ride along at absolute item offsets —
+//! the mechanism the transceiver uses to mark frame starts and carry
+//! decoded headers downstream, exactly like GNU Radio's stream tags.
+
+use std::collections::VecDeque;
+
+/// One item on a stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Item {
+    /// A complex baseband sample.
+    Complex(f64, f64),
+    /// A real value (soft bit, metric, ...).
+    Real(f64),
+    /// A byte (hard bits, octets).
+    Byte(u8),
+}
+
+impl Item {
+    /// Interprets as a complex sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the item is not `Complex` — a graph type error.
+    pub fn complex(self) -> (f64, f64) {
+        match self {
+            Item::Complex(re, im) => (re, im),
+            other => panic!("stream type error: expected Complex, got {other:?}"),
+        }
+    }
+
+    /// Interprets as a real value.
+    pub fn real(self) -> f64 {
+        match self {
+            Item::Real(v) => v,
+            other => panic!("stream type error: expected Real, got {other:?}"),
+        }
+    }
+
+    /// Interprets as a byte.
+    pub fn byte(self) -> u8 {
+        match self {
+            Item::Byte(b) => b,
+            other => panic!("stream type error: expected Byte, got {other:?}"),
+        }
+    }
+}
+
+/// Value carried by a stream tag.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TagValue {
+    /// Unsigned integer payload (lengths, indices).
+    U64(u64),
+    /// Float payload (CFO estimates, SNR).
+    F64(f64),
+    /// Byte payload (decoded headers).
+    Bytes(Vec<u8>),
+}
+
+/// A stream tag at an absolute item offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tag {
+    /// Absolute offset (in items since stream start) of the tagged item.
+    pub offset: u64,
+    /// Key, e.g. `"frame_start"`.
+    pub key: String,
+    /// Payload.
+    pub value: TagValue,
+}
+
+/// The read side of an edge, presented to a block's `work`.
+#[derive(Debug, Default)]
+pub struct InputBuffer {
+    items: VecDeque<Item>,
+    tags: VecDeque<Tag>,
+    /// Absolute offset of `items[0]`.
+    read_offset: u64,
+    /// Upstream has finished and will produce no more items.
+    pub(crate) upstream_done: bool,
+}
+
+impl InputBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Items currently readable.
+    pub fn available(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the upstream block has finished (no more data will
+    /// arrive beyond what [`Self::available`] reports).
+    pub fn is_finished(&self) -> bool {
+        self.upstream_done
+    }
+
+    /// Absolute offset of the next readable item.
+    pub fn offset(&self) -> u64 {
+        self.read_offset
+    }
+
+    /// Peeks at item `i` (0 = next) without consuming.
+    pub fn peek(&self, i: usize) -> Option<Item> {
+        self.items.get(i).copied()
+    }
+
+    /// Consumes and returns up to `n` items.
+    pub fn take(&mut self, n: usize) -> Vec<Item> {
+        let n = n.min(self.items.len());
+        let out: Vec<Item> = self.items.drain(..n).collect();
+        self.read_offset += n as u64;
+        // Drop tags that fell behind the read pointer.
+        while matches!(self.tags.front(), Some(t) if t.offset < self.read_offset) {
+            self.tags.pop_front();
+        }
+        out
+    }
+
+    /// Discards up to `n` items without returning them.
+    pub fn skip(&mut self, n: usize) {
+        let n = n.min(self.items.len());
+        self.items.drain(..n);
+        self.read_offset += n as u64;
+        while matches!(self.tags.front(), Some(t) if t.offset < self.read_offset) {
+            self.tags.pop_front();
+        }
+    }
+
+    /// Tags within the next `n` readable items.
+    pub fn tags_in_window(&self, n: usize) -> Vec<&Tag> {
+        let end = self.read_offset + n as u64;
+        self.tags
+            .iter()
+            .filter(|t| t.offset >= self.read_offset && t.offset < end)
+            .collect()
+    }
+
+    /// Feeds items (scheduler side).
+    pub(crate) fn push_items(&mut self, items: impl IntoIterator<Item = Item>) {
+        self.items.extend(items);
+    }
+
+    /// Feeds a tag (scheduler side).
+    pub(crate) fn push_tag(&mut self, tag: Tag) {
+        self.tags.push_back(tag);
+    }
+}
+
+/// The write side of an edge.
+#[derive(Debug, Default)]
+pub struct OutputBuffer {
+    items: Vec<Item>,
+    tags: Vec<Tag>,
+    /// Absolute offset of the next item this block writes.
+    write_offset: u64,
+}
+
+impl OutputBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absolute offset the next pushed item will have.
+    pub fn offset(&self) -> u64 {
+        self.write_offset
+    }
+
+    /// Appends one item.
+    pub fn push(&mut self, item: Item) {
+        self.items.push(item);
+        self.write_offset += 1;
+    }
+
+    /// Appends many items.
+    pub fn push_slice(&mut self, items: &[Item]) {
+        self.items.extend_from_slice(items);
+        self.write_offset += items.len() as u64;
+    }
+
+    /// Attaches a tag at absolute offset `offset` (usually
+    /// `self.offset()` before pushing the tagged item).
+    pub fn add_tag(&mut self, offset: u64, key: impl Into<String>, value: TagValue) {
+        self.tags.push(Tag { offset, key: key.into(), value });
+    }
+
+    /// Items produced since the last drain.
+    pub fn pending(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Drains produced items and tags (scheduler side).
+    pub(crate) fn drain(&mut self) -> (Vec<Item>, Vec<Tag>) {
+        (std::mem::take(&mut self.items), std::mem::take(&mut self.tags))
+    }
+}
+
+/// Convenience conversions between `Item` streams and concrete types.
+pub mod convert {
+    use super::Item;
+
+    /// Wraps complex samples.
+    pub fn from_complex(xs: &[mimonet_dsp::complex::Complex64]) -> Vec<Item> {
+        xs.iter().map(|c| Item::Complex(c.re, c.im)).collect()
+    }
+
+    /// Unwraps complex samples.
+    pub fn to_complex(items: &[Item]) -> Vec<mimonet_dsp::complex::Complex64> {
+        items
+            .iter()
+            .map(|i| {
+                let (re, im) = i.complex();
+                mimonet_dsp::complex::Complex64::new(re, im)
+            })
+            .collect()
+    }
+
+    /// Wraps bytes.
+    pub fn from_bytes(bs: &[u8]) -> Vec<Item> {
+        bs.iter().map(|&b| Item::Byte(b)).collect()
+    }
+
+    /// Unwraps bytes.
+    pub fn to_bytes(items: &[Item]) -> Vec<u8> {
+        items.iter().map(|i| i.byte()).collect()
+    }
+
+    /// Wraps reals.
+    pub fn from_reals(rs: &[f64]) -> Vec<Item> {
+        rs.iter().map(|&r| Item::Real(r)).collect()
+    }
+
+    /// Unwraps reals.
+    pub fn to_reals(items: &[Item]) -> Vec<f64> {
+        items.iter().map(|i| i.real()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_accessors() {
+        assert_eq!(Item::Complex(1.0, -2.0).complex(), (1.0, -2.0));
+        assert_eq!(Item::Real(0.5).real(), 0.5);
+        assert_eq!(Item::Byte(7).byte(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream type error")]
+    fn type_mismatch_panics() {
+        Item::Byte(1).complex();
+    }
+
+    #[test]
+    fn input_take_and_offsets() {
+        let mut buf = InputBuffer::new();
+        buf.push_items((0..10u8).map(Item::Byte));
+        assert_eq!(buf.available(), 10);
+        assert_eq!(buf.offset(), 0);
+        let got = buf.take(4);
+        assert_eq!(got.len(), 4);
+        assert_eq!(buf.offset(), 4);
+        assert_eq!(buf.peek(0), Some(Item::Byte(4)));
+        buf.skip(3);
+        assert_eq!(buf.offset(), 7);
+        assert_eq!(buf.take(100).len(), 3);
+    }
+
+    #[test]
+    fn tags_follow_the_read_pointer() {
+        let mut buf = InputBuffer::new();
+        buf.push_items((0..20u8).map(Item::Byte));
+        buf.push_tag(Tag { offset: 5, key: "a".into(), value: TagValue::U64(1) });
+        buf.push_tag(Tag { offset: 15, key: "b".into(), value: TagValue::U64(2) });
+        assert_eq!(buf.tags_in_window(10).len(), 1);
+        buf.take(6); // read past tag "a"
+        assert_eq!(buf.tags_in_window(20).len(), 1);
+        assert_eq!(buf.tags_in_window(20)[0].key, "b");
+    }
+
+    #[test]
+    fn output_offsets_and_tags() {
+        let mut out = OutputBuffer::new();
+        assert_eq!(out.offset(), 0);
+        out.push(Item::Real(1.0));
+        let frame_start = out.offset();
+        out.add_tag(frame_start, "frame_start", TagValue::U64(42));
+        out.push_slice(&[Item::Real(2.0), Item::Real(3.0)]);
+        assert_eq!(out.offset(), 3);
+        let (items, tags) = out.drain();
+        assert_eq!(items.len(), 3);
+        assert_eq!(tags.len(), 1);
+        assert_eq!(tags[0].offset, 1);
+        assert_eq!(out.pending(), 0);
+        // Offsets keep counting after a drain.
+        out.push(Item::Real(4.0));
+        assert_eq!(out.offset(), 4);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        use mimonet_dsp::complex::C64;
+        let cs = vec![C64::new(1.0, 2.0), C64::new(-0.5, 0.0)];
+        assert_eq!(convert::to_complex(&convert::from_complex(&cs)), cs);
+        let bs = vec![1u8, 2, 255];
+        assert_eq!(convert::to_bytes(&convert::from_bytes(&bs)), bs);
+        let rs = vec![0.25, -1.5];
+        assert_eq!(convert::to_reals(&convert::from_reals(&rs)), rs);
+    }
+}

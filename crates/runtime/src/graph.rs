@@ -1,0 +1,657 @@
+//! Flowgraph topology and schedulers.
+//!
+//! [`Flowgraph`] owns blocks and the directed edges between their stream
+//! ports, validates the topology, and runs it to completion with either
+//! the deterministic single-threaded scheduler ([`Flowgraph::run`]) or one
+//! thread per block connected by bounded channels
+//! ([`Flowgraph::run_threaded`]) — the same two execution models GNU Radio
+//! offers (single-threaded scheduler vs. thread-per-block).
+//!
+//! Each output port connects to exactly one input port; use
+//! [`crate::block::FanoutBlock`] to duplicate a stream.
+
+// Index-based loops here are the clearer expression of the math
+// (matrix/carrier indexing); silence the iterator-style suggestion.
+#![allow(clippy::needless_range_loop)]
+use crate::block::{Block, BlockCtx, WorkStatus};
+use crate::buffer::{InputBuffer, OutputBuffer};
+use crate::message::MessageHub;
+use std::collections::HashMap;
+
+/// Identifies a block inside a flowgraph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BlockId(usize);
+
+/// Topology or execution error.
+#[derive(Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// Port index out of range for the named block.
+    BadPort { block: String, port: usize, is_input: bool },
+    /// The port is already connected.
+    PortTaken { block: String, port: usize, is_input: bool },
+    /// A port was left unconnected at run time.
+    Unconnected { block: String, port: usize, is_input: bool },
+    /// No block made progress but not all finished — a livelock (usually a
+    /// block that never reports `Done`).
+    Deadlock { stuck: Vec<String> },
+    /// A block thread panicked in the threaded scheduler.
+    BlockPanicked { block: String },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::BadPort { block, port, is_input } => write!(
+                f,
+                "{} port {port} out of range on block '{block}'",
+                if *is_input { "input" } else { "output" }
+            ),
+            GraphError::PortTaken { block, port, is_input } => write!(
+                f,
+                "{} port {port} on block '{block}' already connected",
+                if *is_input { "input" } else { "output" }
+            ),
+            GraphError::Unconnected { block, port, is_input } => write!(
+                f,
+                "{} port {port} on block '{block}' is not connected",
+                if *is_input { "input" } else { "output" }
+            ),
+            GraphError::Deadlock { stuck } => {
+                write!(f, "flowgraph deadlocked; stuck blocks: {}", stuck.join(", "))
+            }
+            GraphError::BlockPanicked { block } => write!(f, "block '{block}' panicked"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+struct Entry {
+    block: Box<dyn Block>,
+    name: String,
+    n_in: usize,
+    n_out: usize,
+}
+
+/// A directed flowgraph of blocks.
+#[derive(Default)]
+pub struct Flowgraph {
+    blocks: Vec<Entry>,
+    /// (src, src_port) → (dst, dst_port)
+    edges: HashMap<(usize, usize), (usize, usize)>,
+    /// (dst, dst_port) → (src, src_port)
+    redges: HashMap<(usize, usize), (usize, usize)>,
+}
+
+impl Flowgraph {
+    /// Creates an empty flowgraph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a block, returning its id.
+    pub fn add(&mut self, block: impl Block + 'static) -> BlockId {
+        let name = block.name().to_string();
+        let n_in = block.num_inputs();
+        let n_out = block.num_outputs();
+        self.blocks.push(Entry { block: Box::new(block), name, n_in, n_out });
+        BlockId(self.blocks.len() - 1)
+    }
+
+    /// Connects `src`'s output `src_port` to `dst`'s input `dst_port`.
+    pub fn connect(
+        &mut self,
+        src: BlockId,
+        src_port: usize,
+        dst: BlockId,
+        dst_port: usize,
+    ) -> Result<(), GraphError> {
+        let se = &self.blocks[src.0];
+        if src_port >= se.n_out {
+            return Err(GraphError::BadPort { block: se.name.clone(), port: src_port, is_input: false });
+        }
+        let de = &self.blocks[dst.0];
+        if dst_port >= de.n_in {
+            return Err(GraphError::BadPort { block: de.name.clone(), port: dst_port, is_input: true });
+        }
+        if self.edges.contains_key(&(src.0, src_port)) {
+            return Err(GraphError::PortTaken {
+                block: self.blocks[src.0].name.clone(),
+                port: src_port,
+                is_input: false,
+            });
+        }
+        if self.redges.contains_key(&(dst.0, dst_port)) {
+            return Err(GraphError::PortTaken {
+                block: self.blocks[dst.0].name.clone(),
+                port: dst_port,
+                is_input: true,
+            });
+        }
+        self.edges.insert((src.0, src_port), (dst.0, dst_port));
+        self.redges.insert((dst.0, dst_port), (src.0, src_port));
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), GraphError> {
+        for (i, e) in self.blocks.iter().enumerate() {
+            for p in 0..e.n_out {
+                if !self.edges.contains_key(&(i, p)) {
+                    return Err(GraphError::Unconnected { block: e.name.clone(), port: p, is_input: false });
+                }
+            }
+            for p in 0..e.n_in {
+                if !self.redges.contains_key(&(i, p)) {
+                    return Err(GraphError::Unconnected { block: e.name.clone(), port: p, is_input: true });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs single-threaded until every block reports `Done`. Deterministic
+    /// and easiest to debug; the default for tests and experiments.
+    pub fn run(&mut self, hub: &MessageHub) -> Result<(), GraphError> {
+        self.validate()?;
+        let n = self.blocks.len();
+        let mut inputs: Vec<Vec<InputBuffer>> =
+            self.blocks.iter().map(|e| (0..e.n_in).map(|_| InputBuffer::new()).collect()).collect();
+        let mut outputs: Vec<Vec<OutputBuffer>> =
+            self.blocks.iter().map(|e| (0..e.n_out).map(|_| OutputBuffer::new()).collect()).collect();
+        let mut done = vec![false; n];
+
+        loop {
+            let mut progress = false;
+            for i in 0..n {
+                if done[i] {
+                    continue;
+                }
+                let status = {
+                    let mut ctx = BlockCtx { msgs: hub };
+                    // Split-borrow: take this block's buffers out briefly.
+                    let mut my_inputs = std::mem::take(&mut inputs[i]);
+                    let mut my_outputs = std::mem::take(&mut outputs[i]);
+                    let st = self.blocks[i].block.work(&mut my_inputs, &mut my_outputs, &mut ctx);
+                    inputs[i] = my_inputs;
+                    outputs[i] = my_outputs;
+                    st
+                };
+                // Ship produced items downstream.
+                for p in 0..self.blocks[i].n_out {
+                    let (items, tags) = outputs[i][p].drain();
+                    if items.is_empty() && tags.is_empty() {
+                        continue;
+                    }
+                    let &(di, dp) = self.edges.get(&(i, p)).expect("validated");
+                    inputs[di][dp].push_items(items);
+                    for t in tags {
+                        inputs[di][dp].push_tag(t);
+                    }
+                }
+                match status {
+                    WorkStatus::Progress => progress = true,
+                    WorkStatus::Blocked => {}
+                    WorkStatus::Done => {
+                        done[i] = true;
+                        progress = true;
+                        for p in 0..self.blocks[i].n_out {
+                            let &(di, dp) = self.edges.get(&(i, p)).expect("validated");
+                            inputs[di][dp].upstream_done = true;
+                        }
+                    }
+                }
+            }
+            if done.iter().all(|&d| d) {
+                return Ok(());
+            }
+            if !progress {
+                let stuck = self
+                    .blocks
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !done[*i])
+                    .map(|(_, e)| e.name.clone())
+                    .collect();
+                return Err(GraphError::Deadlock { stuck });
+            }
+        }
+    }
+
+    /// Runs one thread per block, edges as bounded channels (the
+    /// thread-per-block model). Results are identical to [`Flowgraph::run`]
+    /// for well-behaved blocks; ordering of message-hub publications may
+    /// differ.
+    pub fn run_threaded(self, hub: std::sync::Arc<MessageHub>) -> Result<(), GraphError> {
+        self.validate()?;
+        use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+        type Chunk = (Vec<crate::buffer::Item>, Vec<crate::buffer::Tag>);
+
+        let n = self.blocks.len();
+        // Build channels per edge.
+        let mut senders: Vec<Vec<Option<Sender<Chunk>>>> =
+            self.blocks.iter().map(|e| (0..e.n_out).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Chunk>>>> =
+            self.blocks.iter().map(|e| (0..e.n_in).map(|_| None).collect()).collect();
+        for (&(si, sp), &(di, dp)) in &self.edges {
+            let (tx, rx) = bounded::<Chunk>(64);
+            senders[si][sp] = Some(tx);
+            receivers[di][dp] = Some(rx);
+        }
+
+        let mut handles = Vec::with_capacity(n);
+        let mut names = Vec::with_capacity(n);
+        for (i, entry) in self.blocks.into_iter().enumerate() {
+            let mut block = entry.block;
+            names.push(entry.name.clone());
+            let my_senders: Vec<Sender<Chunk>> =
+                senders[i].iter_mut().map(|s| s.take().expect("validated")).collect();
+            let my_receivers: Vec<Receiver<Chunk>> =
+                receivers[i].iter_mut().map(|r| r.take().expect("validated")).collect();
+            let hub = hub.clone();
+            let n_in = entry.n_in;
+            let n_out = entry.n_out;
+            handles.push(std::thread::spawn(move || {
+                let mut inputs: Vec<InputBuffer> = (0..n_in).map(|_| InputBuffer::new()).collect();
+                let mut outputs: Vec<OutputBuffer> = (0..n_out).map(|_| OutputBuffer::new()).collect();
+                loop {
+                    // Drain whatever has arrived.
+                    for (buf, rx) in inputs.iter_mut().zip(&my_receivers) {
+                        loop {
+                            match rx.try_recv() {
+                                Ok((items, tags)) => {
+                                    buf.push_items(items);
+                                    for t in tags {
+                                        buf.push_tag(t);
+                                    }
+                                }
+                                Err(crossbeam::channel::TryRecvError::Empty) => break,
+                                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                                    buf.upstream_done = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    let mut ctx = BlockCtx { msgs: &hub };
+                    let status = block.work(&mut inputs, &mut outputs, &mut ctx);
+                    // Ship outputs (with backpressure).
+                    for (out, tx) in outputs.iter_mut().zip(&my_senders) {
+                        let (items, tags) = out.drain();
+                        if items.is_empty() && tags.is_empty() {
+                            continue;
+                        }
+                        if tx.send((items, tags)).is_err() {
+                            // Downstream gone; nothing more to do with this
+                            // port's data.
+                        }
+                    }
+                    match status {
+                        WorkStatus::Done => break,
+                        WorkStatus::Progress => {}
+                        WorkStatus::Blocked => {
+                            // Wait for any input rather than spinning.
+                            if my_receivers.is_empty() {
+                                break; // blocked source = done
+                            }
+                            match my_receivers[0].recv_timeout(std::time::Duration::from_millis(1)) {
+                                Ok((items, tags)) => {
+                                    inputs[0].push_items(items);
+                                    for t in tags {
+                                        inputs[0].push_tag(t);
+                                    }
+                                }
+                                Err(RecvTimeoutError::Timeout) => {}
+                                Err(RecvTimeoutError::Disconnected) => {
+                                    inputs[0].upstream_done = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Dropping senders signals downstream completion.
+            }));
+        }
+
+        let mut panicked = None;
+        for (h, name) in handles.into_iter().zip(names) {
+            if h.join().is_err() && panicked.is_none() {
+                panicked = Some(name);
+            }
+        }
+        match panicked {
+            Some(block) => Err(GraphError::BlockPanicked { block }),
+            None => Ok(()),
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when the graph has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{ChunkBlock, FanoutBlock, MapBlock, VectorSink, VectorSource, ZipBlock};
+    use crate::buffer::Item;
+
+    #[test]
+    fn linear_pipeline_runs() {
+        let mut fg = Flowgraph::new();
+        let src = fg.add(VectorSource::new((0..100u8).map(Item::Byte).collect()).with_chunk(7));
+        let map = fg.add(MapBlock::new("double", |i| Item::Byte(i.byte().wrapping_mul(2))));
+        let (sink, handle) = VectorSink::new();
+        let sink = fg.add(sink);
+        fg.connect(src, 0, map, 0).unwrap();
+        fg.connect(map, 0, sink, 0).unwrap();
+        fg.run(&MessageHub::new()).unwrap();
+        let want: Vec<u8> = (0..100u8).map(|b| b.wrapping_mul(2)).collect();
+        assert_eq!(handle.bytes(), want);
+    }
+
+    #[test]
+    fn rate_changing_pipeline() {
+        let mut fg = Flowgraph::new();
+        let src = fg.add(VectorSource::new((0..64u8).map(Item::Byte).collect()).with_chunk(5));
+        // 8:1 decimator summing chunks (wrapping — bytes overflow past 255).
+        let dec = fg.add(ChunkBlock::new("sum8", 8, |c| {
+            vec![Item::Byte(c.iter().fold(0u8, |a, i| a.wrapping_add(i.byte())))]
+        }));
+        let (sink, handle) = VectorSink::new();
+        let sink = fg.add(sink);
+        fg.connect(src, 0, dec, 0).unwrap();
+        fg.connect(dec, 0, sink, 0).unwrap();
+        fg.run(&MessageHub::new()).unwrap();
+        assert_eq!(handle.len(), 8);
+        assert_eq!(handle.bytes()[0], (0..8u8).sum::<u8>());
+    }
+
+    #[test]
+    fn fanout_and_zip_topology() {
+        let mut fg = Flowgraph::new();
+        let src = fg.add(VectorSource::new((1..=10u8).map(Item::Byte).collect()));
+        let fan = fg.add(FanoutBlock::new(2));
+        let inc = fg.add(MapBlock::new("inc", |i| Item::Byte(i.byte() + 1)));
+        let dec = fg.add(MapBlock::new("dec", |i| Item::Byte(i.byte() - 1)));
+        let zip = fg.add(ZipBlock::new(2));
+        let (sink, handle) = VectorSink::new();
+        let sink = fg.add(sink);
+        fg.connect(src, 0, fan, 0).unwrap();
+        fg.connect(fan, 0, inc, 0).unwrap();
+        fg.connect(fan, 1, dec, 0).unwrap();
+        fg.connect(inc, 0, zip, 0).unwrap();
+        fg.connect(dec, 0, zip, 1).unwrap();
+        fg.connect(zip, 0, sink, 0).unwrap();
+        fg.run(&MessageHub::new()).unwrap();
+        let got = handle.bytes();
+        assert_eq!(got.len(), 20);
+        assert_eq!(&got[..4], &[2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn threaded_matches_single_threaded() {
+        let build = || {
+            let mut fg = Flowgraph::new();
+            let src = fg.add(VectorSource::new((0..500u32).map(|i| Item::Real(i as f64)).collect()).with_chunk(13));
+            let sq = fg.add(MapBlock::new("square", |i| {
+                let v = i.real();
+                Item::Real(v * v)
+            }));
+            let (sink, handle) = VectorSink::new();
+            let sink = fg.add(sink);
+            fg.connect(src, 0, sq, 0).unwrap();
+            fg.connect(sq, 0, sink, 0).unwrap();
+            (fg, handle)
+        };
+        let (mut fg1, h1) = build();
+        fg1.run(&MessageHub::new()).unwrap();
+        let (fg2, h2) = build();
+        fg2.run_threaded(std::sync::Arc::new(MessageHub::new())).unwrap();
+        assert_eq!(h1.reals(), h2.reals());
+    }
+
+    #[test]
+    fn unconnected_port_detected() {
+        let mut fg = Flowgraph::new();
+        let _src = fg.add(VectorSource::new(vec![Item::Byte(1)]));
+        let err = fg.run(&MessageHub::new()).unwrap_err();
+        assert!(matches!(err, GraphError::Unconnected { is_input: false, .. }), "{err}");
+    }
+
+    #[test]
+    fn double_connect_rejected() {
+        let mut fg = Flowgraph::new();
+        let src = fg.add(VectorSource::new(vec![Item::Byte(1)]));
+        let (s1, _h1) = VectorSink::new();
+        let (s2, _h2) = VectorSink::new();
+        let a = fg.add(s1);
+        let b = fg.add(s2);
+        fg.connect(src, 0, a, 0).unwrap();
+        assert!(matches!(
+            fg.connect(src, 0, b, 0),
+            Err(GraphError::PortTaken { is_input: false, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_port_rejected() {
+        let mut fg = Flowgraph::new();
+        let src = fg.add(VectorSource::new(vec![]));
+        let (sink, _h) = VectorSink::new();
+        let sink = fg.add(sink);
+        assert!(matches!(
+            fg.connect(src, 1, sink, 0),
+            Err(GraphError::BadPort { is_input: false, .. })
+        ));
+        assert!(matches!(
+            fg.connect(src, 0, sink, 3),
+            Err(GraphError::BadPort { is_input: true, .. })
+        ));
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        /// A pathological block that always claims Blocked.
+        struct Stuck;
+        impl crate::block::Block for Stuck {
+            fn name(&self) -> &str {
+                "stuck"
+            }
+            fn num_inputs(&self) -> usize {
+                1
+            }
+            fn num_outputs(&self) -> usize {
+                0
+            }
+            fn work(
+                &mut self,
+                _i: &mut [InputBuffer],
+                _o: &mut [OutputBuffer],
+                _c: &mut BlockCtx<'_>,
+            ) -> WorkStatus {
+                WorkStatus::Blocked
+            }
+        }
+        let mut fg = Flowgraph::new();
+        let src = fg.add(VectorSource::new(vec![Item::Byte(1)]));
+        let stuck = fg.add(Stuck);
+        fg.connect(src, 0, stuck, 0).unwrap();
+        let err = fg.run(&MessageHub::new()).unwrap_err();
+        assert!(matches!(err, GraphError::Deadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn threaded_scheduler_reports_block_panics() {
+        struct Bomb;
+        impl crate::block::Block for Bomb {
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn num_inputs(&self) -> usize {
+                1
+            }
+            fn num_outputs(&self) -> usize {
+                0
+            }
+            fn work(
+                &mut self,
+                i: &mut [InputBuffer],
+                _o: &mut [OutputBuffer],
+                _c: &mut BlockCtx<'_>,
+            ) -> WorkStatus {
+                if i[0].available() > 0 {
+                    panic!("boom");
+                }
+                if i[0].is_finished() {
+                    WorkStatus::Done
+                } else {
+                    WorkStatus::Blocked
+                }
+            }
+        }
+        let mut fg = Flowgraph::new();
+        let src = fg.add(VectorSource::new(vec![crate::buffer::Item::Byte(1)]));
+        let bomb = fg.add(Bomb);
+        fg.connect(src, 0, bomb, 0).unwrap();
+        let err = fg
+            .run_threaded(std::sync::Arc::new(MessageHub::new()))
+            .unwrap_err();
+        match err {
+            GraphError::BlockPanicked { block } => assert_eq!(block, "bomb"),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_graph_runs_trivially() {
+        let mut fg = Flowgraph::new();
+        assert!(fg.is_empty());
+        fg.run(&MessageHub::new()).unwrap();
+        assert_eq!(fg.len(), 0);
+    }
+
+    #[test]
+    fn tags_travel_with_items() {
+        use crate::buffer::{Tag, TagValue};
+        /// Source that tags item 3.
+        struct TaggingSource {
+            sent: bool,
+        }
+        impl crate::block::Block for TaggingSource {
+            fn name(&self) -> &str {
+                "tagging_source"
+            }
+            fn num_inputs(&self) -> usize {
+                0
+            }
+            fn num_outputs(&self) -> usize {
+                1
+            }
+            fn work(
+                &mut self,
+                _i: &mut [InputBuffer],
+                o: &mut [OutputBuffer],
+                _c: &mut BlockCtx<'_>,
+            ) -> WorkStatus {
+                if self.sent {
+                    return WorkStatus::Done;
+                }
+                for k in 0..8u8 {
+                    if k == 3 {
+                        o[0].add_tag(o[0].offset(), "frame_start", TagValue::U64(99));
+                    }
+                    o[0].push(Item::Byte(k));
+                }
+                self.sent = true;
+                WorkStatus::Progress
+            }
+        }
+        /// Sink that records tag positions.
+        struct TagSink {
+            seen: std::sync::Arc<parking_lot::Mutex<Vec<Tag>>>,
+        }
+        impl crate::block::Block for TagSink {
+            fn name(&self) -> &str {
+                "tag_sink"
+            }
+            fn num_inputs(&self) -> usize {
+                1
+            }
+            fn num_outputs(&self) -> usize {
+                0
+            }
+            fn work(
+                &mut self,
+                i: &mut [InputBuffer],
+                _o: &mut [OutputBuffer],
+                _c: &mut BlockCtx<'_>,
+            ) -> WorkStatus {
+                let n = i[0].available();
+                if n == 0 {
+                    return if i[0].is_finished() { WorkStatus::Done } else { WorkStatus::Blocked };
+                }
+                let tags: Vec<Tag> = i[0].tags_in_window(n).into_iter().cloned().collect();
+                self.seen.lock().extend(tags);
+                i[0].take(n);
+                WorkStatus::Progress
+            }
+        }
+        let seen = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut fg = Flowgraph::new();
+        let src = fg.add(TaggingSource { sent: false });
+        let sink = fg.add(TagSink { seen: seen.clone() });
+        fg.connect(src, 0, sink, 0).unwrap();
+        fg.run(&MessageHub::new()).unwrap();
+        let tags = seen.lock();
+        assert_eq!(tags.len(), 1);
+        assert_eq!(tags[0].offset, 3);
+        assert_eq!(tags[0].key, "frame_start");
+    }
+
+    #[test]
+    fn messages_published_during_run_are_received() {
+        struct Publisher {
+            done: bool,
+        }
+        impl crate::block::Block for Publisher {
+            fn name(&self) -> &str {
+                "publisher"
+            }
+            fn num_inputs(&self) -> usize {
+                0
+            }
+            fn num_outputs(&self) -> usize {
+                1
+            }
+            fn work(
+                &mut self,
+                _i: &mut [InputBuffer],
+                o: &mut [OutputBuffer],
+                c: &mut BlockCtx<'_>,
+            ) -> WorkStatus {
+                if self.done {
+                    return WorkStatus::Done;
+                }
+                c.msgs.publish("snr", crate::message::Message::F64(17.0));
+                o[0].push(Item::Byte(0));
+                self.done = true;
+                WorkStatus::Progress
+            }
+        }
+        let mut fg = Flowgraph::new();
+        let p = fg.add(Publisher { done: false });
+        let (sink, _h) = VectorSink::new();
+        let sink = fg.add(sink);
+        fg.connect(p, 0, sink, 0).unwrap();
+        let hub = MessageHub::new();
+        let sub = hub.subscribe("snr");
+        fg.run(&hub).unwrap();
+        assert_eq!(sub.drain(), vec![crate::message::Message::F64(17.0)]);
+    }
+}

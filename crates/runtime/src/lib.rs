@@ -1,0 +1,26 @@
+//! # mimonet-runtime
+//!
+//! A GNU-Radio-like flowgraph runtime — MIMONet-rs's substitute for the
+//! GNU Radio block scheduler the SRIF'14 paper builds on (see DESIGN.md
+//! "Substitutions"). It reproduces the programming model the paper's
+//! blocks assume:
+//!
+//! * [`block::Block`] — `general_work`-style processing with arbitrary
+//!   consume/produce rates,
+//! * [`buffer`] — typed stream items with absolute-offset stream tags,
+//! * [`message`] — out-of-band publish/subscribe message ports,
+//! * [`graph::Flowgraph`] — topology building plus two schedulers:
+//!   deterministic single-threaded and thread-per-block over bounded
+//!   channels.
+
+pub mod block;
+pub mod buffer;
+pub mod graph;
+pub mod message;
+pub mod stdblocks;
+
+pub use block::{Block, BlockCtx, ChunkBlock, FanoutBlock, MapBlock, SinkHandle, VectorSink, VectorSource, WorkStatus, ZipBlock};
+pub use buffer::{convert, InputBuffer, Item, OutputBuffer, Tag, TagValue};
+pub use graph::{BlockId, Flowgraph, GraphError};
+pub use message::{Message, MessageHub, Subscription};
+pub use stdblocks::{AddBlock, HeadBlock, MultiplyConstBlock, NullSink, PowerProbe};

@@ -1,0 +1,339 @@
+//! Standard utility blocks — the everyday vocabulary a flowgraph library
+//! needs around the domain-specific blocks (GNU Radio's `blocks/`
+//! namespace equivalent).
+
+use crate::block::{Block, BlockCtx, WorkStatus};
+use crate::buffer::{InputBuffer, Item, OutputBuffer};
+
+/// Passes the first `n` items, then finishes (GNU Radio `head`). Useful
+/// to bound otherwise endless sources in tests and benchmarks.
+pub struct HeadBlock {
+    remaining: usize,
+}
+
+impl HeadBlock {
+    /// Creates a head block passing `n` items.
+    pub fn new(n: usize) -> Self {
+        Self { remaining: n }
+    }
+}
+
+impl Block for HeadBlock {
+    fn name(&self) -> &str {
+        "head"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn work(
+        &mut self,
+        inputs: &mut [InputBuffer],
+        outputs: &mut [OutputBuffer],
+        _ctx: &mut BlockCtx<'_>,
+    ) -> WorkStatus {
+        if self.remaining == 0 {
+            return WorkStatus::Done;
+        }
+        let take = inputs[0].available().min(self.remaining);
+        if take == 0 {
+            return if inputs[0].is_finished() { WorkStatus::Done } else { WorkStatus::Blocked };
+        }
+        let items = inputs[0].take(take);
+        outputs[0].push_slice(&items);
+        self.remaining -= take;
+        WorkStatus::Progress
+    }
+}
+
+/// Discards everything (GNU Radio `null_sink`). Terminates dangling ports.
+pub struct NullSink;
+
+impl Block for NullSink {
+    fn name(&self) -> &str {
+        "null_sink"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        0
+    }
+    fn work(
+        &mut self,
+        inputs: &mut [InputBuffer],
+        _outputs: &mut [OutputBuffer],
+        _ctx: &mut BlockCtx<'_>,
+    ) -> WorkStatus {
+        let n = inputs[0].available();
+        if n > 0 {
+            inputs[0].skip(n);
+            WorkStatus::Progress
+        } else if inputs[0].is_finished() {
+            WorkStatus::Done
+        } else {
+            WorkStatus::Blocked
+        }
+    }
+}
+
+/// Adds N complex streams element-wise (GNU Radio `add_cc`).
+pub struct AddBlock {
+    n: usize,
+}
+
+impl AddBlock {
+    /// Creates an `n`-input adder.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "an adder needs at least two inputs");
+        Self { n }
+    }
+}
+
+impl Block for AddBlock {
+    fn name(&self) -> &str {
+        "add"
+    }
+    fn num_inputs(&self) -> usize {
+        self.n
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn work(
+        &mut self,
+        inputs: &mut [InputBuffer],
+        outputs: &mut [OutputBuffer],
+        _ctx: &mut BlockCtx<'_>,
+    ) -> WorkStatus {
+        let ready = inputs.iter().map(|i| i.available()).min().unwrap_or(0);
+        if ready == 0 {
+            let starved_out = inputs.iter().any(|i| i.is_finished() && i.available() == 0);
+            return if starved_out { WorkStatus::Done } else { WorkStatus::Blocked };
+        }
+        let cols: Vec<Vec<Item>> = inputs.iter_mut().map(|i| i.take(ready)).collect();
+        for row in 0..ready {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for col in &cols {
+                let (r, i) = col[row].complex();
+                re += r;
+                im += i;
+            }
+            outputs[0].push(Item::Complex(re, im));
+        }
+        WorkStatus::Progress
+    }
+}
+
+/// Multiplies a complex stream by a constant (GNU Radio
+/// `multiply_const_cc`) — gain stages, phase rotations.
+pub struct MultiplyConstBlock {
+    re: f64,
+    im: f64,
+}
+
+impl MultiplyConstBlock {
+    /// Creates a multiplier by `re + i*im`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+}
+
+impl Block for MultiplyConstBlock {
+    fn name(&self) -> &str {
+        "multiply_const"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn work(
+        &mut self,
+        inputs: &mut [InputBuffer],
+        outputs: &mut [OutputBuffer],
+        _ctx: &mut BlockCtx<'_>,
+    ) -> WorkStatus {
+        let n = inputs[0].available();
+        if n == 0 {
+            return if inputs[0].is_finished() { WorkStatus::Done } else { WorkStatus::Blocked };
+        }
+        for item in inputs[0].take(n) {
+            let (r, i) = item.complex();
+            outputs[0].push(Item::Complex(r * self.re - i * self.im, r * self.im + i * self.re));
+        }
+        WorkStatus::Progress
+    }
+}
+
+/// Publishes the running average power of a complex stream to a message
+/// topic every `interval` items (a probe, GNU Radio `probe_avg_mag_sqrd`).
+pub struct PowerProbe {
+    topic: String,
+    interval: usize,
+    acc: f64,
+    count: usize,
+}
+
+impl PowerProbe {
+    /// Creates a probe publishing to `topic` every `interval` samples.
+    pub fn new(topic: impl Into<String>, interval: usize) -> Self {
+        assert!(interval > 0, "interval must be nonzero");
+        Self { topic: topic.into(), interval, acc: 0.0, count: 0 }
+    }
+}
+
+impl Block for PowerProbe {
+    fn name(&self) -> &str {
+        "power_probe"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn work(
+        &mut self,
+        inputs: &mut [InputBuffer],
+        outputs: &mut [OutputBuffer],
+        ctx: &mut BlockCtx<'_>,
+    ) -> WorkStatus {
+        let n = inputs[0].available();
+        if n == 0 {
+            return if inputs[0].is_finished() { WorkStatus::Done } else { WorkStatus::Blocked };
+        }
+        for item in inputs[0].take(n) {
+            let (r, i) = item.complex();
+            self.acc += r * r + i * i;
+            self.count += 1;
+            if self.count == self.interval {
+                ctx.msgs.publish(
+                    &self.topic,
+                    crate::message::Message::F64(self.acc / self.interval as f64),
+                );
+                self.acc = 0.0;
+                self.count = 0;
+            }
+            outputs[0].push(item);
+        }
+        WorkStatus::Progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{VectorSink, VectorSource};
+    use crate::graph::Flowgraph;
+    use crate::message::MessageHub;
+
+    fn complex_items(n: usize) -> Vec<Item> {
+        (0..n).map(|i| Item::Complex(i as f64, -(i as f64))).collect()
+    }
+
+    #[test]
+    fn head_truncates() {
+        let mut fg = Flowgraph::new();
+        let src = fg.add(VectorSource::new(complex_items(100)).with_chunk(7));
+        let head = fg.add(HeadBlock::new(23));
+        let (sink, handle) = VectorSink::new();
+        let sink = fg.add(sink);
+        fg.connect(src, 0, head, 0).unwrap();
+        fg.connect(head, 0, sink, 0).unwrap();
+        fg.run(&MessageHub::new()).unwrap();
+        assert_eq!(handle.len(), 23);
+        assert_eq!(handle.complex()[22].re, 22.0);
+    }
+
+    #[test]
+    fn head_passes_short_input_entirely() {
+        let mut fg = Flowgraph::new();
+        let src = fg.add(VectorSource::new(complex_items(5)));
+        let head = fg.add(HeadBlock::new(100));
+        let (sink, handle) = VectorSink::new();
+        let sink = fg.add(sink);
+        fg.connect(src, 0, head, 0).unwrap();
+        fg.connect(head, 0, sink, 0).unwrap();
+        fg.run(&MessageHub::new()).unwrap();
+        assert_eq!(handle.len(), 5);
+    }
+
+    #[test]
+    fn null_sink_swallows() {
+        let mut fg = Flowgraph::new();
+        let src = fg.add(VectorSource::new(complex_items(50)));
+        let sink = fg.add(NullSink);
+        fg.connect(src, 0, sink, 0).unwrap();
+        fg.run(&MessageHub::new()).unwrap();
+    }
+
+    #[test]
+    fn adder_sums_elementwise() {
+        let mut fg = Flowgraph::new();
+        let a = fg.add(VectorSource::new(complex_items(10)));
+        let b = fg.add(VectorSource::new(complex_items(10)));
+        let add = fg.add(AddBlock::new(2));
+        let (sink, handle) = VectorSink::new();
+        let sink = fg.add(sink);
+        fg.connect(a, 0, add, 0).unwrap();
+        fg.connect(b, 0, add, 1).unwrap();
+        fg.connect(add, 0, sink, 0).unwrap();
+        fg.run(&MessageHub::new()).unwrap();
+        let out = handle.complex();
+        assert_eq!(out.len(), 10);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.re, 2.0 * i as f64);
+            assert_eq!(v.im, -2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn multiply_by_i_rotates() {
+        let mut fg = Flowgraph::new();
+        let src = fg.add(VectorSource::new(vec![Item::Complex(1.0, 0.0), Item::Complex(0.0, 1.0)]));
+        let mul = fg.add(MultiplyConstBlock::new(0.0, 1.0));
+        let (sink, handle) = VectorSink::new();
+        let sink = fg.add(sink);
+        fg.connect(src, 0, mul, 0).unwrap();
+        fg.connect(mul, 0, sink, 0).unwrap();
+        fg.run(&MessageHub::new()).unwrap();
+        let out = handle.complex();
+        assert!((out[0].re, out[0].im) == (0.0, 1.0));
+        assert!((out[1].re, out[1].im) == (-1.0, 0.0));
+    }
+
+    #[test]
+    fn power_probe_reports_and_passes_through() {
+        let mut fg = Flowgraph::new();
+        // Constant-magnitude stream of power 4.
+        let src = fg.add(VectorSource::new(vec![Item::Complex(2.0, 0.0); 64]));
+        let probe = fg.add(PowerProbe::new("pwr", 16));
+        let (sink, handle) = VectorSink::new();
+        let sink = fg.add(sink);
+        fg.connect(src, 0, probe, 0).unwrap();
+        fg.connect(probe, 0, sink, 0).unwrap();
+        let hub = MessageHub::new();
+        let sub = hub.subscribe("pwr");
+        fg.run(&hub).unwrap();
+        assert_eq!(handle.len(), 64, "probe must be transparent");
+        let reports = sub.drain();
+        assert_eq!(reports.len(), 4);
+        for r in reports {
+            match r {
+                crate::message::Message::F64(p) => assert!((p - 4.0).abs() < 1e-12),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two inputs")]
+    fn adder_needs_two_inputs() {
+        AddBlock::new(1);
+    }
+}

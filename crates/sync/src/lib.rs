@@ -1,0 +1,25 @@
+//! # mimonet-sync
+//!
+//! Synchronization for MIMONet-rs — the paper's algorithmic core:
+//!
+//! * [`detect`] — STF plateau packet detection with coarse CFO, combined
+//!   across receive antennas,
+//! * [`vandebeek`] — the Van de Beek CP-based ML time/CFO estimator and
+//!   its **MIMO extension** (per-antenna statistics summed under the joint
+//!   likelihood),
+//! * [`finetiming`] — L-LTF matched-filter refinement of the FFT window,
+//! * [`tracking`] — pilot-based residual phase/slope tracking.
+//!
+//! The receiver chain in `mimonet` (core crate) runs these in order:
+//! detect → coarse CFO correct → Van de Beek → fine timing → per-symbol
+//! pilot tracking.
+
+pub mod detect;
+pub mod finetiming;
+pub mod tracking;
+pub mod vandebeek;
+
+pub use detect::{Detection, DetectorConfig, PacketDetector};
+pub use finetiming::{fine_timing, FineTiming};
+pub use tracking::{estimate_phase, PhaseEstimate, PhaseTracker};
+pub use vandebeek::{SyncEstimate, VanDeBeek};

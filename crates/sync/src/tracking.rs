@@ -1,0 +1,243 @@
+//! Pilot-based residual phase tracking.
+//!
+//! After coarse+fine CFO correction a residual offset of a few hundred Hz
+//! remains; over a long frame it accumulates into a common phase rotation
+//! per OFDM symbol (and, together with sampling clock error, a phase
+//! *slope* across subcarriers). The receiver measures both each symbol from
+//! the four pilot subcarriers — whose transmitted values are known (see
+//! [`mimonet_frame::pilots`]) — and derotates the data carriers. This is
+//! the receiver-side half of the paper's "use of pilot sub-carriers".
+//!
+//! The estimator receives, per symbol, the *expected* pilot observations
+//! (known pilot value × channel estimate, summed over streams) and the
+//! actual observations, and fits `phase(k) ≈ theta + slope * k` by
+//! magnitude-weighted least squares on the per-pilot phase errors.
+
+use mimonet_dsp::complex::Complex64;
+
+/// Per-symbol phase correction estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseEstimate {
+    /// Common phase error in radians.
+    pub theta: f64,
+    /// Phase slope across subcarriers, radians per carrier index
+    /// (timing-drift signature).
+    pub slope: f64,
+}
+
+impl PhaseEstimate {
+    /// The correction phasor for logical subcarrier `k`:
+    /// `exp(-i (theta + slope k))`.
+    pub fn correction(&self, k: i32) -> Complex64 {
+        Complex64::cis(-(self.theta + self.slope * k as f64))
+    }
+}
+
+/// Estimates the common phase and slope from pilot observations.
+///
+/// `pilots` holds `(carrier_index, expected, observed)` triples. At least
+/// one pilot is required for `theta`; with fewer than two distinct
+/// carriers the slope is reported as zero. Magnitude-weighting suppresses
+/// pilots in channel fades.
+pub fn estimate_phase(pilots: &[(i32, Complex64, Complex64)]) -> Option<PhaseEstimate> {
+    if pilots.is_empty() {
+        return None;
+    }
+    // Rotation-invariant common phase: angle of sum of obs * conj(expected).
+    let common: Complex64 = pilots
+        .iter()
+        .map(|&(_, e, o)| o * e.conj())
+        .sum();
+    if common.abs() < 1e-15 {
+        return None;
+    }
+    let theta = common.arg();
+
+    // Per-pilot residual phases after removing theta, fit slope by weighted
+    // least squares through the (k, phase) points (zero-intercept handled
+    // by refitting both).
+    let mut sw = 0.0;
+    let mut swk = 0.0;
+    let mut swkk = 0.0;
+    let mut swp = 0.0;
+    let mut swkp = 0.0;
+    for &(k, e, o) in pilots {
+        let r = o * e.conj() * Complex64::cis(-theta);
+        let w = r.abs();
+        if w < 1e-15 {
+            continue;
+        }
+        let p = r.arg(); // residual phase, small after theta removal
+        let kf = k as f64;
+        sw += w;
+        swk += w * kf;
+        swkk += w * kf * kf;
+        swp += w * p;
+        swkp += w * kf * p;
+    }
+    let denom = sw * swkk - swk * swk;
+    let (d_theta, slope) = if denom.abs() < 1e-12 || pilots.len() < 2 {
+        (if sw > 0.0 { swp / sw } else { 0.0 }, 0.0)
+    } else {
+        let slope = (sw * swkp - swk * swp) / denom;
+        let d_theta = (swp - slope * swk) / sw;
+        (d_theta, slope)
+    };
+    Some(PhaseEstimate { theta: theta + d_theta, slope })
+}
+
+/// Streaming tracker that smooths per-symbol estimates with a single-pole
+/// IIR (the per-symbol pilot estimate is noisy at low SNR; smoothing with
+/// `alpha ≈ 0.5` halves the variance without lagging realistic drifts).
+#[derive(Clone, Debug)]
+pub struct PhaseTracker {
+    alpha: f64,
+    state: Option<PhaseEstimate>,
+}
+
+impl PhaseTracker {
+    /// Creates a tracker with smoothing factor `alpha` in (0, 1]; 1.0
+    /// disables smoothing.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0, 1]");
+        Self { alpha, state: None }
+    }
+
+    /// Feeds one symbol's pilots, returns the smoothed estimate.
+    pub fn update(&mut self, pilots: &[(i32, Complex64, Complex64)]) -> Option<PhaseEstimate> {
+        let raw = estimate_phase(pilots)?;
+        let est = match self.state {
+            None => raw,
+            Some(prev) => {
+                // Unwrap theta towards the previous estimate before mixing.
+                let mut dt = raw.theta - prev.theta;
+                while dt > std::f64::consts::PI {
+                    dt -= 2.0 * std::f64::consts::PI;
+                }
+                while dt < -std::f64::consts::PI {
+                    dt += 2.0 * std::f64::consts::PI;
+                }
+                PhaseEstimate {
+                    theta: prev.theta + self.alpha * dt,
+                    slope: prev.slope + self.alpha * (raw.slope - prev.slope),
+                }
+            }
+        };
+        self.state = Some(est);
+        Some(est)
+    }
+
+    /// Last smoothed estimate.
+    pub fn current(&self) -> Option<PhaseEstimate> {
+        self.state
+    }
+
+    /// Clears tracking state (new frame).
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimonet_dsp::complex::C64;
+
+    const PILOT_KS: [i32; 4] = [-21, -7, 7, 21];
+
+    fn make_pilots(theta: f64, slope: f64, gains: [f64; 4]) -> Vec<(i32, C64, C64)> {
+        PILOT_KS
+            .iter()
+            .zip(gains)
+            .map(|(&k, g)| {
+                let expected = C64::from_polar(g, 0.31 * k as f64);
+                let observed = expected * C64::cis(theta + slope * k as f64);
+                (k, expected, observed)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_pure_common_phase() {
+        for &theta in &[-2.0, -0.3, 0.0, 0.9, 2.9] {
+            let est = estimate_phase(&make_pilots(theta, 0.0, [1.0; 4])).unwrap();
+            assert!((est.theta - theta).abs() < 1e-9, "theta {theta}: {est:?}");
+            assert!(est.slope.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recovers_phase_and_slope() {
+        let est = estimate_phase(&make_pilots(0.4, 0.01, [1.0, 0.8, 1.2, 0.9])).unwrap();
+        assert!((est.theta - 0.4).abs() < 1e-6, "{est:?}");
+        assert!((est.slope - 0.01).abs() < 1e-6, "{est:?}");
+    }
+
+    #[test]
+    fn correction_undoes_rotation() {
+        let pilots = make_pilots(0.7, 0.02, [1.0; 4]);
+        let est = estimate_phase(&pilots).unwrap();
+        for &(k, e, o) in &pilots {
+            let fixed = o * est.correction(k);
+            assert!(fixed.dist(e) < 1e-6, "carrier {k}");
+        }
+    }
+
+    #[test]
+    fn faded_pilot_is_downweighted() {
+        // One pilot almost gone and carrying garbage phase.
+        let mut pilots = make_pilots(0.2, 0.0, [1.0, 1.0, 1.0, 1e-6]);
+        pilots[3].2 = C64::from_polar(1e-6, -3.0);
+        let est = estimate_phase(&pilots).unwrap();
+        assert!((est.theta - 0.2).abs() < 1e-3, "{est:?}");
+    }
+
+    #[test]
+    fn empty_and_zero_inputs() {
+        assert_eq!(estimate_phase(&[]), None);
+        assert_eq!(estimate_phase(&[(7, C64::ZERO, C64::ZERO)]), None);
+    }
+
+    #[test]
+    fn tracker_smooths_noise() {
+        let mut tr = PhaseTracker::new(0.3);
+        // Alternating noisy estimates around 0.5 rad.
+        let mut last = 0.0;
+        for i in 0..50 {
+            let noise = if i % 2 == 0 { 0.3 } else { -0.3 };
+            let est = tr.update(&make_pilots(0.5 + noise, 0.0, [1.0; 4])).unwrap();
+            last = est.theta;
+        }
+        assert!((last - 0.5).abs() < 0.2, "converged to {last}");
+        // Raw estimates vary by ±0.3; smoothed must vary less.
+        let a = tr.update(&make_pilots(0.8, 0.0, [1.0; 4])).unwrap().theta;
+        let b = tr.update(&make_pilots(0.2, 0.0, [1.0; 4])).unwrap().theta;
+        assert!((a - b).abs() < 0.6 * 0.9);
+    }
+
+    #[test]
+    fn tracker_unwraps_through_pi() {
+        let mut tr = PhaseTracker::new(1.0);
+        tr.update(&make_pilots(3.0, 0.0, [1.0; 4])).unwrap();
+        // Next symbol drifts past +pi and wraps to negative angle.
+        let est = tr.update(&make_pilots(-3.0, 0.0, [1.0; 4])).unwrap();
+        // Unwrapped: 3.0 + 0.28.. ≈ 3.28, not −3.0.
+        assert!(est.theta > 3.0, "unwrapped theta {}", est.theta);
+    }
+
+    #[test]
+    fn tracker_reset() {
+        let mut tr = PhaseTracker::new(0.5);
+        tr.update(&make_pilots(1.0, 0.0, [1.0; 4]));
+        tr.reset();
+        assert_eq!(tr.current(), None);
+        let est = tr.update(&make_pilots(-1.0, 0.0, [1.0; 4])).unwrap();
+        assert!((est.theta + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_rejected() {
+        PhaseTracker::new(0.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Van de Beek ML time/frequency estimator and its MIMO extension.
+//!
+//! Van de Beek, Sandell & Börjesson ("ML Estimation of Time and Frequency
+//! Offset in OFDM Systems", IEEE Trans. SP 45(7), 1997) exploit the cyclic
+//! prefix: samples `r[n]` and `r[n+N]` inside the CP window are correlated.
+//! With CP length `L`, FFT size `N` and SNR-derived weight
+//! `rho = SNR/(SNR+1)`, the joint log-likelihood over the candidate symbol
+//! start `theta` and normalized CFO `eps` is maximized by
+//!
+//! ```text
+//! theta_hat = argmax_theta { |gamma(theta)| - rho * Phi(theta) }
+//! eps_hat   = -angle(gamma(theta_hat)) / (2 pi)
+//! gamma(th) = sum_{n=th}^{th+L-1} r[n] * conj(r[n + N])
+//! Phi(th)   = 1/2 sum_{n=th}^{th+L-1} (|r[n]|^2 + |r[n+N]|^2)
+//! ```
+//!
+//! **MIMO extension (the SRIF'14 contribution):** all receive chains of one
+//! device share the same sampling clock and local oscillator, so `theta`
+//! and `eps` are common across antennas while the noise is independent.
+//! The joint likelihood therefore *sums per-antenna statistics*:
+//! `gamma = sum_r gamma_r`, `Phi = sum_r Phi_r`, maximizing
+//! `|sum_r gamma_r| - rho * sum_r Phi_r`. Because the per-antenna CFO
+//! phasors are identical, the gammas add coherently while the noise adds
+//! incoherently — an SNR gain of up to `10 log10(N_rx)` dB over using a
+//! single antenna, which experiment F2/F3 quantifies.
+
+use mimonet_dsp::complex::Complex64;
+use mimonet_dsp::correlate::lagged_autocorrelation;
+
+/// Result of a Van de Beek search.
+#[derive(Clone, Debug)]
+pub struct SyncEstimate {
+    /// Estimated symbol start (index into the search buffer).
+    pub timing: usize,
+    /// Estimated CFO in subcarrier spacings, range ±0.5.
+    pub cfo: f64,
+    /// Value of the decision metric at the estimate.
+    pub peak_metric: f64,
+}
+
+/// The ML estimator, configured for one OFDM numerology.
+#[derive(Clone, Debug)]
+pub struct VanDeBeek {
+    fft_len: usize,
+    cp_len: usize,
+    rho: f64,
+}
+
+impl VanDeBeek {
+    /// Creates an estimator for FFT size `fft_len`, cyclic prefix `cp_len`,
+    /// operating at an assumed `snr_db` (sets the ML weight `rho`; the
+    /// estimator is mildly sensitive to mismatch, so a nominal mid-range
+    /// value like 10 dB works across the sweep).
+    pub fn new(fft_len: usize, cp_len: usize, snr_db: f64) -> Self {
+        assert!(fft_len > 0 && cp_len > 0, "nonzero numerology required");
+        let snr = mimonet_dsp::stats::db_to_lin(snr_db);
+        Self { fft_len, cp_len, rho: snr / (snr + 1.0) }
+    }
+
+    /// The ML weight `rho` in use.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Computes the decision metric `|gamma| - rho*Phi` for every candidate
+    /// offset in `rx` (one antenna). Entry `i` is the metric for symbol
+    /// start `i`; the output is shorter than the input by
+    /// `fft_len + cp_len - 1`.
+    pub fn metric_trace(&self, rx: &[Complex64]) -> Vec<f64> {
+        lagged_autocorrelation(rx, self.fft_len, self.cp_len)
+            .into_iter()
+            .map(|(g, p)| g.abs() - self.rho * p)
+            .collect()
+    }
+
+    /// Joint MIMO metric trace: per-antenna `gamma` and `Phi` summed before
+    /// the nonlinearity, per the extension above. All antenna buffers must
+    /// have equal length.
+    pub fn metric_trace_mimo(&self, rx: &[&[Complex64]]) -> Vec<f64> {
+        let combined = self.combined_stats(rx);
+        combined.into_iter().map(|(g, p)| g.abs() - self.rho * p).collect()
+    }
+
+    fn combined_stats(&self, rx: &[&[Complex64]]) -> Vec<(Complex64, f64)> {
+        assert!(!rx.is_empty(), "need at least one antenna");
+        let len = rx[0].len();
+        assert!(rx.iter().all(|a| a.len() == len), "antenna buffers must be equal length");
+        let mut acc: Vec<(Complex64, f64)> = Vec::new();
+        for ant in rx {
+            let stats = lagged_autocorrelation(ant, self.fft_len, self.cp_len);
+            if acc.is_empty() {
+                acc = stats;
+            } else {
+                for (a, s) in acc.iter_mut().zip(stats) {
+                    a.0 += s.0;
+                    a.1 += s.1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Runs the joint search over one or more antennas. Returns `None` when
+    /// the buffer is too short to evaluate a single candidate.
+    pub fn estimate(&self, rx: &[&[Complex64]]) -> Option<SyncEstimate> {
+        let stats = self.combined_stats(rx);
+        if stats.is_empty() {
+            return None;
+        }
+        let (best, (g, p)) = stats
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                let ma = a.1 .0.abs() - self.rho * a.1 .1;
+                let mb = b.1 .0.abs() - self.rho * b.1 .1;
+                ma.partial_cmp(&mb).unwrap()
+            })
+            .map(|(i, s)| (i, *s))?;
+        Some(SyncEstimate {
+            timing: best,
+            cfo: cfo_from_gamma(g),
+            peak_metric: g.abs() - self.rho * p,
+        })
+    }
+
+    /// Single-antenna convenience wrapper.
+    pub fn estimate_siso(&self, rx: &[Complex64]) -> Option<SyncEstimate> {
+        self.estimate(&[rx])
+    }
+}
+
+/// CFO (subcarrier spacings) from a CP correlation sum:
+/// with `gamma = sum r[n] conj(r[n+N])`, the phase is `-2 pi eps`, so
+/// `eps = -angle(gamma) / (2 pi)`. Unambiguous for `|eps| < 0.5`.
+pub fn cfo_from_gamma(gamma: Complex64) -> f64 {
+    -gamma.arg() / (2.0 * std::f64::consts::PI)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimonet_channel::impairments::apply_cfo;
+    use mimonet_channel::noise::add_awgn;
+    use mimonet_dsp::complex::C64;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const N: usize = 64;
+    const L: usize = 16;
+
+    /// Builds `n_sym` random OFDM-like symbols (random time samples with a
+    /// proper cyclic prefix) preceded by `lead` noise-free zero samples.
+    fn cp_signal(rng: &mut ChaCha8Rng, n_sym: usize, lead: usize) -> Vec<C64> {
+        let mut out = vec![C64::ZERO; lead];
+        for _ in 0..n_sym {
+            let body: Vec<C64> =
+                (0..N).map(|_| mimonet_channel::noise::crandn(rng)).collect();
+            out.extend_from_slice(&body[N - L..]);
+            out.extend_from_slice(&body);
+        }
+        out
+    }
+
+    #[test]
+    fn finds_symbol_boundary_noiseless() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let lead = 37;
+        let sig = cp_signal(&mut rng, 3, lead);
+        let est = VanDeBeek::new(N, L, 30.0).estimate_siso(&sig).unwrap();
+        // Any CP start is a valid detection; starts occur at
+        // lead + k*(N+L). The first is the strongest candidate region.
+        let rel = (est.timing as isize - lead as isize).rem_euclid((N + L) as isize);
+        assert_eq!(rel, 0, "timing {} lead {lead}", est.timing);
+    }
+
+    #[test]
+    fn estimates_cfo_within_tolerance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for &cfo in &[-0.4, -0.11, 0.0, 0.2, 0.45] {
+            let mut sig = cp_signal(&mut rng, 4, 21);
+            apply_cfo(&mut sig, cfo, 0.3);
+            add_awgn(&mut rng, &mut sig, mimonet_dsp::stats::db_to_lin(-20.0));
+            let est = VanDeBeek::new(N, L, 20.0).estimate_siso(&sig).unwrap();
+            assert!(
+                (est.cfo - cfo).abs() < 0.02,
+                "cfo {cfo}: estimated {}",
+                est.cfo
+            );
+        }
+    }
+
+    #[test]
+    fn metric_peaks_at_cp_positions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let lead = 50;
+        let sig = cp_signal(&mut rng, 2, lead);
+        let vdb = VanDeBeek::new(N, L, 20.0);
+        let trace = vdb.metric_trace(&sig);
+        let peak = mimonet_dsp::correlate::argmax(&trace).unwrap();
+        let rel = (peak as isize - lead as isize).rem_euclid((N + L) as isize);
+        assert_eq!(rel, 0);
+    }
+
+    #[test]
+    fn mimo_combination_beats_siso_at_low_snr() {
+        // At poor SNR, the 2-antenna joint estimate should lock (timing
+        // within the CP) strictly more often than single-antenna.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let snr_db = -4.0;
+        let vdb = VanDeBeek::new(N, L, snr_db);
+        let trials = 300;
+        let lead = 40;
+        let mut siso_hits = 0;
+        let mut mimo_hits = 0;
+        for _ in 0..trials {
+            // Same transmitted signal observed on two antennas with
+            // independent noise and independent flat gains.
+            let clean = cp_signal(&mut rng, 2, lead);
+            let tail = vec![C64::ZERO; 30];
+            let mut a0: Vec<C64> = clean.iter().chain(&tail).map(|&x| x * C64::cis(0.7)).collect();
+            let mut a1: Vec<C64> = clean.iter().chain(&tail).map(|&x| x * C64::cis(-1.1)).collect();
+            let npow = mimonet_dsp::stats::db_to_lin(-snr_db);
+            add_awgn(&mut rng, &mut a0, npow);
+            add_awgn(&mut rng, &mut a1, npow);
+            let hit = |t: usize| {
+                let rel = (t as isize - lead as isize).rem_euclid((N + L) as isize);
+                rel == 0 || rel > (N + L - 3) as isize || rel < 3
+            };
+            if let Some(e) = vdb.estimate_siso(&a0) {
+                if hit(e.timing) {
+                    siso_hits += 1;
+                }
+            }
+            if let Some(e) = vdb.estimate(&[&a0, &a1]) {
+                if hit(e.timing) {
+                    mimo_hits += 1;
+                }
+            }
+        }
+        assert!(
+            mimo_hits > siso_hits,
+            "MIMO {mimo_hits}/{trials} vs SISO {siso_hits}/{trials}"
+        );
+    }
+
+    #[test]
+    fn mimo_cfo_estimate_is_tighter() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let cfo = 0.25;
+        let vdb = VanDeBeek::new(N, L, 0.0);
+        let trials = 200;
+        let mut err_siso = 0.0;
+        let mut err_mimo = 0.0;
+        for _ in 0..trials {
+            let mut clean = cp_signal(&mut rng, 3, 20);
+            apply_cfo(&mut clean, cfo, 0.0);
+            let npow = 1.0; // 0 dB
+            let mut a0 = clean.clone();
+            let mut a1 = clean.clone();
+            add_awgn(&mut rng, &mut a0, npow);
+            add_awgn(&mut rng, &mut a1, npow);
+            if let Some(e) = vdb.estimate_siso(&a0) {
+                err_siso += (e.cfo - cfo).powi(2);
+            }
+            if let Some(e) = vdb.estimate(&[&a0, &a1]) {
+                err_mimo += (e.cfo - cfo).powi(2);
+            }
+        }
+        assert!(
+            err_mimo < err_siso,
+            "MIMO mse {} vs SISO mse {}",
+            err_mimo / trials as f64,
+            err_siso / trials as f64
+        );
+    }
+
+    #[test]
+    fn cfo_sign_convention() {
+        // gamma for positive CFO must have negative phase.
+        let mut sig = cp_signal(&mut ChaCha8Rng::seed_from_u64(6), 2, 0);
+        apply_cfo(&mut sig, 0.3, 0.0);
+        let stats = lagged_autocorrelation(&sig, N, L);
+        let g = stats[0].0;
+        assert!(g.arg() < 0.0);
+        assert!((cfo_from_gamma(g) - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_buffer_returns_none() {
+        let vdb = VanDeBeek::new(N, L, 10.0);
+        assert!(vdb.estimate_siso(&vec![C64::ONE; N + L - 1]).is_none());
+        assert!(vdb.estimate_siso(&vec![C64::ONE; N + L]).is_some());
+    }
+
+    #[test]
+    fn rho_saturates_with_snr() {
+        assert!(VanDeBeek::new(N, L, 40.0).rho() > 0.999);
+        assert!((VanDeBeek::new(N, L, 0.0).rho() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_antennas_rejected() {
+        let vdb = VanDeBeek::new(N, L, 10.0);
+        let a = vec![C64::ONE; 100];
+        let b = vec![C64::ONE; 99];
+        vdb.estimate(&[&a, &b]);
+    }
+}

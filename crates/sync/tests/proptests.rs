@@ -1,0 +1,112 @@
+//! Property-based tests of the synchronization estimators' contracts.
+
+use mimonet_channel::impairments::apply_cfo;
+use mimonet_channel::noise::{add_awgn, crandn};
+use mimonet_dsp::complex::Complex64;
+use mimonet_sync::{estimate_phase, fine_timing, DetectorConfig, PacketDetector, VanDeBeek};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Random OFDM-like signal with proper cyclic prefixes.
+fn cp_signal(seed: u64, n_sym: usize, lead: usize) -> Vec<Complex64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = vec![Complex64::ZERO; lead];
+    for _ in 0..n_sym {
+        let body: Vec<Complex64> = (0..64).map(|_| crandn(&mut rng)).collect();
+        out.extend_from_slice(&body[48..]);
+        out.extend_from_slice(&body);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vdb_cfo_estimate_always_in_range(seed in any::<u64>(), snr in -5.0..30.0f64) {
+        let mut sig = cp_signal(seed, 3, 20);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xAA);
+        add_awgn(&mut rng, &mut sig, mimonet_dsp::stats::db_to_lin(-snr));
+        let vdb = VanDeBeek::new(64, 16, snr);
+        let est = vdb.estimate_siso(&sig).expect("long enough");
+        // CP-based CFO is inherently limited to half a subcarrier spacing.
+        prop_assert!(est.cfo.abs() <= 0.5 + 1e-12, "cfo {}", est.cfo);
+        prop_assert!(est.timing < sig.len());
+    }
+
+    #[test]
+    fn vdb_recovers_cfo_at_high_snr(seed in any::<u64>(), cfo in -0.45..0.45f64) {
+        let mut sig = cp_signal(seed, 4, 10);
+        apply_cfo(&mut sig, cfo, 0.7);
+        let vdb = VanDeBeek::new(64, 16, 30.0);
+        let est = vdb.estimate_siso(&sig).expect("long enough");
+        prop_assert!((est.cfo - cfo).abs() < 0.03, "true {cfo}, got {}", est.cfo);
+    }
+
+    #[test]
+    fn vdb_metric_trace_length_contract(len in 80usize..400) {
+        let sig = cp_signal(1, 5, 0);
+        let slice = &sig[..len];
+        let vdb = VanDeBeek::new(64, 16, 10.0);
+        let trace = vdb.metric_trace(slice);
+        prop_assert_eq!(trace.len(), len - 79);
+    }
+
+    #[test]
+    fn mimo_estimate_equals_siso_on_duplicated_antennas(seed in any::<u64>()) {
+        // Two identical antennas carry no extra information; the joint
+        // estimate must coincide with the single-antenna one.
+        let sig = cp_signal(seed, 3, 15);
+        let vdb = VanDeBeek::new(64, 16, 15.0);
+        let siso = vdb.estimate_siso(&sig).unwrap();
+        let mimo = vdb.estimate(&[&sig, &sig]).unwrap();
+        prop_assert_eq!(siso.timing, mimo.timing);
+        prop_assert!((siso.cfo - mimo.cfo).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detector_never_fires_on_silence(n in 100usize..3000) {
+        let mut det = PacketDetector::new(1, DetectorConfig::default());
+        let silence = vec![Complex64::ZERO; n];
+        prop_assert!(det.detect(&[&silence]).is_none());
+    }
+
+    #[test]
+    fn fine_timing_peak_is_bounded(seed in any::<u64>(), len in 64usize..400) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sig: Vec<Complex64> = (0..len).map(|_| crandn(&mut rng)).collect();
+        if let Some(ft) = fine_timing(&[&sig]) {
+            prop_assert!(ft.peak <= 1.0 + 1e-9);
+            prop_assert!(ft.ltf_start <= len - 64);
+        }
+    }
+
+    #[test]
+    fn phase_estimate_is_rotation_equivariant(theta in -3.0..3.0f64, extra in -1.0..1.0f64) {
+        // Rotating all observations by `extra` shifts theta by exactly
+        // `extra` (slope unchanged).
+        let pilots: Vec<(i32, Complex64, Complex64)> = [-21, -7, 7, 21]
+            .iter()
+            .map(|&k| {
+                let e = Complex64::from_polar(1.0, 0.2 * k as f64);
+                (k, e, e * Complex64::cis(theta))
+            })
+            .collect();
+        let rotated: Vec<(i32, Complex64, Complex64)> = pilots
+            .iter()
+            .map(|&(k, e, o)| (k, e, o * Complex64::cis(extra)))
+            .collect();
+        let a = estimate_phase(&pilots).unwrap();
+        let b = estimate_phase(&rotated).unwrap();
+        let mut d = b.theta - a.theta - extra;
+        while d > std::f64::consts::PI {
+            d -= 2.0 * std::f64::consts::PI;
+        }
+        while d < -std::f64::consts::PI {
+            d += 2.0 * std::f64::consts::PI;
+        }
+        prop_assert!(d.abs() < 1e-9, "delta {d}");
+        prop_assert!((a.slope - b.slope).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,99 @@
+//! Closed-loop link adaptation over a slowly changing channel.
+//!
+//! An SNR trajectory (good → deep fade → recovery) drives real frame
+//! exchanges; the rate controller climbs, crashes down through the fade,
+//! and climbs back — printing the MCS trace and the goodput an adaptive
+//! link achieves vs. fixed-rate alternatives.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_link
+//! ```
+
+use mimonet::adapt::{RateController, SnrThresholdTable};
+use mimonet::link::{LinkConfig, LinkSim};
+use mimonet_channel::ChannelConfig;
+use mimonet_frame::mcs::Mcs;
+
+const PAYLOAD: usize = 800;
+const FRAMES_PER_STEP: usize = 4;
+
+/// SNR trajectory in dB: plateau, fade, recovery.
+fn snr_at(step: usize) -> f64 {
+    match step {
+        0..=7 => 30.0,
+        8..=11 => 30.0 - 5.0 * (step - 7) as f64, // slide into the fade
+        12..=21 => 10.0,                          // long deep fade
+        22..=25 => 10.0 + 5.0 * (step - 21) as f64, // climb out
+        _ => 30.0,
+    }
+}
+
+fn run_fixed(mcs: u8, steps: usize) -> (u64, u64) {
+    let mut ok = 0;
+    let mut sent = 0;
+    for step in 0..steps {
+        let cfg = LinkConfig::new(mcs, PAYLOAD, ChannelConfig::awgn(2, 2, snr_at(step)));
+        let stats = LinkSim::new(cfg, 77_000 + step as u64).run(FRAMES_PER_STEP);
+        ok += stats.per.ok();
+        sent += stats.per.sent();
+    }
+    (ok, sent)
+}
+
+fn main() {
+    let steps = 30;
+    println!("Adaptive 2x2 link over an SNR trajectory (30 dB -> 12 dB fade -> 30 dB)");
+    println!("payload {PAYLOAD} B, {FRAMES_PER_STEP} frames per step\n");
+
+    let mut rc = RateController::new(SnrThresholdTable::default_two_stream());
+    let mut delivered_bits = 0u64;
+    let mut airtime_us = 0.0f64;
+    let mut ok_total = 0u64;
+    let mut sent_total = 0u64;
+    println!("{:>5} {:>8} {:>6} {:>10} {:>10}", "step", "SNR dB", "MCS", "ok/sent", "est dB");
+    for step in 0..steps {
+        let mcs = rc.current_mcs();
+        let cfg = LinkConfig::new(mcs, PAYLOAD, ChannelConfig::awgn(2, 2, snr_at(step)));
+        let mut sim = LinkSim::new(cfg, 42_000 + step as u64);
+        airtime_us += sim.frame_airtime_us() * FRAMES_PER_STEP as f64;
+        let stats = sim.run(FRAMES_PER_STEP);
+        delivered_bits += stats.per.ok() * PAYLOAD as u64 * 8;
+        ok_total += stats.per.ok();
+        sent_total += stats.per.sent();
+        let est = if stats.snr_est_db.count() > 0 { stats.snr_est_db.mean() } else { f64::NAN };
+        println!(
+            "{:>5} {:>8.1} {:>6} {:>7}/{:<2} {:>10.1}",
+            step,
+            snr_at(step),
+            mcs,
+            stats.per.ok(),
+            stats.per.sent(),
+            est
+        );
+        rc.update(
+            stats.per.ok() == stats.per.sent(),
+            if est.is_nan() { None } else { Some(est) },
+        );
+    }
+    let adaptive_goodput = delivered_bits as f64 / airtime_us;
+    println!(
+        "\nadaptive: {ok_total}/{sent_total} delivered, {adaptive_goodput:.1} Mb/s goodput"
+    );
+
+    for mcs in [8u8, 11, 15] {
+        let (ok, sent) = run_fixed(mcs, steps);
+        let airtime = {
+            let cfg = LinkConfig::new(mcs, PAYLOAD, ChannelConfig::awgn(2, 2, 30.0));
+            LinkSim::new(cfg, 0).frame_airtime_us() * sent as f64
+        };
+        let goodput = ok as f64 * PAYLOAD as f64 * 8.0 / airtime;
+        println!(
+            "fixed {}: {ok}/{sent} delivered, {goodput:.1} Mb/s",
+            Mcs::from_index(mcs).unwrap()
+        );
+    }
+    println!("\nRead: per unit airtime, fixed-high posts the biggest goodput number —");
+    println!("failed frames are cheap in airtime — but it drops half the traffic");
+    println!("through the fade, which loss-sensitive flows cannot absorb. Adaptation");
+    println!("delivers (nearly) everything, at ~2x the goodput of always-robust.");
+}

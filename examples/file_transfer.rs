@@ -1,0 +1,107 @@
+//! File transfer over a fading MIMO link with stop-and-wait ARQ.
+//!
+//! Splits a pseudo-file into MPDUs, runs each over a TGn-C 2×2 channel at
+//! moderate SNR, retransmits on FCS failure (up to a retry limit), and
+//! reports delivery statistics — a miniature of the "network-level
+//! exploitation" MIMONet was built for.
+//!
+//! ```sh
+//! cargo run --release --example file_transfer [snr_db]
+//! ```
+
+// Index-based loops here are the clearer expression of the math
+// (matrix/carrier indexing); silence the iterator-style suggestion.
+#![allow(clippy::needless_range_loop)]
+use mimonet::{Receiver, RxConfig, Transmitter, TxConfig};
+use mimonet_channel::{ChannelConfig, ChannelSim, Fading, TgnModel};
+use mimonet_dsp::complex::Complex64;
+use mimonet_frame::psdu::Mpdu;
+
+const CHUNK: usize = 400;
+const MAX_RETRIES: usize = 4;
+
+fn main() {
+    let snr_db: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(22.0);
+
+    // A deterministic pseudo-file.
+    let file: Vec<u8> = (0..20_000usize).map(|i| (i * 131 % 251) as u8).collect();
+    let chunks: Vec<&[u8]> = file.chunks(CHUNK).collect();
+
+    let tx = Transmitter::new(TxConfig::new(10).expect("valid MCS")); // 2x2 QPSK 3/4
+    let rx = Receiver::new(RxConfig::new(2));
+    let mut chan_cfg = ChannelConfig::awgn(2, 2, snr_db);
+    chan_cfg.fading = Fading::Tgn(TgnModel::C);
+    chan_cfg.cfo_norm = 0.13;
+    let mut chan = ChannelSim::new(chan_cfg, 7);
+
+    println!(
+        "Transferring {} bytes in {} chunks over TGn-C 2x2 at {snr_db} dB ({})",
+        file.len(),
+        chunks.len(),
+        tx.mcs()
+    );
+
+    let mut received = Vec::with_capacity(file.len());
+    let mut tx_count = 0usize;
+    let mut retry_histogram = [0usize; MAX_RETRIES + 1];
+    let mut failed_chunks = 0usize;
+
+    for (seq, chunk) in chunks.iter().enumerate() {
+        let mpdu = Mpdu::data([0x02; 6], [0x04; 6], seq as u16, chunk.to_vec());
+        let psdu = mpdu.to_psdu();
+        let mut delivered = false;
+        for attempt in 0..=MAX_RETRIES {
+            tx_count += 1;
+            let mut streams = tx.transmit(&psdu).expect("valid PSDU");
+            for s in &mut streams {
+                let mut p = vec![Complex64::ZERO; 180];
+                p.extend_from_slice(s);
+                p.extend(vec![Complex64::ZERO; 100]);
+                *s = p;
+            }
+            // Each (re)transmission sees a fresh block-fading realization.
+            let (rx_streams, _) = chan.apply(&streams);
+            if let Ok(frame) = rx.receive(&rx_streams) {
+                if let Some(got) = Mpdu::from_psdu(&frame.psdu) {
+                    if got.header.seq == (seq as u16 & 0x0FFF) {
+                        received.extend_from_slice(&got.payload);
+                        retry_histogram[attempt] += 1;
+                        delivered = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !delivered {
+            failed_chunks += 1;
+            received.extend(std::iter::repeat_n(0u8, chunk.len()));
+        }
+    }
+
+    let intact = received
+        .iter()
+        .zip(&file)
+        .filter(|(a, b)| a == b)
+        .count();
+    println!("\nDelivered {intact}/{} bytes intact", file.len());
+    println!(
+        "{} transmissions for {} chunks ({:.2} tx/chunk); {} chunks abandoned",
+        tx_count,
+        chunks.len(),
+        tx_count as f64 / chunks.len() as f64,
+        failed_chunks
+    );
+    print!("Retry histogram (attempt -> chunks): ");
+    for (i, &n) in retry_histogram.iter().enumerate() {
+        if n > 0 {
+            print!("{i}:{n} ");
+        }
+    }
+    println!();
+    if failed_chunks == 0 && intact == file.len() {
+        println!("File transfer complete and verified.");
+    }
+}

@@ -1,0 +1,45 @@
+//! SISO vs spatial multiplexing: the paper's headline trade.
+//!
+//! Sweeps SNR for a 1-stream and a 2-stream MCS carrying the *same*
+//! modulation and code rate (16-QAM, r = 1/2), and prints PER and goodput
+//! side by side: spatial multiplexing doubles throughput where the SNR
+//! supports it, and gives it back below the waterfall.
+//!
+//! ```sh
+//! cargo run --release --example siso_vs_mimo
+//! ```
+
+use mimonet::link::{LinkConfig, LinkSim};
+use mimonet_channel::{ChannelConfig, Fading};
+
+const PAYLOAD: usize = 700;
+const FRAMES: usize = 60;
+
+fn run(mcs: u8, n_ant: usize, snr_db: f64, seed: u64) -> (f64, f64) {
+    let mut chan = ChannelConfig::awgn(n_ant, n_ant, snr_db);
+    chan.fading = Fading::RayleighFlat;
+    let cfg = LinkConfig::new(mcs, PAYLOAD, chan);
+    let mut sim = LinkSim::new(cfg, seed);
+    let airtime = sim.frame_airtime_us();
+    let stats = sim.run(FRAMES);
+    (stats.per.per(), stats.per.goodput_mbps(PAYLOAD, airtime))
+}
+
+fn main() {
+    println!("SISO (MCS3, 16-QAM 1/2, 26 Mb/s) vs 2x2 SM (MCS11, 16-QAM 1/2, 52 Mb/s)");
+    println!("Rayleigh block fading, {PAYLOAD}-byte payloads, {FRAMES} frames/point\n");
+    println!(
+        "{:>7} | {:>9} {:>13} | {:>9} {:>13}",
+        "SNR dB", "SISO PER", "SISO Mb/s", "MIMO PER", "MIMO Mb/s"
+    );
+    println!("{}", "-".repeat(62));
+    for snr in [8, 12, 16, 20, 24, 28, 32] {
+        let (per1, tput1) = run(3, 1, snr as f64, 42 + snr as u64);
+        let (per2, tput2) = run(11, 2, snr as f64, 142 + snr as u64);
+        println!(
+            "{snr:>7} | {per1:>9.3} {tput1:>13.1} | {per2:>9.3} {tput2:>13.1}"
+        );
+    }
+    println!("\nRead: MIMO needs ~4-6 dB more SNR for the same PER, then");
+    println!("delivers ~2x the goodput — the spatial-multiplexing trade.");
+}

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerates every figure/table of EXPERIMENTS.md into results/.
+#
+#   ./run_experiments.sh            # full scale (paper-quality counts)
+#   ./run_experiments.sh --quick    # ~10x fewer trials, minutes not hours
+#   ./run_experiments.sh --thorough # 3x the full-scale counts
+set -u
+cd "$(dirname "$0")"
+BINS="fig_sync_metric fig_sync_timing fig_sync_cfo fig_chanest fig_snr_est fig_ber_siso fig_ber_mimo fig_per fig_throughput table_mcs table_fec_gain fig_ablation_pilots fig_ablation_finetiming fig_ablation_soft fig_stbc_vs_sm fig_doppler"
+mkdir -p results
+for b in $BINS; do
+  echo "=== $b ==="
+  cargo run -q --release -p mimonet-bench --bin "$b" -- "${1:-}" > "results/$b.txt" 2>&1
+done
+echo done

@@ -1,0 +1,143 @@
+//! Frame-construction integration: the bit-level TX path (scramble →
+//! encode → puncture → parse → interleave → map) against independent
+//! reimplementations and inverse paths, plus preamble/frame geometry.
+
+use mimonet::{Transmitter, TxConfig};
+use mimonet_dsp::complex::mean_power;
+use mimonet_fec::bits::bytes_to_bits;
+use mimonet_fec::interleaver::Interleaver;
+use mimonet_fec::puncture::{depuncture_hard, CodeRate};
+use mimonet_fec::{decode_hard_unterminated, ConvEncoder, Scrambler};
+use mimonet_frame::mcs::Mcs;
+use mimonet_frame::preamble::{lstf_time, LSTF_LEN};
+use mimonet_frame::psdu::{assemble_data_bits, Mpdu, SERVICE_BITS};
+
+#[test]
+fn coded_bits_reference_is_invertible() {
+    // Transmitter::coded_bits must be exactly the depuncture→Viterbi→
+    // descramble inverse of the PSDU.
+    for mcs_idx in [0u8, 4, 8, 13] {
+        let cfg = TxConfig::new(mcs_idx).unwrap();
+        let tx = Transmitter::new(cfg.clone());
+        let psdu: Vec<u8> = (0..77u8).map(|i| i.wrapping_mul(31)).collect();
+        let coded = tx.coded_bits(&psdu);
+        let mcs = Mcs::from_index(mcs_idx).unwrap();
+        let n_sym = mcs.num_symbols(psdu.len() * 8);
+        assert_eq!(coded.len(), n_sym * mcs.n_cbps(), "MCS{mcs_idx}");
+
+        let mother_len = 2 * n_sym * mcs.n_dbps();
+        let rx = depuncture_hard(&coded, mcs.code_rate, mother_len);
+        let decoded = decode_hard_unterminated(&rx).unwrap();
+        let got = mimonet_frame::psdu::descramble_data_bits(&decoded, psdu.len()).unwrap();
+        assert_eq!(got, psdu, "MCS{mcs_idx}");
+    }
+}
+
+#[test]
+fn scrambled_service_prefix_reveals_seed() {
+    let cfg = TxConfig { scrambler_seed: 0x2B, ..TxConfig::new(0).unwrap() };
+    let mcs = cfg.mcs;
+    let psdu = vec![0u8; 20];
+    let mut bits = assemble_data_bits(&psdu, &mcs);
+    mimonet_frame::psdu::scramble_data_bits(&mut bits, psdu.len(), cfg.scrambler_seed);
+    let first7: [u8; 7] = bits[..7].try_into().unwrap();
+    assert_eq!(mimonet_fec::scrambler::recover_seed(&first7), Some(0x2B));
+}
+
+#[test]
+fn data_field_geometry_matches_mcs_table() {
+    for mcs in Mcs::all() {
+        for payload in [1usize, 100, 1500] {
+            let psdu_bits = payload * 8;
+            let bits = assemble_data_bits(&vec![0u8; payload], &mcs);
+            assert_eq!(bits.len() % mcs.n_dbps(), 0, "{mcs}");
+            assert_eq!(bits.len(), mcs.num_symbols(psdu_bits) * mcs.n_dbps());
+            assert_eq!(&bits[..SERVICE_BITS], &[0u8; 16]);
+            assert_eq!(&bits[SERVICE_BITS..SERVICE_BITS + 16], &bytes_to_bits(&[0u8; 2])[..]);
+        }
+    }
+}
+
+#[test]
+fn interleaver_and_parser_compose_losslessly_per_symbol() {
+    // One OFDM symbol of coded bits through parse → interleave →
+    // deinterleave → deparse must be the identity, for every 2-stream MCS.
+    for idx in 8..16u8 {
+        let mcs = Mcs::from_index(idx).unwrap();
+        let bits: Vec<u8> = (0..mcs.n_cbps()).map(|i| ((i * 13) % 2) as u8).collect();
+        let parsed = mimonet::tx::parse_streams(&bits, 2, mcs.n_bpsc());
+        let ils: Vec<Interleaver> =
+            (0..2).map(|s| Interleaver::ht(mcs.n_cbpss(), mcs.n_bpsc(), s, 2)).collect();
+        let soft: Vec<Vec<f64>> = parsed
+            .iter()
+            .enumerate()
+            .map(|(s, b)| {
+                let inter = ils[s].interleave(b);
+                let as_llr: Vec<f64> =
+                    inter.iter().map(|&x| if x == 0 { 1.0 } else { -1.0 }).collect();
+                ils[s].deinterleave_soft(&as_llr)
+            })
+            .collect();
+        let merged = mimonet::tx::deparse_streams_soft(&soft, mcs.n_bpsc());
+        let hard: Vec<u8> = merged.iter().map(|&l| u8::from(l < 0.0)).collect();
+        assert_eq!(hard, bits, "MCS{idx}");
+    }
+}
+
+#[test]
+fn full_frame_waveform_properties() {
+    let tx = Transmitter::new(TxConfig::new(9).unwrap());
+    let psdu = Mpdu::data([1; 6], [2; 6], 0, vec![0x3C; 333]).to_psdu();
+    let streams = tx.transmit(&psdu).unwrap();
+    assert_eq!(streams.len(), 2);
+    // The two antennas radiate equal average power (symmetric CSD design).
+    let p0 = mean_power(&streams[0]);
+    let p1 = mean_power(&streams[1]);
+    assert!((p0 - p1).abs() / p0 < 0.05, "antenna powers {p0} vs {p1}");
+    // STF region of antenna 0 equals the reference STF scaled by 1/sqrt(2).
+    let reference = lstf_time(0, 2);
+    for i in 0..LSTF_LEN {
+        assert!(streams[0][i].dist(reference[i].scale(1.0 / 2f64.sqrt())) < 1e-9);
+    }
+    // The frame has no silent gaps (every 80-sample window carries power).
+    for (w, win) in streams[0].chunks(80).enumerate() {
+        assert!(mean_power(win) > 0.05, "silent window {w}");
+    }
+}
+
+#[test]
+fn mpdu_roundtrip_through_psdu() {
+    let mpdu = Mpdu::data([0xAA; 6], [0xBB; 6], 77, b"integration payload".to_vec());
+    let psdu = mpdu.to_psdu();
+    let back = Mpdu::from_psdu(&psdu).unwrap();
+    assert_eq!(back, mpdu);
+    assert_eq!(back.header.seq, 77);
+}
+
+#[test]
+fn scrambler_whitens_long_runs() {
+    // A pathological all-zero payload must still produce a roughly
+    // balanced coded bit stream (the scrambler's whole job).
+    let tx = Transmitter::new(TxConfig::new(0).unwrap());
+    let coded = tx.coded_bits(&vec![0u8; 500]);
+    let ones = coded.iter().filter(|&&b| b == 1).count();
+    let ratio = ones as f64 / coded.len() as f64;
+    assert!((0.4..0.6).contains(&ratio), "ones ratio {ratio}");
+}
+
+#[test]
+fn conv_plus_scrambler_pipeline_is_deterministic() {
+    let mut s1 = Scrambler::new(0x33);
+    let mut s2 = Scrambler::new(0x33);
+    let data: Vec<u8> = (0..64).map(|i| (i % 2) as u8).collect();
+    let a = ConvEncoder::new().encode(&s1.scramble(&data));
+    let b = ConvEncoder::new().encode(&s2.scramble(&data));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn all_code_rates_reachable_from_mcs_table() {
+    use std::collections::HashSet;
+    let rates: HashSet<CodeRate> = Mcs::all().iter().map(|m| m.code_rate).collect();
+    assert_eq!(rates.len(), 4, "MCS table must exercise all four code rates");
+}

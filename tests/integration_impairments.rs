@@ -1,0 +1,137 @@
+//! Impairment-tolerance integration: each RF impairment swept to (near)
+//! its design limit individually, verifying the corresponding receiver
+//! countermeasure actually earns its keep.
+
+use mimonet::link::{LinkConfig, LinkSim};
+use mimonet_channel::ChannelConfig;
+
+const SNR_DB: f64 = 30.0;
+
+fn run_with(chan: ChannelConfig, mcs: u8, seed: u64, frames: usize) -> (u64, u64) {
+    let cfg = LinkConfig::new(mcs, 150, chan);
+    let stats = LinkSim::new(cfg, seed).run(frames);
+    (stats.per.ok(), stats.per.sent())
+}
+
+#[test]
+fn cfo_tolerance_across_the_acquisition_range() {
+    // STF coarse CFO (±2 spacings) + LTF fine CFO: anything within ±1
+    // spacing must decode reliably.
+    for &cfo in &[-1.0, -0.45, -0.1, 0.3, 0.45, 1.0] {
+        let mut chan = ChannelConfig::awgn(2, 2, SNR_DB);
+        chan.cfo_norm = cfo;
+        let (ok, sent) = run_with(chan, 9, 10, 10);
+        assert_eq!(ok, sent, "CFO {cfo}: {ok}/{sent}");
+    }
+}
+
+#[test]
+fn timing_offset_tolerance() {
+    for &off in &[0.0, 3.5, 17.0, 60.25, 200.0] {
+        let mut chan = ChannelConfig::awgn(2, 2, SNR_DB);
+        chan.timing_offset = off;
+        let (ok, sent) = run_with(chan, 9, 11, 8);
+        assert_eq!(ok, sent, "timing offset {off}: {ok}/{sent}");
+    }
+}
+
+#[test]
+fn sfo_tolerance() {
+    // ±20 ppm is the 802.11 oscillator budget; frames here are short
+    // enough (< 10k samples) that accumulated drift stays sub-sample.
+    for &ppm in &[-20.0, -5.0, 5.0, 20.0] {
+        let mut chan = ChannelConfig::awgn(2, 2, SNR_DB);
+        chan.sfo_ppm = ppm;
+        let (ok, sent) = run_with(chan, 9, 12, 8);
+        assert_eq!(ok, sent, "SFO {ppm} ppm: {ok}/{sent}");
+    }
+}
+
+#[test]
+fn iq_imbalance_tolerance() {
+    // A few percent gain and a couple degrees of skew — typical front-end
+    // numbers — must not break QPSK links.
+    let mut chan = ChannelConfig::awgn(2, 2, SNR_DB);
+    chan.iq_epsilon = 0.05;
+    chan.iq_phi = 0.03;
+    let (ok, sent) = run_with(chan, 9, 13, 10);
+    assert_eq!(ok, sent, "IQ imbalance: {ok}/{sent}");
+}
+
+#[test]
+fn adc_quantization_tolerance() {
+    for bits in [8u32, 10, 12] {
+        let mut chan = ChannelConfig::awgn(2, 2, SNR_DB);
+        chan.adc_bits = Some(bits);
+        let (ok, sent) = run_with(chan, 9, 14, 8);
+        assert_eq!(ok, sent, "{bits}-bit ADC: {ok}/{sent}");
+    }
+}
+
+#[test]
+fn dc_offset_tolerance() {
+    // A small DC term sits on the (null) DC subcarrier after the FFT and
+    // leaks only through spectral sidelobes of the detection window.
+    let mut chan = ChannelConfig::awgn(2, 2, SNR_DB);
+    chan.dc_offset = mimonet_dsp::complex::C64::new(0.02, -0.015);
+    let (ok, sent) = run_with(chan, 9, 15, 10);
+    assert_eq!(ok, sent, "DC offset: {ok}/{sent}");
+}
+
+#[test]
+fn pilot_tracking_rescues_residual_cfo() {
+    // Fractional CFO close to the LTF estimator's noise floor leaves a
+    // residual rotation that accumulates over a long frame; pilot tracking
+    // must recover what its absence loses. Use a long payload (many
+    // symbols) and moderate SNR to make the effect decisive.
+    let run = |tracking: bool| {
+        let mut chan = ChannelConfig::awgn(2, 2, 18.0);
+        chan.cfo_norm = 0.308; // worst-case fractional residue
+        let mut cfg = LinkConfig::new(11, 1200, chan);
+        cfg.rx.pilot_tracking = tracking;
+        let stats = LinkSim::new(cfg, 16).run(20);
+        stats.per.ok()
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        with > without,
+        "tracking {with}/20 vs no tracking {without}/20"
+    );
+}
+
+#[test]
+fn fine_timing_required_under_timing_offset() {
+    // With fine timing disabled, the receiver refines with the MIMO Van
+    // de Beek CP metric; on a clean channel both approaches must pin the
+    // window well enough for 64-QAM 5/6.
+    // Note: with an identity 2×2 channel each RX antenna captures half
+    // the radiated power, so "30 dB" here is ~27 dB per antenna — a
+    // comfortable margin for MCS15 only when the FFT window is placed
+    // correctly.
+    let run = |fine: bool| {
+        let mut chan = ChannelConfig::awgn(2, 2, 30.0);
+        chan.timing_offset = 13.7;
+        let mut cfg = LinkConfig::new(15, 400, chan);
+        cfg.rx.fine_timing = fine;
+        LinkSim::new(cfg, 17).run(20).per.ok()
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(with >= without, "fine timing {with}/20 vs without {without}/20");
+    assert_eq!(with, 20, "fine timing must deliver everything at 30 dB");
+}
+
+#[test]
+fn combined_worst_case_still_delivers_majority() {
+    let mut chan = ChannelConfig::awgn(2, 2, 25.0);
+    chan.cfo_norm = 0.4;
+    chan.sfo_ppm = 15.0;
+    chan.timing_offset = 27.3;
+    chan.iq_epsilon = 0.03;
+    chan.iq_phi = 0.02;
+    chan.adc_bits = Some(10);
+    chan.dc_offset = mimonet_dsp::complex::C64::new(0.01, 0.01);
+    let (ok, sent) = run_with(chan, 9, 18, 20);
+    assert!(ok * 10 >= sent * 9, "combined impairments: {ok}/{sent}");
+}

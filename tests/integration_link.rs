@@ -1,0 +1,181 @@
+//! End-to-end link integration: TX chain → channel simulator → RX chain,
+//! across MCS, fading models and detectors.
+
+use mimonet::link::{LinkConfig, LinkSim};
+use mimonet_channel::{ChannelConfig, Fading, TgnModel};
+use mimonet_detect::DetectorKind;
+
+#[test]
+fn every_mcs_decodes_on_a_clean_channel() {
+    for mcs in 0..16u8 {
+        let n = if mcs < 8 { 1 } else { 2 };
+        let cfg = LinkConfig::new(mcs, 120, ChannelConfig::awgn(n, n, 35.0));
+        let stats = LinkSim::new(cfg, 1000 + mcs as u64).run(3);
+        assert_eq!(stats.per.ok(), 3, "MCS{mcs}: {:?}", stats.per);
+        assert_eq!(stats.payload_ber.errors(), 0, "MCS{mcs}");
+    }
+}
+
+#[test]
+fn three_and_four_stream_links_close_the_loop() {
+    // MCS 17 (3x QPSK 1/2) over 3x3 and MCS 25 (4x QPSK 1/2) over 4x4.
+    for (mcs, n) in [(17u8, 3usize), (25, 4)] {
+        let cfg = LinkConfig::new(mcs, 150, ChannelConfig::awgn(n, n, 35.0));
+        let stats = LinkSim::new(cfg, 1500 + mcs as u64).run(4);
+        assert_eq!(stats.per.ok(), 4, "MCS{mcs} {n}x{n}: {:?}", stats.per);
+        assert_eq!(stats.payload_ber.errors(), 0, "MCS{mcs}");
+    }
+}
+
+#[test]
+fn all_detectors_close_the_loop_on_mimo() {
+    for det in [DetectorKind::Zf, DetectorKind::Mmse, DetectorKind::Ml] {
+        let mut cfg = LinkConfig::new(9, 100, ChannelConfig::awgn(2, 2, 30.0));
+        cfg.rx.detector = det;
+        let stats = LinkSim::new(cfg, 2000).run(5);
+        assert_eq!(stats.per.ok(), 5, "{det}: {:?}", stats.per);
+    }
+}
+
+#[test]
+fn spatial_multiplexing_halves_airtime() {
+    // Same modulation/rate: MCS3 (1 stream) vs MCS11 (2 streams) — both
+    // 16-QAM 1/2. At high SNR both deliver; the 2-stream airtime for the
+    // same payload must be well under the 1-stream airtime.
+    let c1 = LinkConfig::new(3, 500, ChannelConfig::awgn(1, 1, 35.0));
+    let c2 = LinkConfig::new(11, 500, ChannelConfig::awgn(2, 2, 35.0));
+    let t1 = LinkSim::new(c1.clone(), 3000).frame_airtime_us();
+    let t2 = LinkSim::new(c2.clone(), 3001).frame_airtime_us();
+    assert!(t2 < 0.65 * t1, "2-stream airtime {t2} vs 1-stream {t1}");
+    assert_eq!(LinkSim::new(c1, 3000).run(3).per.ok(), 3);
+    assert_eq!(LinkSim::new(c2, 3001).run(3).per.ok(), 3);
+}
+
+#[test]
+fn link_survives_realistic_impairment_stack() {
+    // CFO + SFO + timing offset + IQ imbalance + 12-bit ADC + TGn-B
+    // multipath at a healthy SNR: the receiver pipeline must still
+    // deliver most frames.
+    let mut chan = ChannelConfig::awgn(2, 2, 28.0);
+    chan.fading = Fading::Tgn(TgnModel::B);
+    chan.cfo_norm = 0.22;
+    chan.sfo_ppm = 10.0;
+    chan.timing_offset = 11.5;
+    chan.iq_epsilon = 0.02;
+    chan.iq_phi = 0.01;
+    chan.adc_bits = Some(12);
+    let cfg = LinkConfig::new(9, 200, chan);
+    let stats = LinkSim::new(cfg, 4000).run(25);
+    assert!(
+        stats.per.ok() >= 20,
+        "impairment stack: {:?} (CFO err rms {})",
+        stats.per,
+        stats.cfo_error.rms()
+    );
+}
+
+#[test]
+fn ber_decreases_monotonically_with_snr() {
+    // SISO so detection stays reliable at the low end (coded BER is
+    // measured conditionally on frames that decode; a point where nothing
+    // decodes would report a vacuous 0).
+    let mut bers = Vec::new();
+    for snr in [7.0, 10.0, 13.0] {
+        let cfg = LinkConfig::new(1, 400, ChannelConfig::awgn(1, 1, snr));
+        let stats = LinkSim::new(cfg, 5000).run(30);
+        assert!(stats.coded_ber.bits() > 0, "no frames decoded at {snr} dB");
+        bers.push(stats.coded_ber.ber());
+    }
+    assert!(bers[0] > bers[1] && bers[1] > bers[2], "BER vs SNR: {bers:?}");
+}
+
+#[test]
+fn soft_decoding_beats_hard_decoding() {
+    let snr = 8.0;
+    let run = |soft: bool| {
+        let mut cfg = LinkConfig::new(9, 400, ChannelConfig::awgn(2, 2, snr));
+        cfg.rx.soft_decoding = soft;
+        LinkSim::new(cfg, 6000).run(60)
+    };
+    let s = run(true);
+    let h = run(false);
+    assert!(
+        s.payload_ber.ber() <= h.payload_ber.ber(),
+        "soft {} vs hard {}",
+        s.payload_ber.ber(),
+        h.payload_ber.ber()
+    );
+    assert!(h.payload_ber.errors() > 0, "operating point must stress the decoder");
+}
+
+#[test]
+fn mimo_rayleigh_detector_ordering() {
+    // On flat Rayleigh 2×2, ML ≥ MMSE ≥ ZF in delivered frames.
+    let run = |det: DetectorKind| {
+        let mut chan = ChannelConfig::awgn(2, 2, 18.0);
+        chan.fading = Fading::RayleighFlat;
+        let mut cfg = LinkConfig::new(9, 100, chan);
+        cfg.rx.detector = det;
+        LinkSim::new(cfg, 7000).run(120).per.ok()
+    };
+    let zf = run(DetectorKind::Zf);
+    let mmse = run(DetectorKind::Mmse);
+    let ml = run(DetectorKind::Ml);
+    assert!(ml >= mmse, "ML {ml} vs MMSE {mmse}");
+    assert!(mmse >= zf, "MMSE {mmse} vs ZF {zf}");
+    assert!(ml > zf, "ML {ml} must strictly beat ZF {zf} over 120 Rayleigh frames");
+}
+
+#[test]
+fn slow_mobility_does_not_break_the_link() {
+    // Pedestrian-class Doppler (1e-6 cycles/sample ≈ 20 Hz at 20 Msps):
+    // the block channel estimate stays valid across the frame.
+    let mut chan = ChannelConfig::awgn(2, 2, 28.0);
+    chan.fading = Fading::Jakes { fd_norm: 1e-6 };
+    let cfg = LinkConfig::new(9, 500, chan);
+    let stats = LinkSim::new(cfg, 9500).run(30);
+    assert!(stats.per.ok() >= 28, "pedestrian Doppler: {:?}", stats.per);
+}
+
+#[test]
+fn fast_mobility_kills_long_frames_first() {
+    let run = |payload: usize| {
+        let mut chan = ChannelConfig::awgn(2, 2, 28.0);
+        chan.fading = Fading::Jakes { fd_norm: 4e-5 };
+        let cfg = LinkConfig::new(9, payload, chan);
+        LinkSim::new(cfg, 9600).run(40).per.per()
+    };
+    let short = run(100);
+    let long = run(1500);
+    assert!(
+        long > short + 0.2,
+        "channel aging must hit long frames harder: short {short}, long {long}"
+    );
+}
+
+#[test]
+fn snr_estimate_tracks_truth_across_sweep() {
+    for snr in [5.0, 15.0, 25.0] {
+        let cfg = LinkConfig::new(0, 100, ChannelConfig::awgn(1, 1, snr));
+        let stats = LinkSim::new(cfg, 8000).run(20);
+        let est = stats.snr_est_db.mean();
+        assert!(
+            (est - snr).abs() < 2.0,
+            "true {snr} dB, preamble estimate {est} dB"
+        );
+    }
+}
+
+#[test]
+fn per_increases_with_payload_size_at_fixed_snr() {
+    let run = |len: usize| {
+        let cfg = LinkConfig::new(9, len, ChannelConfig::awgn(2, 2, 7.6));
+        LinkSim::new(cfg, 9000).run(80).per.per()
+    };
+    let short = run(50);
+    let long = run(1000);
+    assert!(
+        long > short,
+        "longer frames must fail more: short {short} long {long}"
+    );
+}
