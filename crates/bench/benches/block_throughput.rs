@@ -63,7 +63,8 @@ fn bench_transceiver_graph(c: &mut Criterion) {
                 psdu_len,
                 3,
             );
-            fg.run_threaded(std::sync::Arc::new(MessageHub::new())).unwrap();
+            fg.run_threaded(std::sync::Arc::new(MessageHub::new()))
+                .unwrap();
             handle.len()
         });
     });

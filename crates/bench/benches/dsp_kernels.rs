@@ -8,7 +8,9 @@ use mimonet_dsp::fft::Fft;
 use mimonet_dsp::resample::resample;
 
 fn signal(n: usize) -> Vec<C64> {
-    (0..n).map(|i| C64::cis(i as f64 * 0.37) * (1.0 + 0.1 * (i % 7) as f64)).collect()
+    (0..n)
+        .map(|i| C64::cis(i as f64 * 0.37) * (1.0 + 0.1 * (i % 7) as f64))
+        .collect()
 }
 
 fn bench_fft(c: &mut Criterion) {
@@ -59,5 +61,11 @@ fn bench_resample(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fft, bench_autocorrelator, bench_cross_correlate, bench_resample);
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_autocorrelator,
+    bench_cross_correlate,
+    bench_resample
+);
 criterion_main!(benches);

@@ -8,7 +8,9 @@ use mimonet_fec::viterbi::decode_soft_unterminated;
 use mimonet_fec::{ConvEncoder, Scrambler};
 
 fn bits(n: usize) -> Vec<u8> {
-    (0..n).map(|i| ((i * 1103515245 + 12345) >> 16 & 1) as u8).collect()
+    (0..n)
+        .map(|i| ((i * 1103515245 + 12345) >> 16 & 1) as u8)
+        .collect()
 }
 
 fn bench_encoder(c: &mut Criterion) {
@@ -25,7 +27,10 @@ fn bench_viterbi(c: &mut Criterion) {
     for &n in &[1024usize, 4096] {
         let data = bits(n);
         let coded = ConvEncoder::new().encode(&data);
-        let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 4.0 } else { -4.0 }).collect();
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { 4.0 } else { -4.0 })
+            .collect();
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("soft_unterminated", n), &n, |b, _| {
             b.iter(|| decode_soft_unterminated(&llrs).unwrap());
@@ -40,7 +45,10 @@ fn bench_punctured_path(c: &mut Criterion) {
     c.bench_function("puncture_depuncture_r34_8k", |b| {
         b.iter(|| {
             let tx = puncture(&coded, CodeRate::R3_4);
-            let soft: Vec<f64> = tx.iter().map(|&x| if x == 0 { 1.0 } else { -1.0 }).collect();
+            let soft: Vec<f64> = tx
+                .iter()
+                .map(|&x| if x == 0 { 1.0 } else { -1.0 })
+                .collect();
             depuncture_soft(&soft, CodeRate::R3_4, coded.len())
         });
     });

@@ -4,47 +4,103 @@
 //! part is pulled by the STF/LTF estimators is the estimation error, which
 //! grows with the frame) and frame length, comparing PER with and without
 //! per-symbol pilot tracking — quantifying the paper's "use of pilot
-//! sub-carriers" feature.
+//! sub-carriers" feature. On/off arms share master seeds, so both see
+//! identical channel noise point for point.
 //!
 //! ```sh
-//! cargo run --release -p mimonet-bench --bin fig_ablation_pilots [--quick]
+//! cargo run --release -p mimonet-bench --bin fig_ablation_pilots [--quick] [--threads N]
 //! ```
 
-use mimonet::link::{LinkConfig, LinkSim};
-use mimonet_bench::{header, row, RunScale};
+use mimonet::link::LinkConfig;
+use mimonet::sweep::run_link;
+use mimonet_bench::report::FigureReport;
+use mimonet_bench::{header, row, seeds, BenchOpts};
 use mimonet_channel::ChannelConfig;
 
-fn per_with_tracking(cfo: f64, payload: usize, tracking: bool, frames: usize, seed: u64) -> f64 {
+fn cfg_at(cfo: f64, payload: usize, tracking: bool) -> LinkConfig {
     let mut chan = ChannelConfig::awgn(2, 2, 18.0);
     chan.cfo_norm = cfo;
     let mut cfg = LinkConfig::new(11, payload, chan);
     cfg.rx.pilot_tracking = tracking;
-    LinkSim::new(cfg, seed).run(frames).per.per()
+    cfg
 }
 
 fn main() {
-    let scale = RunScale::from_args();
-    let frames = scale.count(120, 20);
+    let opts = BenchOpts::from_args();
+    let frames = opts.count(120, 20);
+
+    let mut report = FigureReport::new(
+        "fig_ablation_pilots",
+        "Pilot-tracking ablation under residual CFO",
+        "CFO / payload B",
+        seeds::ABLATION_PILOTS_CFO,
+        &opts,
+    );
 
     println!("# A1: pilot tracking ablation (MCS11, 18 dB, {frames} frames/point)");
     println!("# sweep 1: CFO at fixed 1200 B payload");
     header(&["CFO", "PER track", "PER no-trk"]);
-    for &cfo in &[0.0, 0.1, 0.2, 0.3, 0.4] {
-        let on = per_with_tracking(cfo, 1200, true, frames, 6060);
-        let off = per_with_tracking(cfo, 1200, false, frames, 6060);
-        row(cfo * 10.0, &[on, off]); // label column ×10 to fit the grid
+    let cfos = [0.0, 0.1, 0.2, 0.3, 0.4];
+    let mut per_cfo: Vec<Vec<f64>> = Vec::new();
+    for tracking in [true, false] {
+        let points: Vec<LinkConfig> = cfos.iter().map(|&c| cfg_at(c, 1200, tracking)).collect();
+        let result = run_link(&opts.spec(
+            format!("ablation_pilots/cfo/{tracking}"),
+            points,
+            frames,
+            seeds::ABLATION_PILOTS_CFO,
+        ));
+        let y: Vec<f64> = result.stats.iter().map(|s| s.per.per()).collect();
+        report.series(
+            if tracking {
+                "cfo tracking"
+            } else {
+                "cfo no-tracking"
+            },
+            &cfos,
+            &y,
+        );
+        per_cfo.push(y);
+    }
+    for (i, &cfo) in cfos.iter().enumerate() {
+        row(cfo * 10.0, &[per_cfo[0][i], per_cfo[1][i]]); // label column ×10 to fit the grid
     }
     println!("# (label column = CFO x 10 in subcarrier spacings)");
 
     println!();
     println!("# sweep 2: payload length at fixed CFO 0.3");
     header(&["bytes", "PER track", "PER no-trk"]);
-    for &len in &[100usize, 400, 800, 1600] {
-        let on = per_with_tracking(0.3, len, true, frames, 6161);
-        let off = per_with_tracking(0.3, len, false, frames, 6161);
-        row(len as f64, &[on, off]);
+    let lens = [100.0, 400.0, 800.0, 1600.0];
+    let mut per_len: Vec<Vec<f64>> = Vec::new();
+    for tracking in [true, false] {
+        let points: Vec<LinkConfig> = lens
+            .iter()
+            .map(|&l| cfg_at(0.3, l as usize, tracking))
+            .collect();
+        let result = run_link(&opts.spec(
+            format!("ablation_pilots/len/{tracking}"),
+            points,
+            frames,
+            seeds::ABLATION_PILOTS_LEN,
+        ));
+        let y: Vec<f64> = result.stats.iter().map(|s| s.per.per()).collect();
+        report.series(
+            if tracking {
+                "length tracking"
+            } else {
+                "length no-tracking"
+            },
+            &lens,
+            &y,
+        );
+        per_len.push(y);
     }
+    for (i, &len) in lens.iter().enumerate() {
+        row(len, &[per_len[0][i], per_len[1][i]]);
+    }
+
     println!("# expected shape: with tracking PER is flat in both sweeps; without,");
     println!("# PER climbs with frame length (residual-CFO phase accumulates across");
     println!("# symbols until constellations rotate out of their decision regions)");
+    report.finish();
 }

@@ -4,52 +4,100 @@
 //! QPSK rate-1/2 (MCS9); pre-FEC BER is the fair detector comparison
 //! (post-FEC PER crossovers are in F8). Also prints the SISO QPSK
 //! baseline (MCS1, 1×1 Rayleigh) for the diversity-vs-multiplexing
-//! context the paper frames.
+//! context the paper frames. The three detector arms share a master seed
+//! so every detector sees identical channel realizations point for point.
 //!
 //! ```sh
-//! cargo run --release -p mimonet-bench --bin fig_ber_mimo [--quick]
+//! cargo run --release -p mimonet-bench --bin fig_ber_mimo [--quick] [--threads N]
 //! ```
 
-use mimonet::link::{LinkConfig, LinkSim};
-use mimonet_bench::{header, row, snr_grid, RunScale};
+use mimonet::link::LinkConfig;
+use mimonet::sweep::run_link;
+use mimonet_bench::report::FigureReport;
+use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
 use mimonet_channel::{ChannelConfig, Fading};
 use mimonet_detect::DetectorKind;
+use serde::Serialize;
+
+fn rayleigh(n_tx: usize, n_rx: usize, snr: f64) -> ChannelConfig {
+    let mut chan = ChannelConfig::awgn(n_tx, n_rx, snr);
+    chan.fading = Fading::RayleighFlat;
+    chan
+}
+
+fn coded_ber(stats: &mimonet::link::LinkStats) -> f64 {
+    if stats.coded_ber.bits() > 0 {
+        stats.coded_ber.ber()
+    } else {
+        f64::NAN
+    }
+}
 
 fn main() {
-    let scale = RunScale::from_args();
-    let frames = scale.count(300, 30);
+    let opts = BenchOpts::from_args();
+    let frames = opts.count(300, 30);
+    let snrs = snr_grid(0, 30, 3);
 
     println!("# F7: 2x2 SM pre-FEC BER vs SNR, flat Rayleigh (QPSK, {frames} frames/pt)");
     header(&["SNR dB", "ZF", "MMSE", "ML", "SISO 1x1"]);
 
-    for snr in snr_grid(0, 30, 3) {
-        let mut cells = Vec::new();
-        for det in [DetectorKind::Zf, DetectorKind::Mmse, DetectorKind::Ml] {
-            let mut chan = ChannelConfig::awgn(2, 2, snr);
-            chan.fading = Fading::RayleighFlat;
-            let mut cfg = LinkConfig::new(9, 400, chan);
-            cfg.rx.detector = det;
-            let stats = LinkSim::new(cfg, 555 + snr as i64 as u64).run(frames);
-            cells.push(if stats.coded_ber.bits() > 0 {
-                stats.coded_ber.ber()
-            } else {
-                f64::NAN
-            });
-        }
-        // SISO baseline.
-        let mut chan = ChannelConfig::awgn(1, 1, snr);
-        chan.fading = Fading::RayleighFlat;
-        let cfg = LinkConfig::new(1, 400, chan);
-        let stats = LinkSim::new(cfg, 777 + snr as i64 as u64).run(frames);
-        cells.push(if stats.coded_ber.bits() > 0 {
-            stats.coded_ber.ber()
-        } else {
-            f64::NAN
-        });
+    let mut report = FigureReport::new(
+        "fig_ber_mimo",
+        "2x2 SM pre-FEC BER vs SNR, flat Rayleigh",
+        "SNR dB",
+        seeds::BER_MIMO,
+        &opts,
+    );
+
+    let detectors = [
+        (DetectorKind::Zf, "ZF"),
+        (DetectorKind::Mmse, "MMSE"),
+        (DetectorKind::Ml, "ML"),
+    ];
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    for (det, label) in detectors {
+        let points: Vec<LinkConfig> = snrs
+            .iter()
+            .map(|&snr| {
+                let mut cfg = LinkConfig::new(9, 400, rayleigh(2, 2, snr));
+                cfg.rx.detector = det;
+                cfg
+            })
+            .collect();
+        let result =
+            run_link(&opts.spec(format!("ber_mimo/{label}"), points, frames, seeds::BER_MIMO));
+        let y: Vec<f64> = result.stats.iter().map(coded_ber).collect();
+        report.series_with_points(
+            label,
+            &snrs,
+            &y,
+            result.stats.iter().map(|s| s.serialize()).collect(),
+        );
+        curves.push(y);
+    }
+
+    let siso_points: Vec<LinkConfig> = snrs
+        .iter()
+        .map(|&snr| LinkConfig::new(1, 400, rayleigh(1, 1, snr)))
+        .collect();
+    let siso = run_link(&opts.spec("ber_mimo/siso", siso_points, frames, seeds::BER_MIMO_SISO));
+    let siso_y: Vec<f64> = siso.stats.iter().map(coded_ber).collect();
+    report.series_with_points(
+        "SISO 1x1",
+        &snrs,
+        &siso_y,
+        siso.stats.iter().map(|s| s.serialize()).collect(),
+    );
+    curves.push(siso_y);
+
+    for (i, &snr) in snrs.iter().enumerate() {
+        let cells: Vec<f64> = curves.iter().map(|c| c[i]).collect();
         row(snr, &cells);
     }
+
     println!("# expected shape: ML < MMSE < ZF at every SNR, gap widening with");
     println!("# SNR (ML extracts RX diversity the linear detectors spend on");
     println!("# stream separation); SISO sits below the linear detectors at the");
     println!("# same SNR but carries half the bits per symbol");
+    report.finish();
 }

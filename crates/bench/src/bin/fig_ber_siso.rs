@@ -4,21 +4,26 @@
 //! "Uncoded" is the pre-FEC BER measured on hard decisions of the
 //! received coded stream (same waveform, same receiver); "coded" is the
 //! residual post-Viterbi payload BER. One MCS per modulation at rate 1/2
-//! where available (BPSK/QPSK/16-QAM) and 2/3 for 64-QAM.
+//! where available (BPSK/QPSK/16-QAM) and 2/3 for 64-QAM. Each point
+//! early-stops once 200 payload bit errors have accumulated.
 //!
 //! ```sh
-//! cargo run --release -p mimonet-bench --bin fig_ber_siso [--quick]
+//! cargo run --release -p mimonet-bench --bin fig_ber_siso [--quick] [--threads N]
 //! ```
 
-use mimonet::link::{LinkConfig, LinkSim};
-use mimonet_bench::{header, snr_grid, RunScale};
+use mimonet::link::LinkConfig;
+use mimonet::sweep::run_link_until_errors;
+use mimonet_bench::report::FigureReport;
+use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
 use mimonet_channel::ChannelConfig;
+use serde::Serialize;
 
 const MCS_SET: [(u8, &str); 4] = [(0, "BPSK"), (1, "QPSK"), (3, "16QAM"), (5, "64QAM")];
 
 fn main() {
-    let scale = RunScale::from_args();
-    let max_frames = scale.count(400, 40);
+    let opts = BenchOpts::from_args();
+    let max_frames = opts.count(400, 40);
+    let snrs = snr_grid(0, 30, 2);
 
     println!("# F6: SISO BER vs SNR, AWGN (payload 500 B, up to {max_frames} frames/point)");
     println!("# 'u' = uncoded (pre-FEC), 'c' = coded (post-Viterbi residual)");
@@ -30,23 +35,51 @@ fn main() {
     hdr.extend(cols.iter().map(|s| s.as_str()));
     header(&hdr);
 
-    for snr in snr_grid(0, 30, 2) {
-        let mut cells = Vec::new();
-        for (mcs, _) in MCS_SET {
-            let cfg = LinkConfig::new(mcs, 500, ChannelConfig::awgn(1, 1, snr));
-            let mut sim = LinkSim::new(cfg, 9090 + mcs as u64 * 1000 + snr as i64 as u64);
-            let stats = sim.run_until_errors(200, max_frames);
-            let (u, c) = if stats.coded_ber.bits() > 0 {
-                (stats.coded_ber.ber(), stats.payload_ber.ber())
+    let mut report = FigureReport::new(
+        "fig_ber_siso",
+        "SISO BER vs SNR, AWGN, uncoded vs coded",
+        "SNR dB",
+        seeds::BER_SISO,
+        &opts,
+    );
+
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    for (mcs, name) in MCS_SET {
+        let points: Vec<LinkConfig> = snrs
+            .iter()
+            .map(|&snr| LinkConfig::new(mcs, 500, ChannelConfig::awgn(1, 1, snr)))
+            .collect();
+        let spec = opts.spec(
+            format!("ber_siso/{name}"),
+            points,
+            max_frames,
+            seeds::BER_SISO,
+        );
+        let result = run_link_until_errors(&spec, 200);
+        let (mut u, mut c) = (Vec::new(), Vec::new());
+        for stats in &result.stats {
+            if stats.coded_ber.bits() > 0 {
+                u.push(stats.coded_ber.ber());
+                c.push(stats.payload_ber.ber());
             } else {
-                (f64::NAN, f64::NAN) // nothing decoded at this point
-            };
-            cells.push(u);
-            cells.push(c);
+                u.push(f64::NAN); // nothing decoded at this point
+                c.push(f64::NAN);
+            }
         }
-        mimonet_bench::row(snr, &cells);
+        let points_json = result.stats.iter().map(|s| s.serialize()).collect();
+        report.series(format!("{name}-uncoded"), &snrs, &u);
+        report.series_with_points(format!("{name}-coded"), &snrs, &c, points_json);
+        curves.push(u);
+        curves.push(c);
     }
+
+    for (i, &snr) in snrs.iter().enumerate() {
+        let cells: Vec<f64> = curves.iter().map(|col| col[i]).collect();
+        row(snr, &cells);
+    }
+
     println!("# expected shape: classic waterfalls ordered BPSK < QPSK < 16QAM <");
     println!("# 64QAM (~6 dB between QAM orders); coded curves fall off a cliff");
     println!("# ~4-5 dB left of where uncoded reaches ~1e-2");
+    report.finish();
 }

@@ -7,11 +7,12 @@
 //! show the flat-vs-selective bias trade.
 //!
 //! ```sh
-//! cargo run --release -p mimonet-bench --bin fig_chanest [--quick]
+//! cargo run --release -p mimonet-bench --bin fig_chanest [--quick] [--threads N]
 //! ```
 
 use mimonet::{Transmitter, TxConfig};
-use mimonet_bench::{header, row, snr_grid, RunScale};
+use mimonet_bench::report::FigureReport;
+use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
 use mimonet_channel::{ChannelConfig, ChannelSim, Fading, TgnModel};
 use mimonet_detect::{estimate_mimo_htltf, smooth_frequency};
 use mimonet_dsp::complex::Complex64;
@@ -21,24 +22,41 @@ use mimonet_frame::ofdm::{ht_cyclic_shift, Ofdm};
 const HTLTF_START: usize = 160 + 160 + 80 + 160 + 80;
 
 fn main() {
-    let scale = RunScale::from_args();
-    let trials = scale.count(400, 40);
+    let opts = BenchOpts::from_args();
+    let trials = opts.count(400, 40);
     let tx = Transmitter::new(TxConfig::new(8).expect("valid MCS"));
     let frame = tx.transmit(&[0u8; 30]).expect("valid PSDU");
-    let ofdm = Ofdm::new();
-    let s56 = Ofdm::unit_power_scale(56);
+    let snrs = snr_grid(0, 30, 3);
 
+    let mut report = FigureReport::new(
+        "fig_chanest",
+        "HT-LTF channel-estimation MSE vs SNR",
+        "SNR dB",
+        seeds::CHANEST,
+        &opts,
+    );
+
+    let frame_ref = &frame;
     for model in [TgnModel::B, TgnModel::D] {
         println!("# F4: channel estimation MSE vs SNR ({model}, 2x2, {trials} trials/point)");
         header(&["SNR dB", "LS MSE", "smoothed"]);
-        for snr in snr_grid(0, 30, 3) {
+
+        let spec = opts.spec(
+            format!("chanest/{model}"),
+            snrs.clone(),
+            trials,
+            seeds::CHANEST,
+        );
+        // Accumulator: summed (LS, smoothed) MSE; divided by trial count
+        // after the sweep.
+        let result = spec.run(move |&snr, ctx, (mse_ls, mse_sm): &mut (f64, f64)| {
+            let ofdm = Ofdm::new();
+            let s56 = Ofdm::unit_power_scale(56);
             let mut chan_cfg = ChannelConfig::awgn(2, 2, snr);
             chan_cfg.fading = Fading::Tgn(model);
-            let mut chan = ChannelSim::new(chan_cfg, 31337 + snr as i64 as u64);
-            let mut mse_ls = 0.0;
-            let mut mse_sm = 0.0;
-            for _ in 0..trials {
-                let (rx, truth) = chan.apply(&frame);
+            let mut chan = ChannelSim::new(chan_cfg, ctx.seed);
+            for _ in 0..ctx.trials {
+                let (rx, truth) = chan.apply(frame_ref);
                 let tdl = truth.tdl.as_ref().expect("TGn fading");
                 let mut ltf_bins = Vec::new();
                 for i in 0..2 {
@@ -58,14 +76,32 @@ fn main() {
                     );
                     tdl.freq_response(r, s, k, FFT_LEN) * csd * (1.0 / 2f64.sqrt())
                 };
-                mse_ls += est.mse_against(reference);
-                mse_sm += smoothed.mse_against(reference);
+                *mse_ls += est.mse_against(reference);
+                *mse_sm += smoothed.mse_against(reference);
             }
-            row(snr, &[mse_ls / trials as f64, mse_sm / trials as f64]);
+        });
+
+        let ls_y: Vec<f64> = result
+            .stats
+            .iter()
+            .zip(&result.trials_run)
+            .map(|((ls, _), &n)| ls / n as f64)
+            .collect();
+        let sm_y: Vec<f64> = result
+            .stats
+            .iter()
+            .zip(&result.trials_run)
+            .map(|((_, sm), &n)| sm / n as f64)
+            .collect();
+        for (i, &snr) in snrs.iter().enumerate() {
+            row(snr, &[ls_y[i], sm_y[i]]);
         }
+        report.series(format!("{model} LS"), &snrs, &ls_y);
+        report.series(format!("{model} smoothed"), &snrs, &sm_y);
         println!();
     }
     println!("# expected shape: LS MSE falls 10x per 10 dB (noise-limited);");
     println!("# smoothing wins at low SNR, hits a bias floor at high SNR on");
     println!("# the more selective model D");
+    report.finish();
 }

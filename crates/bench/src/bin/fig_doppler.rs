@@ -13,41 +13,79 @@
 //! sweep extends beyond that to expose the failure slope.
 //!
 //! ```sh
-//! cargo run --release -p mimonet-bench --bin fig_doppler [--quick]
+//! cargo run --release -p mimonet-bench --bin fig_doppler [--quick] [--threads N]
 //! ```
 
-use mimonet::link::{LinkConfig, LinkSim};
-use mimonet_bench::{header, row, RunScale};
+use mimonet::link::LinkConfig;
+use mimonet::sweep::run_link;
+use mimonet_bench::report::FigureReport;
+use mimonet_bench::{header, row, seeds, BenchOpts};
 use mimonet_channel::{ChannelConfig, Fading};
+use serde::Serialize;
 
-fn per_at(fd: f64, payload: usize, tracking: bool, frames: usize) -> f64 {
-    let mut chan = ChannelConfig::awgn(2, 2, 28.0);
-    chan.fading = Fading::Jakes { fd_norm: fd };
-    let mut cfg = LinkConfig::new(9, payload, chan);
-    cfg.rx.pilot_tracking = tracking;
-    LinkSim::new(cfg, 2718).run(frames).per.per()
-}
+const FD_GRID: [f64; 6] = [0.0, 2e-6, 1e-5, 3e-5, 1e-4, 3e-4];
 
 fn main() {
-    let scale = RunScale::from_args();
-    let frames = scale.count(150, 30);
+    let opts = BenchOpts::from_args();
+    let frames = opts.count(150, 30);
 
     println!("# A5: PER vs normalized Doppler (MCS9 2x2, 28 dB, {frames} frames/pt)");
     println!("# fd in cycles/sample at 20 Msps; 2.6e-5 ~ vehicular at 5.2 GHz");
-    header(&["fd x 1e6", "300B trk", "300B none", "1500B trk", "1500B none"]);
-    for &fd in &[0.0, 2e-6, 1e-5, 3e-5, 1e-4, 3e-4] {
-        row(
-            fd * 1e6,
-            &[
-                per_at(fd, 300, true, frames),
-                per_at(fd, 300, false, frames),
-                per_at(fd, 1500, true, frames),
-                per_at(fd, 1500, false, frames),
-            ],
+    header(&[
+        "fd x 1e6",
+        "300B trk",
+        "300B none",
+        "1500B trk",
+        "1500B none",
+    ]);
+
+    let mut report = FigureReport::new(
+        "fig_doppler",
+        "PER vs normalized Doppler (channel aging)",
+        "fd cycles/sample",
+        seeds::DOPPLER,
+        &opts,
+    );
+
+    let arms: [(usize, bool, &str); 4] = [
+        (300, true, "300B tracking"),
+        (300, false, "300B no-tracking"),
+        (1500, true, "1500B tracking"),
+        (1500, false, "1500B no-tracking"),
+    ];
+    let fds: Vec<f64> = FD_GRID.to_vec();
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    for (payload, tracking, label) in arms {
+        let points: Vec<LinkConfig> = fds
+            .iter()
+            .map(|&fd| {
+                let mut chan = ChannelConfig::awgn(2, 2, 28.0);
+                chan.fading = Fading::Jakes { fd_norm: fd };
+                let mut cfg = LinkConfig::new(9, payload, chan);
+                cfg.rx.pilot_tracking = tracking;
+                cfg
+            })
+            .collect();
+        // Shared master seed: every arm ages the same fading processes.
+        let result =
+            run_link(&opts.spec(format!("doppler/{label}"), points, frames, seeds::DOPPLER));
+        let y: Vec<f64> = result.stats.iter().map(|s| s.per.per()).collect();
+        report.series_with_points(
+            label,
+            &fds,
+            &y,
+            result.stats.iter().map(|s| s.serialize()).collect(),
         );
+        curves.push(y);
     }
+
+    for (i, &fd) in fds.iter().enumerate() {
+        row(fd * 1e6, &curves.iter().map(|c| c[i]).collect::<Vec<_>>());
+    }
+
     println!("# expected shape: flat near zero through vehicular Doppler, then a");
     println!("# sharp wall where the channel decorrelates within one frame; the");
     println!("# wall hits long frames at ~4x lower Doppler than short ones, and");
     println!("# pilot tracking pushes it out by recovering the common phase");
+    report.finish();
 }

@@ -1,59 +1,92 @@
 //! F8 — PER vs SNR, 2×2 spatial multiplexing, across payload sizes and
 //! MCS, with per-class failure attribution.
 //!
-//! Two sweeps: (a) MCS9 at three payload sizes, (b) three MCS at 500 B.
-//! The attribution columns (sync / header / FCS shares at one mid-curve
-//! point) reproduce the paper's observation that header and payload
-//! failures dominate different SNR regimes.
+//! Three sweeps: (a) MCS9 at three payload sizes, (b) three MCS at 500 B,
+//! (c) sync/header/FCS failure shares at mid-waterfall points —
+//! reproducing the paper's observation that header and payload failures
+//! dominate different SNR regimes.
 //!
 //! ```sh
-//! cargo run --release -p mimonet-bench --bin fig_per [--quick]
+//! cargo run --release -p mimonet-bench --bin fig_per [--quick] [--threads N]
 //! ```
 
-use mimonet::link::{LinkConfig, LinkSim};
-use mimonet_bench::{header, row, snr_grid, RunScale};
+use mimonet::link::LinkConfig;
+use mimonet::sweep::run_link;
+use mimonet_bench::report::FigureReport;
+use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
 use mimonet_channel::ChannelConfig;
+use serde::Serialize;
 
 fn main() {
-    let scale = RunScale::from_args();
-    let frames = scale.count(400, 40);
+    let opts = BenchOpts::from_args();
+    let frames = opts.count(400, 40);
+
+    let mut report = FigureReport::new(
+        "fig_per",
+        "2x2 PER vs SNR: payload sizes, MCS, attribution",
+        "SNR dB",
+        seeds::PER_PAYLOAD,
+        &opts,
+    );
 
     println!("# F8a: PER vs SNR, MCS9 (2x2 QPSK 1/2), AWGN, {frames} frames/point");
     header(&["SNR dB", "100 B", "500 B", "1500 B"]);
-    for snr in snr_grid(4, 16, 1) {
-        let cells: Vec<f64> = [100usize, 500, 1500]
+    let snrs_a = snr_grid(4, 16, 1);
+    let mut curves_a: Vec<Vec<f64>> = Vec::new();
+    for len in [100usize, 500, 1500] {
+        let points: Vec<LinkConfig> = snrs_a
             .iter()
-            .map(|&len| {
-                let cfg = LinkConfig::new(9, len, ChannelConfig::awgn(2, 2, snr));
-                LinkSim::new(cfg, 808 + len as u64 + snr as i64 as u64).run(frames).per.per()
-            })
+            .map(|&snr| LinkConfig::new(9, len, ChannelConfig::awgn(2, 2, snr)))
             .collect();
-        row(snr, &cells);
+        let result =
+            run_link(&opts.spec(format!("per/{len}B"), points, frames, seeds::PER_PAYLOAD));
+        let y: Vec<f64> = result.stats.iter().map(|s| s.per.per()).collect();
+        report.series_with_points(
+            format!("MCS9 {len} B"),
+            &snrs_a,
+            &y,
+            result.stats.iter().map(|s| s.serialize()).collect(),
+        );
+        curves_a.push(y);
+    }
+    for (i, &snr) in snrs_a.iter().enumerate() {
+        row(snr, &curves_a.iter().map(|c| c[i]).collect::<Vec<_>>());
     }
 
     println!();
     println!("# F8b: PER vs SNR across MCS, 500 B payloads");
     header(&["SNR dB", "MCS8", "MCS11", "MCS15"]);
-    for snr in snr_grid(4, 34, 2) {
-        let cells: Vec<f64> = [8u8, 11, 15]
+    let snrs_b = snr_grid(4, 34, 2);
+    let mut curves_b: Vec<Vec<f64>> = Vec::new();
+    for mcs in [8u8, 11, 15] {
+        let points: Vec<LinkConfig> = snrs_b
             .iter()
-            .map(|&mcs| {
-                let cfg = LinkConfig::new(mcs, 500, ChannelConfig::awgn(2, 2, snr));
-                LinkSim::new(cfg, 909 + mcs as u64 * 100 + snr as i64 as u64)
-                    .run(frames)
-                    .per
-                    .per()
-            })
+            .map(|&snr| LinkConfig::new(mcs, 500, ChannelConfig::awgn(2, 2, snr)))
             .collect();
-        row(snr, &cells);
+        let result = run_link(&opts.spec(format!("per/mcs{mcs}"), points, frames, seeds::PER_MCS));
+        let y: Vec<f64> = result.stats.iter().map(|s| s.per.per()).collect();
+        report.series_with_points(
+            format!("MCS{mcs} 500 B"),
+            &snrs_b,
+            &y,
+            result.stats.iter().map(|s| s.serialize()).collect(),
+        );
+        curves_b.push(y);
+    }
+    for (i, &snr) in snrs_b.iter().enumerate() {
+        row(snr, &curves_b.iter().map(|c| c[i]).collect::<Vec<_>>());
     }
 
     println!();
     println!("# F8c: failure attribution at mid-waterfall (MCS9, 500 B)");
     header(&["SNR dB", "PER", "sync", "header", "fcs"]);
-    for snr in [6.0, 8.0, 10.0] {
-        let cfg = LinkConfig::new(9, 500, ChannelConfig::awgn(2, 2, snr));
-        let stats = LinkSim::new(cfg, 1010 + snr as u64).run(frames);
+    let snrs_c = [6.0, 8.0, 10.0];
+    let points: Vec<LinkConfig> = snrs_c
+        .iter()
+        .map(|&snr| LinkConfig::new(9, 500, ChannelConfig::awgn(2, 2, snr)))
+        .collect();
+    let result = run_link(&opts.spec("per/attribution", points, frames, seeds::PER_ATTRIBUTION));
+    for (&snr, stats) in snrs_c.iter().zip(&result.stats) {
         let sent = stats.per.sent() as f64;
         row(
             snr,
@@ -65,8 +98,16 @@ fn main() {
             ],
         );
     }
+    report.series_with_points(
+        "attribution MCS9 500 B",
+        &snrs_c,
+        &result.stats.iter().map(|s| s.per.per()).collect::<Vec<_>>(),
+        result.stats.iter().map(|s| s.serialize()).collect(),
+    );
+
     println!("# expected shape: longer payloads shift the waterfall right ~1 dB per");
     println!("# 3x length; higher MCS shift it right ~4-6 dB per step in order;");
     println!("# at the lowest SNR sync losses dominate, FCS failures take over as");
     println!("# detection becomes reliable");
+    report.finish();
 }

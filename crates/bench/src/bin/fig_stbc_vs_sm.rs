@@ -5,13 +5,15 @@
 //! STBC sends one 16-QAM symbol stream at half rate (diversity order
 //! 2·n_rx), SM sends two QPSK streams (rate 2, diversity from RX only).
 //! Per-subcarrier symbol-level Monte Carlo over flat Rayleigh — the
-//! classic diversity–multiplexing crossover.
+//! classic diversity–multiplexing crossover. All three arms share each
+//! trial's channel draw (paired comparison).
 //!
 //! ```sh
-//! cargo run --release -p mimonet-bench --bin fig_stbc_vs_sm [--quick]
+//! cargo run --release -p mimonet-bench --bin fig_stbc_vs_sm [--quick] [--threads N]
 //! ```
 
-use mimonet_bench::{header, row, snr_grid, RunScale};
+use mimonet_bench::report::FigureReport;
+use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
 use mimonet_channel::noise::crandn;
 use mimonet_detect::linalg::CMat;
 use mimonet_detect::stbc::{alamouti_decode, alamouti_encode};
@@ -23,97 +25,117 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let scale = RunScale::from_args();
-    let trials = scale.count(20000, 2000);
-    let mut rng = ChaCha8Rng::seed_from_u64(314);
+    let opts = BenchOpts::from_args();
+    let trials = opts.count(20000, 2000);
+    let snrs = snr_grid(0, 30, 3);
 
     println!("# F10: STBC (16-QAM, rate 1) vs SM-ML (2x QPSK, rate 2) vs SM-ZF");
     println!("# 2x2 flat Rayleigh, equal spectral efficiency (4 bits/carrier-use),");
     println!("# {trials} channel uses per point, raw symbol BER");
     header(&["SNR dB", "STBC", "SM-ML", "SM-ZF"]);
 
-    for snr in snr_grid(0, 30, 3) {
-        let nv = mimonet_dsp::stats::db_to_lin(-snr);
-        let mut errs = [0usize; 3];
-        let mut bits_counted = [0usize; 3];
-        for _ in 0..trials {
-            // Common channel draw per trial.
-            let h: Vec<[Complex64; 2]> =
-                (0..2).map(|_| [crandn(&mut rng), crandn(&mut rng)]).collect();
+    let spec = opts.spec("stbc_vs_sm", snrs.clone(), trials, seeds::STBC_VS_SM);
+    let result = spec.run(
+        |&snr, ctx, (errs, bits_counted): &mut ([u64; 3], [u64; 3])| {
+            let nv = mimonet_dsp::stats::db_to_lin(-snr);
+            let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
+            for _ in 0..ctx.trials {
+                // Common channel draw per trial.
+                let h: Vec<[Complex64; 2]> = (0..2)
+                    .map(|_| [crandn(&mut rng), crandn(&mut rng)])
+                    .collect();
 
-            // --- STBC: two 16-QAM symbols over two periods ---
-            let m16 = Modulation::Qam16;
-            let bits16: Vec<u8> = (0..8).map(|_| rng.gen_range(0..2u8)).collect();
-            let syms = m16.map(&bits16);
-            let pscale = 1.0 / 2f64.sqrt(); // two antennas share power
-            let tx = alamouti_encode(syms[0] * pscale, syms[1] * pscale);
-            let y: Vec<[Complex64; 2]> = h
-                .iter()
-                .map(|hr| {
-                    let mut yr = [Complex64::ZERO; 2];
-                    for (t, slot) in yr.iter_mut().enumerate() {
-                        *slot = hr[0] * tx[0][t] + hr[1] * tx[1][t]
-                            + crandn(&mut rng).scale(nv.sqrt());
-                    }
-                    yr
-                })
-                .collect();
-            let dec = alamouti_decode(&y, &h, nv, m16);
-            for (i, d) in dec.iter().enumerate() {
-                let got = m16.demap_hard(d.symbol / pscale);
-                errs[0] += got
+                // --- STBC: two 16-QAM symbols over two periods ---
+                let m16 = Modulation::Qam16;
+                let bits16: Vec<u8> = (0..8).map(|_| rng.gen_range(0..2u8)).collect();
+                let syms = m16.map(&bits16);
+                let pscale = 1.0 / 2f64.sqrt(); // two antennas share power
+                let tx = alamouti_encode(syms[0] * pscale, syms[1] * pscale);
+                let y: Vec<[Complex64; 2]> = h
                     .iter()
-                    .zip(&bits16[i * 4..i * 4 + 4])
-                    .filter(|(a, b)| a != b)
-                    .count();
-                bits_counted[0] += 4;
-            }
-
-            // --- SM: two QPSK streams in one period (run twice to match
-            //     the STBC block's two periods / 8 bits) ---
-            let mq = Modulation::Qpsk;
-            let hm = CMat::new(
-                2,
-                2,
-                vec![
-                    h[0][0].scale(pscale),
-                    h[0][1].scale(pscale),
-                    h[1][0].scale(pscale),
-                    h[1][1].scale(pscale),
-                ],
-            );
-            for _ in 0..2 {
-                let bitsq: Vec<u8> = (0..4).map(|_| rng.gen_range(0..2u8)).collect();
-                let x = mq.map(&bitsq);
-                let mut yv = hm.mul_vec(&x);
-                for v in &mut yv {
-                    *v += crandn(&mut rng).scale(nv.sqrt());
+                    .map(|hr| {
+                        let mut yr = [Complex64::ZERO; 2];
+                        for (t, slot) in yr.iter_mut().enumerate() {
+                            *slot = hr[0] * tx[0][t]
+                                + hr[1] * tx[1][t]
+                                + crandn(&mut rng).scale(nv.sqrt());
+                        }
+                        yr
+                    })
+                    .collect();
+                let dec = alamouti_decode(&y, &h, nv, m16);
+                for (i, d) in dec.iter().enumerate() {
+                    let got = m16.demap_hard(d.symbol / pscale);
+                    errs[0] += got
+                        .iter()
+                        .zip(&bits16[i * 4..i * 4 + 4])
+                        .filter(|(a, b)| a != b)
+                        .count() as u64;
+                    bits_counted[0] += 4;
                 }
-                for (ki, kind) in [DetectorKind::Ml, DetectorKind::Zf].iter().enumerate() {
-                    if let Ok(d) = detect(*kind, &hm, &yv, nv, mq) {
-                        for (s, sd) in d.iter().enumerate() {
-                            let got = mq.demap_hard(sd.symbol);
-                            errs[1 + ki] += got
-                                .iter()
-                                .zip(&bitsq[s * 2..s * 2 + 2])
-                                .filter(|(a, b)| a != b)
-                                .count();
-                            bits_counted[1 + ki] += 2;
+
+                // --- SM: two QPSK streams in one period (run twice to match
+                //     the STBC block's two periods / 8 bits) ---
+                let mq = Modulation::Qpsk;
+                let hm = CMat::new(
+                    2,
+                    2,
+                    vec![
+                        h[0][0].scale(pscale),
+                        h[0][1].scale(pscale),
+                        h[1][0].scale(pscale),
+                        h[1][1].scale(pscale),
+                    ],
+                );
+                for _ in 0..2 {
+                    let bitsq: Vec<u8> = (0..4).map(|_| rng.gen_range(0..2u8)).collect();
+                    let x = mq.map(&bitsq);
+                    let mut yv = hm.mul_vec(&x);
+                    for v in &mut yv {
+                        *v += crandn(&mut rng).scale(nv.sqrt());
+                    }
+                    for (ki, kind) in [DetectorKind::Ml, DetectorKind::Zf].iter().enumerate() {
+                        if let Ok(d) = detect(*kind, &hm, &yv, nv, mq) {
+                            for (s, sd) in d.iter().enumerate() {
+                                let got = mq.demap_hard(sd.symbol);
+                                errs[1 + ki] += got
+                                    .iter()
+                                    .zip(&bitsq[s * 2..s * 2 + 2])
+                                    .filter(|(a, b)| a != b)
+                                    .count() as u64;
+                                bits_counted[1 + ki] += 2;
+                            }
                         }
                     }
                 }
             }
-        }
-        row(
-            snr,
-            &[
-                errs[0] as f64 / bits_counted[0].max(1) as f64,
-                errs[1] as f64 / bits_counted[1].max(1) as f64,
-                errs[2] as f64 / bits_counted[2].max(1) as f64,
-            ],
-        );
+        },
+    );
+
+    let ber = |arm: usize| -> Vec<f64> {
+        result
+            .stats
+            .iter()
+            .map(|(errs, bits)| errs[arm] as f64 / bits[arm].max(1) as f64)
+            .collect()
+    };
+    let curves = [ber(0), ber(1), ber(2)];
+    for (i, &snr) in snrs.iter().enumerate() {
+        row(snr, &[curves[0][i], curves[1][i], curves[2][i]]);
     }
+
+    let mut report = FigureReport::new(
+        "fig_stbc_vs_sm",
+        "STBC vs spatial multiplexing, matched spectral efficiency",
+        "SNR dB",
+        seeds::STBC_VS_SM,
+        &opts,
+    );
+    report.series("STBC 16QAM", &snrs, &curves[0]);
+    report.series("SM-ML QPSK", &snrs, &curves[1]);
+    report.series("SM-ZF QPSK", &snrs, &curves[2]);
     println!("# expected shape: SM curves are shallower (diversity ~2 for ML,");
     println!("# ~1 for ZF); STBC's slope is ~4 (2 TX x 2 RX), so it starts worse");
     println!("# (denser constellation) and crosses below SM as SNR grows");
+    report.finish();
 }

@@ -3,35 +3,45 @@
 //! Emits the decision metric `|gamma(theta)| - rho*Phi(theta)` around one
 //! OFDM frame at three SNRs, showing the characteristic peak at each
 //! symbol boundary. Output: CSV-ish columns `offset, metric@5dB,
-//! metric@15dB, metric@25dB` plus the detected peak positions.
+//! metric@15dB, metric@25dB` plus the detected peak positions. One
+//! realization per SNR — a single-trial sweep, one point per SNR.
 //!
 //! ```sh
-//! cargo run --release -p mimonet-bench --bin fig_sync_metric
+//! cargo run --release -p mimonet-bench --bin fig_sync_metric [--threads N]
 //! ```
 
 use mimonet::{Transmitter, TxConfig};
+use mimonet_bench::report::FigureReport;
+use mimonet_bench::{seeds, BenchOpts};
 use mimonet_channel::{ChannelConfig, ChannelSim};
 use mimonet_dsp::complex::Complex64;
 use mimonet_sync::VanDeBeek;
+use serde::Serialize;
 
 fn main() {
+    let opts = BenchOpts::from_args();
     let tx = Transmitter::new(TxConfig::new(0).expect("valid MCS"));
     let frame = tx.transmit(&[0x77u8; 60]).expect("valid PSDU");
 
     let lead = 100usize;
-    let snrs = [5.0, 15.0, 25.0];
-    let mut traces: Vec<Vec<f64>> = Vec::new();
-    for (i, &snr) in snrs.iter().enumerate() {
+    let snrs = vec![5.0, 15.0, 25.0];
+
+    let frame_ref = &frame;
+    let spec = opts
+        .spec("sync_metric", snrs.clone(), 1, seeds::SYNC_METRIC)
+        .shard_size(1);
+    let result = spec.run(|&snr, ctx, trace: &mut Vec<f64>| {
         let mut chan_cfg = ChannelConfig::awgn(1, 1, snr);
         chan_cfg.cfo_norm = 0.1;
-        let mut chan = ChannelSim::new(chan_cfg, 50 + i as u64);
+        let mut chan = ChannelSim::new(chan_cfg, ctx.seed);
         let mut padded = vec![Complex64::ZERO; lead];
-        padded.extend_from_slice(&frame[0]);
+        padded.extend_from_slice(&frame_ref[0]);
         padded.extend(vec![Complex64::ZERO; 100]);
         let (rx, _) = chan.apply(&[padded]);
         let vdb = VanDeBeek::new(64, 16, snr);
-        traces.push(vdb.metric_trace(&rx[0]));
-    }
+        *trace = vdb.metric_trace(&rx[0]);
+    });
+    let traces = &result.stats;
 
     println!("# F1: Van de Beek metric trace (frame starts at offset {lead}, CFO = 0.1)");
     println!("# offset metric@5dB metric@15dB metric@25dB");
@@ -49,11 +59,31 @@ fn main() {
         );
     }
 
+    let mut report = FigureReport::new(
+        "fig_sync_metric",
+        "Van de Beek timing metric traces",
+        "sample offset",
+        seeds::SYNC_METRIC,
+        &opts,
+    );
+    let offsets: Vec<f64> = (from..to).step_by(2).map(|i| i as f64).collect();
+
     println!("#");
     println!("# peak structure in the data region (symbol boundaries every 80):");
     for (t, &snr) in traces.iter().zip(&snrs) {
         let peak = mimonet_dsp::correlate::argmax(&t[data..to]).unwrap() + data;
         let rel = (peak as isize - data as isize).rem_euclid(80);
         println!("# SNR {snr:>4.1} dB: strongest peak at {peak} (mod-80 residue {rel})");
+        let y: Vec<f64> = (from..to).step_by(2).map(|i| t[i]).collect();
+        report.series_with_points(
+            format!("metric@{snr}dB"),
+            &offsets,
+            &y,
+            vec![serde::Value::object([
+                ("peak", peak.serialize()),
+                ("mod80_residue", (rel as i64).serialize()),
+            ])],
+        );
     }
+    report.finish();
 }

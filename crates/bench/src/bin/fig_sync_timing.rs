@@ -7,36 +7,38 @@
 //! per-antenna statistics before the decision; SISO uses antenna 0 alone.
 //!
 //! ```sh
-//! cargo run --release -p mimonet-bench --bin fig_sync_timing [--quick]
+//! cargo run --release -p mimonet-bench --bin fig_sync_timing [--quick] [--threads N]
 //! ```
 
 use mimonet::{Transmitter, TxConfig};
-use mimonet_bench::{header, row, snr_grid, RunScale};
+use mimonet_bench::report::FigureReport;
+use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
 use mimonet_channel::{ChannelConfig, ChannelSim, Fading, TgnModel};
 use mimonet_dsp::complex::Complex64;
 use mimonet_sync::VanDeBeek;
 
 fn main() {
-    let scale = RunScale::from_args();
-    let trials = scale.count(2000, 100);
+    let opts = BenchOpts::from_args();
+    let trials = opts.count(2000, 100);
     let tx = Transmitter::new(TxConfig::new(8).expect("valid MCS"));
     let frame = tx.transmit(&[0x42u8; 40]).expect("valid PSDU");
     let lead = 60usize;
+    let snrs = snr_grid(-6, 20, 2);
 
     println!("# F2: timing lock probability vs SNR ({trials} trials/point, TGn-B 2x2)");
     header(&["SNR dB", "SISO", "MIMO"]);
 
-    for snr in snr_grid(-6, 20, 2) {
+    let frame_ref = &frame;
+    let spec = opts.spec("sync_timing", snrs.clone(), trials, seeds::SYNC_TIMING);
+    let result = spec.run(|&snr, ctx, (siso_locks, mimo_locks): &mut (u64, u64)| {
         let mut chan_cfg = ChannelConfig::awgn(2, 2, snr);
         chan_cfg.fading = Fading::Tgn(TgnModel::B);
         chan_cfg.cfo_norm = 0.15;
-        let mut chan = ChannelSim::new(chan_cfg, 1000 + snr as i64 as u64);
+        let mut chan = ChannelSim::new(chan_cfg, ctx.seed);
         let vdb = VanDeBeek::new(64, 16, snr);
 
-        let mut siso_locks = 0usize;
-        let mut mimo_locks = 0usize;
-        for _ in 0..trials {
-            let padded: Vec<Vec<Complex64>> = frame
+        for _ in 0..ctx.trials {
+            let padded: Vec<Vec<Complex64>> = frame_ref
                 .iter()
                 .map(|s| {
                     let mut p = vec![Complex64::ZERO; lead];
@@ -52,7 +54,7 @@ fn main() {
             // region begins 800 samples into the frame (legacy preamble
             // 560 + HT-STF 80 + two HT-LTFs 160).
             let data = lead + 800;
-            let hi = (lead + frame[0].len()).min(rx[0].len());
+            let hi = (lead + frame_ref[0].len()).min(rx[0].len());
             let a0 = &rx[0][data..hi];
             let a1 = &rx[1][data..hi];
             // A lock = timing residue inside the ISI-free part of the
@@ -67,22 +69,42 @@ fn main() {
             };
             if let Some(e) = vdb.estimate(&[a0]) {
                 if is_lock(e.timing) {
-                    siso_locks += 1;
+                    *siso_locks += 1;
                 }
             }
             if let Some(e) = vdb.estimate(&[a0, a1]) {
                 if is_lock(e.timing) {
-                    mimo_locks += 1;
+                    *mimo_locks += 1;
                 }
             }
         }
-        row(
-            snr,
-            &[
-                siso_locks as f64 / trials as f64,
-                mimo_locks as f64 / trials as f64,
-            ],
-        );
+    });
+
+    let siso_y: Vec<f64> = result
+        .stats
+        .iter()
+        .zip(&result.trials_run)
+        .map(|((s, _), &n)| *s as f64 / n as f64)
+        .collect();
+    let mimo_y: Vec<f64> = result
+        .stats
+        .iter()
+        .zip(&result.trials_run)
+        .map(|((_, m), &n)| *m as f64 / n as f64)
+        .collect();
+    for (i, &snr) in snrs.iter().enumerate() {
+        row(snr, &[siso_y[i], mimo_y[i]]);
     }
+
+    let mut report = FigureReport::new(
+        "fig_sync_timing",
+        "Timing lock probability vs SNR (TGn-B)",
+        "SNR dB",
+        seeds::SYNC_TIMING,
+        &opts,
+    );
+    report.series("SISO", &snrs, &siso_y);
+    report.series("MIMO", &snrs, &mimo_y);
     println!("# expected shape: MIMO curve sits a few dB left of SISO (combining gain)");
+    report.finish();
 }

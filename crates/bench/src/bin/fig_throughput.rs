@@ -5,19 +5,23 @@
 //! achieves; the crossover points are where adaptation should switch.
 //!
 //! ```sh
-//! cargo run --release -p mimonet-bench --bin fig_throughput [--quick]
+//! cargo run --release -p mimonet-bench --bin fig_throughput [--quick] [--threads N]
 //! ```
 
 use mimonet::link::{LinkConfig, LinkSim};
-use mimonet_bench::{header, row, snr_grid, RunScale};
+use mimonet::sweep::run_link;
+use mimonet_bench::report::FigureReport;
+use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
 use mimonet_channel::ChannelConfig;
+use serde::{Serialize, Value};
 
 const PAYLOAD: usize = 1000;
 const MCS_SET: [u8; 6] = [8, 9, 10, 11, 13, 15];
 
 fn main() {
-    let scale = RunScale::from_args();
-    let frames = scale.count(200, 20);
+    let opts = BenchOpts::from_args();
+    let frames = opts.count(200, 20);
+    let snrs = snr_grid(2, 36, 2);
 
     println!("# F9: goodput (Mb/s) vs SNR per 2-stream MCS, AWGN, {PAYLOAD} B, {frames} frames/pt");
     let names: Vec<String> = MCS_SET.iter().map(|m| format!("MCS{m}")).collect();
@@ -25,35 +29,75 @@ fn main() {
     hdr.extend(names.iter().map(|s| s.as_str()));
     header(&hdr);
 
+    let mut report = FigureReport::new(
+        "fig_throughput",
+        "Goodput vs SNR per MCS (rate-adaptation envelope)",
+        "SNR dB",
+        seeds::THROUGHPUT,
+        &opts,
+    );
+
+    // goodput[mcs_idx][snr_idx]
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    for (&mcs, name) in MCS_SET.iter().zip(&names) {
+        let cfg0 = LinkConfig::new(mcs, PAYLOAD, ChannelConfig::awgn(2, 2, snrs[0]));
+        let airtime = LinkSim::new(cfg0, 0).frame_airtime_us();
+        let points: Vec<LinkConfig> = snrs
+            .iter()
+            .map(|&snr| LinkConfig::new(mcs, PAYLOAD, ChannelConfig::awgn(2, 2, snr)))
+            .collect();
+        let result = run_link(&opts.spec(
+            format!("throughput/{name}"),
+            points,
+            frames,
+            seeds::THROUGHPUT,
+        ));
+        let y: Vec<f64> = result
+            .stats
+            .iter()
+            .map(|s| s.per.goodput_mbps(PAYLOAD, airtime))
+            .collect();
+        report.series_with_points(
+            name.clone(),
+            &snrs,
+            &y,
+            result.stats.iter().map(|s| s.serialize()).collect(),
+        );
+        curves.push(y);
+    }
+
     let mut envelope: Vec<(f64, u8, f64)> = Vec::new();
-    for snr in snr_grid(2, 36, 2) {
-        let mut cells = Vec::new();
-        let mut best = (0u8, 0.0f64);
-        for &mcs in &MCS_SET {
-            let cfg = LinkConfig::new(mcs, PAYLOAD, ChannelConfig::awgn(2, 2, snr));
-            let mut sim = LinkSim::new(cfg, 2020 + mcs as u64 * 37 + snr as i64 as u64);
-            let airtime = sim.frame_airtime_us();
-            let stats = sim.run(frames);
-            let goodput = stats.per.goodput_mbps(PAYLOAD, airtime);
-            if goodput > best.1 {
-                best = (mcs, goodput);
-            }
-            cells.push(goodput);
-        }
+    for (i, &snr) in snrs.iter().enumerate() {
+        let cells: Vec<f64> = curves.iter().map(|c| c[i]).collect();
+        let best = MCS_SET
+            .iter()
+            .zip(&cells)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(&m, &g)| (m, g))
+            .unwrap();
         envelope.push((snr, best.0, best.1));
         row(snr, &cells);
     }
 
     println!();
     println!("# rate-adaptation envelope (best MCS per SNR):");
+    let mut switches: Vec<Value> = Vec::new();
     let mut last = u8::MAX;
     for (snr, mcs, goodput) in envelope {
         if mcs != last && goodput > 0.0 {
             println!("#   from {snr:>5.1} dB: MCS{mcs} ({goodput:.1} Mb/s)");
+            switches.push(Value::object([
+                ("snr_db", snr.serialize()),
+                ("mcs", mcs.serialize()),
+                ("goodput_mbps", goodput.serialize()),
+            ]));
             last = mcs;
         }
     }
+    report.meta("envelope", Value::Array(switches));
+
     println!("# expected shape: each MCS rises to a plateau at its PHY rate x");
     println!("# payload efficiency; higher MCS plateau higher but start later;");
     println!("# envelope switches MCS every ~3-5 dB");
+    report.finish();
 }

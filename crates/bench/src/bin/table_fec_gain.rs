@@ -4,15 +4,20 @@
 //! Runs the full link (SISO QPSK carrier, AWGN) at each code rate by
 //! picking the MCS with that rate, scanning SNR in 0.5 dB steps, and
 //! interpolating the crossing. Coding gain = uncoded-crossing −
-//! coded-crossing in dB.
+//! coded-crossing in dB. Each probe point is a one-point sweep with
+//! error-count early stopping, so the scan itself parallelizes across
+//! shards.
 //!
 //! ```sh
-//! cargo run --release -p mimonet-bench --bin table_fec_gain [--quick]
+//! cargo run --release -p mimonet-bench --bin table_fec_gain [--quick] [--threads N]
 //! ```
 
-use mimonet::link::{LinkConfig, LinkSim};
-use mimonet_bench::RunScale;
+use mimonet::link::{LinkConfig, LinkStats};
+use mimonet::sweep::run_link_until_errors;
+use mimonet_bench::report::FigureReport;
+use mimonet_bench::{seeds, BenchOpts};
 use mimonet_channel::ChannelConfig;
+use serde::{Serialize, Value};
 
 const TARGET_BER: f64 = 1e-4;
 
@@ -26,8 +31,7 @@ fn crossing(mut ber_at: impl FnMut(f64) -> f64, lo: f64, hi: f64, step: f64) -> 
         if ber <= TARGET_BER {
             return Some(match prev {
                 Some((psnr, pber)) if pber > TARGET_BER => {
-                    let t = (pber.log10() - TARGET_BER.log10())
-                        / (pber.log10() - ber.log10());
+                    let t = (pber.log10() - TARGET_BER.log10()) / (pber.log10() - ber.log10());
                     psnr + t * (snr - psnr)
                 }
                 _ => snr,
@@ -40,8 +44,8 @@ fn crossing(mut ber_at: impl FnMut(f64) -> f64, lo: f64, hi: f64, step: f64) -> 
 }
 
 fn main() {
-    let scale = RunScale::from_args();
-    let max_frames = scale.count(600, 60);
+    let opts = BenchOpts::from_args();
+    let max_frames = opts.count(600, 60);
 
     // MCS with QPSK where possible; 64-QAM MCS5/7 carry rates 2/3 and 5/6.
     let configs: [(u8, &str); 4] = [(1, "1/2"), (5, "2/3"), (2, "3/4"), (7, "5/6")];
@@ -53,10 +57,21 @@ fn main() {
     );
     println!("{}", "-".repeat(64));
 
+    let mut rows: Vec<Value> = Vec::new();
     for (mcs, rate) in configs {
-        let coded_ber = |snr: f64| {
+        // One full-link run per probe SNR provides both BER readings.
+        let stats_at = |snr: f64| -> LinkStats {
             let cfg = LinkConfig::new(mcs, 500, ChannelConfig::awgn(1, 1, snr));
-            let stats = LinkSim::new(cfg, 3030 + mcs as u64).run_until_errors(60, max_frames);
+            let spec = opts.spec(
+                format!("fec_gain/mcs{mcs}"),
+                vec![cfg],
+                max_frames,
+                seeds::FEC_GAIN + mcs as u64,
+            );
+            run_link_until_errors(&spec, 60).stats.remove(0)
+        };
+        let coded_ber = |snr: f64| {
+            let stats = stats_at(snr);
             if stats.payload_ber.bits() == 0 {
                 1.0
             } else {
@@ -64,8 +79,7 @@ fn main() {
             }
         };
         let uncoded_ber = |snr: f64| {
-            let cfg = LinkConfig::new(mcs, 500, ChannelConfig::awgn(1, 1, snr));
-            let stats = LinkSim::new(cfg, 3030 + mcs as u64).run_until_errors(60, max_frames);
+            let stats = stats_at(snr);
             if stats.coded_ber.bits() == 0 {
                 1.0
             } else {
@@ -87,10 +101,41 @@ fn main() {
             ),
             _ => println!(
                 "{:>5} {:>7} {:>9} {:>14?} {:>14?} {:>10}",
-                mcs, rate, modulation.to_string(), uncoded, coded, "-"
+                mcs,
+                rate,
+                modulation.to_string(),
+                uncoded,
+                coded,
+                "-"
             ),
         }
+        let opt_db = |v: Option<f64>| v.map(|x| x.serialize()).unwrap_or(Value::Null);
+        rows.push(Value::object([
+            ("mcs", mcs.serialize()),
+            ("rate", rate.serialize()),
+            ("modulation", modulation.to_string().serialize()),
+            ("uncoded_crossing_db", opt_db(uncoded)),
+            ("coded_crossing_db", opt_db(coded)),
+            (
+                "gain_db",
+                match (uncoded, coded) {
+                    (Some(u), Some(c)) => (u - c).serialize(),
+                    _ => Value::Null,
+                },
+            ),
+        ]));
     }
     println!("# expected shape: gains of roughly 5-6 dB at rate 1/2 shrinking");
     println!("# toward ~3 dB at rate 5/6 (less redundancy, less gain)");
+
+    let mut report = FigureReport::new(
+        "table_fec_gain",
+        "FEC coding gain at BER 1e-4",
+        "code rate",
+        seeds::FEC_GAIN,
+        &opts,
+    );
+    report.meta("target_ber", TARGET_BER.serialize());
+    report.meta("rows", Value::Array(rows));
+    report.finish();
 }

@@ -2,13 +2,20 @@
 //! MCS 0–15, checked against IEEE 802.11n Table 20-30/31, plus measured
 //! encoder throughput per MCS on this machine.
 //!
+//! The throughput measurement runs each MCS's transmit chain as a
+//! single-threaded, single-point sweep so wall time reflects one core
+//! (the real-time question is per-core headroom).
+//!
 //! ```sh
 //! cargo run --release -p mimonet-bench --bin table_mcs
 //! ```
 
+use mimonet::sweep::SweepSpec;
 use mimonet::{Transmitter, TxConfig};
+use mimonet_bench::report::FigureReport;
+use mimonet_bench::{seeds, BenchOpts};
 use mimonet_frame::mcs::Mcs;
-use std::time::Instant;
+use serde::{Serialize, Value};
 
 /// 802.11n 20 MHz / 800 ns GI reference rates in Mb/s (Tables 20-30..33).
 const REFERENCE_MBPS: [f64; 32] = [
@@ -19,6 +26,7 @@ const REFERENCE_MBPS: [f64; 32] = [
 ];
 
 fn main() {
+    let opts = BenchOpts::from_args();
     println!("# T1: HT MCS table (20 MHz, 800 ns GI) — implementation vs standard");
     println!(
         "{:>5} {:>8} {:>7} {:>5} {:>7} {:>10} {:>10} {:>6} {:>12}",
@@ -26,19 +34,26 @@ fn main() {
     );
     println!("{}", "-".repeat(80));
 
+    let mut rows: Vec<Value> = Vec::new();
+    let mut mcs_x = Vec::new();
+    let mut msps_y = Vec::new();
     let psdu = vec![0xA5u8; 1000];
     for mcs in Mcs::all() {
         let tx = Transmitter::new(TxConfig::new(mcs.index).expect("valid"));
-        // Measure transmit-chain throughput (samples/s of baseband out).
-        let reps = 20;
-        let start = Instant::now();
-        let mut samples = 0usize;
-        for _ in 0..reps {
-            let s = tx.transmit(&psdu).expect("valid PSDU");
-            samples += s[0].len() * s.len();
-        }
-        let elapsed = start.elapsed().as_secs_f64();
-        let msps = samples as f64 / elapsed / 1e6;
+        // Measure transmit-chain throughput (samples/s of baseband out):
+        // one point, 20 frames, one worker — timing wants a single core.
+        let psdu_ref = &psdu;
+        let tx_ref = &tx;
+        let spec = SweepSpec::new(format!("table_mcs/{}", mcs.index), vec![mcs.index], 20)
+            .seed(seeds::TABLE_MCS)
+            .threads(1);
+        let result = spec.run(|_, ctx, samples: &mut u64| {
+            for _ in 0..ctx.trials {
+                let s = tx_ref.transmit(psdu_ref).expect("valid PSDU");
+                *samples += (s[0].len() * s.len()) as u64;
+            }
+        });
+        let msps = result.stats[0] as f64 / result.wall.as_secs_f64() / 1e6;
 
         let reference = REFERENCE_MBPS[mcs.index as usize];
         let matches = (mcs.rate_mbps() - reference).abs() < 1e-9;
@@ -55,7 +70,30 @@ fn main() {
             msps
         );
         assert!(matches, "MCS{} deviates from the standard table", mcs.index);
+        mcs_x.push(mcs.index as f64);
+        msps_y.push(msps);
+        rows.push(Value::object([
+            ("mcs", mcs.index.serialize()),
+            ("modulation", mcs.modulation.to_string().serialize()),
+            ("code_rate", mcs.code_rate.to_string().serialize()),
+            ("n_streams", mcs.n_streams.serialize()),
+            ("n_dbps", mcs.n_dbps().serialize()),
+            ("impl_mbps", mcs.rate_mbps().serialize()),
+            ("std_mbps", reference.serialize()),
+            ("tx_msamp_per_s", msps.serialize()),
+        ]));
     }
     println!("# all 32 rows match IEEE 802.11n Tables 20-30..33");
     println!("# (real-time at 20 Msps needs >= 20 Msamp/s in the TX column)");
+
+    let mut report = FigureReport::new(
+        "table_mcs",
+        "HT MCS table with measured TX throughput",
+        "MCS index",
+        seeds::TABLE_MCS,
+        &opts,
+    );
+    report.series("tx_msamp_per_s", &mcs_x, &msps_y);
+    report.meta("rows", Value::Array(rows));
+    report.finish();
 }

@@ -3,7 +3,16 @@
 //! figure/table index).
 //!
 //! Every binary accepts `--quick` to cut trial counts ~10x for smoke
-//! runs; published numbers use the defaults.
+//! runs and `--threads N` to pin the sweep-engine worker count (0 /
+//! absent = one per CPU); published numbers use the defaults. Results are
+//! bit-identical for any `--threads` value — see `mimonet::sweep`.
+//! Alongside the stdout tables, each binary writes a structured JSON
+//! series file into `results/` (see [`report`]).
+
+pub mod report;
+pub mod seeds;
+
+use mimonet::sweep::SweepSpec;
 
 /// Runtime knobs common to all experiment binaries.
 #[derive(Clone, Copy, Debug)]
@@ -15,7 +24,10 @@ pub struct RunScale {
 impl RunScale {
     /// Parses `--quick` (0.1x) / `--thorough` (3x) from the process args.
     pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
+        Self::from_arg_list(&std::env::args().collect::<Vec<_>>())
+    }
+
+    fn from_arg_list(args: &[String]) -> Self {
         let scale = if args.iter().any(|a| a == "--quick") {
             0.1
         } else if args.iter().any(|a| a == "--thorough") {
@@ -29,6 +41,59 @@ impl RunScale {
     /// Scales a nominal count, keeping at least `min`.
     pub fn count(&self, nominal: usize, min: usize) -> usize {
         ((nominal as f64 * self.scale) as usize).max(min)
+    }
+}
+
+/// Full command-line options for an experiment binary: run scale plus the
+/// sweep-engine thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchOpts {
+    /// Trial-count multiplier (`--quick` / `--thorough`).
+    pub scale: RunScale,
+    /// Sweep worker threads (`--threads N`; 0 = one per CPU).
+    pub threads: usize,
+}
+
+impl BenchOpts {
+    /// Parses the process arguments.
+    pub fn from_args() -> Self {
+        Self::from_arg_list(&std::env::args().collect::<Vec<_>>())
+    }
+
+    fn from_arg_list(args: &[String]) -> Self {
+        let mut threads = 0usize;
+        let mut iter = args.iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(v) = a.strip_prefix("--threads=") {
+                threads = v.parse().expect("--threads=N takes an integer");
+            } else if a == "--threads" {
+                let v = iter.next().expect("--threads requires a value");
+                threads = v.parse().expect("--threads takes an integer");
+            }
+        }
+        Self {
+            scale: RunScale::from_arg_list(args),
+            threads,
+        }
+    }
+
+    /// Scales a nominal count, keeping at least `min`.
+    pub fn count(&self, nominal: usize, min: usize) -> usize {
+        self.scale.count(nominal, min)
+    }
+
+    /// Builds a [`SweepSpec`] wired to this binary's seed and thread
+    /// settings.
+    pub fn spec<P>(
+        &self,
+        name: impl Into<String>,
+        points: Vec<P>,
+        trials: usize,
+        seed: u64,
+    ) -> SweepSpec<P> {
+        SweepSpec::new(name, points, trials)
+            .seed(seed)
+            .threads(self.threads)
     }
 }
 
@@ -64,6 +129,10 @@ pub fn snr_grid(lo: i32, hi: i32, step: i32) -> Vec<f64> {
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn scale_counts() {
         let quick = RunScale { scale: 0.1 };
@@ -76,5 +145,27 @@ mod tests {
     #[test]
     fn grid() {
         assert_eq!(snr_grid(0, 10, 5), vec![0.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    fn opts_parse_threads() {
+        let o = BenchOpts::from_arg_list(&args(&["bin", "--threads", "4"]));
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.scale.scale, 1.0);
+        let o = BenchOpts::from_arg_list(&args(&["bin", "--quick", "--threads=2"]));
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.scale.scale, 0.1);
+        let o = BenchOpts::from_arg_list(&args(&["bin"]));
+        assert_eq!(o.threads, 0);
+    }
+
+    #[test]
+    fn opts_build_spec() {
+        let o = BenchOpts::from_arg_list(&args(&["bin", "--threads", "3"]));
+        let spec = o.spec("s", vec![1.0, 2.0], 10, 42);
+        assert_eq!(spec.threads, 3);
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.points.len(), 2);
+        assert_eq!(spec.trials, 10);
     }
 }

@@ -1,0 +1,248 @@
+//! Structured JSON figure reports.
+//!
+//! Every experiment binary writes `results/<figure>.json` next to its
+//! stdout table so plots and regression diffs never re-parse text. The
+//! schema (documented in EXPERIMENTS.md):
+//!
+//! ```json
+//! {
+//!   "figure": "fig_ber_mimo",
+//!   "title": "2x2 SM pre-FEC BER vs SNR",
+//!   "x_label": "SNR dB",
+//!   "seed": 555,
+//!   "threads": 8,
+//!   "scale": 1.0,
+//!   "wall_s": 12.3,
+//!   "series": [
+//!     {"label": "ZF", "x": [0.0, ...], "y": [0.31, ...], "points": [...]}
+//!   ],
+//!   "meta": { ... figure-specific extras ... }
+//! }
+//! ```
+//!
+//! `points` carries the full per-point statistics dump (e.g. serialized
+//! `LinkStats`) when the binary provides it; `y` is always the headline
+//! curve. JSON rendering is deterministic (insertion-ordered keys,
+//! shortest-roundtrip floats), so identical sweeps produce identical
+//! bytes — the property the determinism tests assert end to end.
+
+use serde::{json, Serialize, Value};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One curve of a figure.
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// X coordinates.
+    pub x: Vec<f64>,
+    /// Headline Y values (BER, PER, RMSE, ...).
+    pub y: Vec<f64>,
+    /// Optional full statistics per point.
+    pub points: Vec<Value>,
+}
+
+impl Serialize for Series {
+    fn serialize(&self) -> Value {
+        let mut fields = vec![
+            ("label", self.label.serialize()),
+            ("x", self.x.serialize()),
+            ("y", self.y.serialize()),
+        ];
+        if !self.points.is_empty() {
+            fields.push(("points", Value::Array(self.points.clone())));
+        }
+        Value::object(fields)
+    }
+}
+
+/// Accumulates a figure's curves and writes the JSON report.
+pub struct FigureReport {
+    name: String,
+    title: String,
+    x_label: String,
+    seed: u64,
+    threads: usize,
+    scale: f64,
+    series: Vec<Series>,
+    meta: Vec<(String, Value)>,
+    started: Instant,
+}
+
+impl FigureReport {
+    /// Starts a report; the wall clock runs from here to [`write`].
+    ///
+    /// [`write`]: FigureReport::write
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        seed: u64,
+        opts: &crate::BenchOpts,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            seed,
+            threads: opts.threads,
+            scale: opts.scale.scale,
+            series: Vec::new(),
+            meta: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Adds a curve.
+    pub fn series(&mut self, label: impl Into<String>, x: &[f64], y: &[f64]) -> &mut Self {
+        self.series_with_points(label, x, y, Vec::new())
+    }
+
+    /// Adds a curve with full per-point statistics dumps.
+    pub fn series_with_points(
+        &mut self,
+        label: impl Into<String>,
+        x: &[f64],
+        y: &[f64],
+        points: Vec<Value>,
+    ) -> &mut Self {
+        assert_eq!(x.len(), y.len(), "series x/y length mismatch");
+        self.series.push(Series {
+            label: label.into(),
+            x: x.to_vec(),
+            y: y.to_vec(),
+            points,
+        });
+        self
+    }
+
+    /// Attaches a figure-specific extra under `meta.<key>`.
+    pub fn meta(&mut self, key: impl Into<String>, value: Value) -> &mut Self {
+        self.meta.push((key.into(), value));
+        self
+    }
+
+    /// Renders the report (without the volatile `wall_s` field) — used by
+    /// the determinism tests, which need byte-stable output.
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("figure", self.name.serialize()),
+            ("title", self.title.serialize()),
+            ("x_label", self.x_label.serialize()),
+            ("seed", self.seed.serialize()),
+            ("threads", self.threads.serialize()),
+            ("scale", self.scale.serialize()),
+            ("series", self.series.serialize()),
+        ];
+        if !self.meta.is_empty() {
+            fields.push((
+                "meta",
+                Value::Object(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        Value::object(fields)
+    }
+
+    /// Writes `results/<figure>.json` (directory from
+    /// `MIMONET_RESULTS_DIR`, default `results`), appending the measured
+    /// wall time. Returns the path written.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("MIMONET_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+
+        let mut value = self.to_value();
+        let wall_s = self.started.elapsed().as_secs_f64();
+        if let Value::Object(fields) = &mut value {
+            // Keep wall_s before the bulky series array for readability.
+            let at = fields
+                .iter()
+                .position(|(k, _)| k == "series")
+                .unwrap_or(fields.len());
+            fields.insert(at, ("wall_s".into(), wall_s.serialize()));
+        }
+
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(json::to_string_pretty(&value).as_bytes())?;
+        file.write_all(b"\n")?;
+        Ok(path)
+    }
+
+    /// Writes the report and prints the destination as a trailing comment
+    /// line, swallowing (but reporting) IO errors — figure output on
+    /// stdout must survive an unwritable results directory.
+    pub fn finish(&self) {
+        match self.write() {
+            Ok(path) => println!("# json: {}", path.display()),
+            Err(e) => eprintln!("# warning: could not write {}.json: {e}", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BenchOpts, RunScale};
+
+    fn opts() -> BenchOpts {
+        BenchOpts {
+            scale: RunScale { scale: 1.0 },
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn report_value_shape() {
+        let mut r = FigureReport::new("fig_test", "A test", "SNR dB", 7, &opts());
+        r.series("curve", &[1.0, 2.0], &[0.5, 0.25]);
+        r.meta("note", "hello".serialize());
+        let s = json::to_string(&r.to_value());
+        assert!(s.contains("\"figure\":\"fig_test\""));
+        assert!(s.contains("\"seed\":7"));
+        assert!(s.contains("\"threads\":2"));
+        assert!(s.contains("\"label\":\"curve\""));
+        assert!(s.contains("\"x\":[1.0,2.0]"));
+        assert!(s.contains("\"note\":\"hello\""));
+        assert!(
+            !s.contains("wall_s"),
+            "to_value must omit the volatile field"
+        );
+    }
+
+    #[test]
+    fn report_value_is_deterministic() {
+        let build = || {
+            let mut r = FigureReport::new("fig_det", "Det", "x", 3, &opts());
+            r.series("a", &[0.0], &[1.0e-5]);
+            json::to_string(&r.to_value())
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_rejected() {
+        FigureReport::new("f", "t", "x", 0, &opts()).series("bad", &[1.0], &[]);
+    }
+
+    #[test]
+    fn write_creates_file() {
+        let dir = std::env::temp_dir().join(format!("mimonet_report_{}", std::process::id()));
+        std::env::set_var("MIMONET_RESULTS_DIR", &dir);
+        let mut r = FigureReport::new("fig_write_test", "W", "x", 1, &opts());
+        r.series("s", &[1.0], &[2.0]);
+        let path = r.write().expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.contains("\"wall_s\""));
+        assert!(text.trim_start().starts_with('{'));
+        std::env::remove_var("MIMONET_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

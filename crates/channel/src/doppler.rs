@@ -52,7 +52,11 @@ impl JakesProcess {
             phases[i] = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
             amps[i] = crandn(rng).scale(scale);
         }
-        Self { freqs, phases, amps }
+        Self {
+            freqs,
+            phases,
+            amps,
+        }
     }
 
     /// The complex gain at sample index `n`. Unit average power over the
@@ -83,8 +87,15 @@ impl TimeVaryingChannel {
     /// Draws a channel with per-pair maximum Doppler `fd_norm`.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, n_rx: usize, n_tx: usize, fd_norm: f64) -> Self {
         assert!(n_rx > 0 && n_tx > 0, "antenna counts must be nonzero");
-        let procs = (0..n_rx * n_tx).map(|_| JakesProcess::new(rng, fd_norm)).collect();
-        Self { n_rx, n_tx, procs, clock: 0 }
+        let procs = (0..n_rx * n_tx)
+            .map(|_| JakesProcess::new(rng, fd_norm))
+            .collect();
+        Self {
+            n_rx,
+            n_tx,
+            procs,
+            clock: 0,
+        }
     }
 
     /// Receive antenna count.
@@ -111,7 +122,10 @@ impl TimeVaryingChannel {
     pub fn apply(&mut self, tx: &[Vec<Complex64>]) -> Vec<Vec<Complex64>> {
         assert_eq!(tx.len(), self.n_tx, "expected {} TX streams", self.n_tx);
         let len = tx.first().map_or(0, |s| s.len());
-        assert!(tx.iter().all(|s| s.len() == len), "TX stream lengths differ");
+        assert!(
+            tx.iter().all(|s| s.len() == len),
+            "TX stream lengths differ"
+        );
         let out = (0..self.n_rx)
             .map(|r| {
                 (0..len)

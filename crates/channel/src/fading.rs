@@ -77,7 +77,10 @@ impl MimoChannelMatrix {
     pub fn apply(&self, tx: &[Vec<Complex64>]) -> Vec<Vec<Complex64>> {
         assert_eq!(tx.len(), self.n_tx, "expected {} TX streams", self.n_tx);
         let len = tx.first().map_or(0, |s| s.len());
-        assert!(tx.iter().all(|s| s.len() == len), "TX stream lengths differ");
+        assert!(
+            tx.iter().all(|s| s.len() == len),
+            "TX stream lengths differ"
+        );
         (0..self.n_rx)
             .map(|r| {
                 let mut y = vec![Complex64::ZERO; len];
@@ -131,12 +134,7 @@ impl TappedDelayLine {
     /// Draws i.i.d. Rayleigh taps with the given power-delay profile
     /// (linear power per tap, need not be normalized — it will be scaled to
     /// sum to 1 so the average channel gain per antenna pair is unity).
-    pub fn rayleigh<R: Rng + ?Sized>(
-        rng: &mut R,
-        n_rx: usize,
-        n_tx: usize,
-        pdp: &[f64],
-    ) -> Self {
+    pub fn rayleigh<R: Rng + ?Sized>(rng: &mut R, n_rx: usize, n_tx: usize, pdp: &[f64]) -> Self {
         assert!(!pdp.is_empty(), "power-delay profile must be non-empty");
         let total: f64 = pdp.iter().sum();
         assert!(total > 0.0, "power-delay profile must have positive power");
@@ -183,7 +181,10 @@ impl TappedDelayLine {
     pub fn apply(&self, tx: &[Vec<Complex64>]) -> Vec<Vec<Complex64>> {
         assert_eq!(tx.len(), self.n_tx, "expected {} TX streams", self.n_tx);
         let len = tx.first().map_or(0, |s| s.len());
-        assert!(tx.iter().all(|s| s.len() == len), "TX stream lengths differ");
+        assert!(
+            tx.iter().all(|s| s.len() == len),
+            "TX stream lengths differ"
+        );
         let out_len = len + self.max_delay() - 1;
         (0..self.n_rx)
             .map(|r| {
@@ -280,7 +281,9 @@ mod tests {
         let tdl = TappedDelayLine::rayleigh(&mut rng, 2, 2, &[1.0]);
         let tx = vec![
             (0..10).map(|i| C64::cis(i as f64)).collect::<Vec<_>>(),
-            (0..10).map(|i| C64::cis(-0.5 * i as f64)).collect::<Vec<_>>(),
+            (0..10)
+                .map(|i| C64::cis(-0.5 * i as f64))
+                .collect::<Vec<_>>(),
         ];
         let rx = tdl.apply(&tx);
         assert_eq!(rx[0].len(), 10); // no tail for single tap
@@ -320,7 +323,11 @@ mod tests {
         let trials = 4000;
         for _ in 0..trials {
             let tdl = TappedDelayLine::rayleigh(&mut rng, 1, 1, &[4.0, 2.0, 1.0]);
-            gain += tdl.impulse_response(0, 0).iter().map(|h| h.norm_sqr()).sum::<f64>();
+            gain += tdl
+                .impulse_response(0, 0)
+                .iter()
+                .map(|h| h.norm_sqr())
+                .sum::<f64>();
         }
         let avg = gain / trials as f64;
         assert!((avg - 1.0).abs() < 0.05, "avg gain {avg}");

@@ -48,7 +48,10 @@ pub fn apply_sfo(signal: &[Complex64], ppm: f64) -> Vec<Complex64> {
 /// (a late detection sees the packet start later in its buffer), the
 /// fractional part is a sub-sample interpolation.
 pub fn apply_timing_offset(signal: &[Complex64], offset: f64) -> Vec<Complex64> {
-    assert!(offset >= 0.0, "negative timing offsets are expressed by trimming");
+    assert!(
+        offset >= 0.0,
+        "negative timing offsets are expressed by trimming"
+    );
     let int = offset.floor() as usize;
     let frac = offset - int as f64;
     let shifted = if frac > 1e-12 {
@@ -175,8 +178,9 @@ mod tests {
     #[test]
     fn fractional_timing_offset_interpolates() {
         let f = 0.05;
-        let x: Vec<C64> =
-            (0..128).map(|i| C64::cis(2.0 * std::f64::consts::PI * f * i as f64)).collect();
+        let x: Vec<C64> = (0..128)
+            .map(|i| C64::cis(2.0 * std::f64::consts::PI * f * i as f64))
+            .collect();
         let y = apply_timing_offset(&x, 0.5);
         let rot = C64::cis(-2.0 * std::f64::consts::PI * f * 0.5);
         for i in 20..108 {
@@ -201,7 +205,10 @@ mod tests {
         let irr = signal / image;
         // Expected image rejection ≈ |alpha|²/|beta|² ≈ 1/(0.05² + 0.025²)
         let expect = 1.0 / (0.05f64.powi(2) + 0.025f64.powi(2));
-        assert!((irr / expect).ln().abs() < 0.3, "IRR {irr}, expected ~{expect}");
+        assert!(
+            (irr / expect).ln().abs() < 0.3,
+            "IRR {irr}, expected ~{expect}"
+        );
     }
 
     #[test]

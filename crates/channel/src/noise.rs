@@ -74,7 +74,11 @@ mod tests {
         let cross: f64 = xs.iter().map(|z| z.re * z.im).sum::<f64>() / xs.len() as f64;
         assert!(cross.abs() < 0.01);
         // Rotation invariance of the mean phasor.
-        let m: Complex64 = xs.iter().copied().sum::<Complex64>().scale(1.0 / xs.len() as f64);
+        let m: Complex64 = xs
+            .iter()
+            .copied()
+            .sum::<Complex64>()
+            .scale(1.0 / xs.len() as f64);
         assert!(m.abs() < 0.02);
     }
 
@@ -85,11 +89,8 @@ mod tests {
             let clean = vec![Complex64::ONE; 50_000];
             let mut noisy = clean.clone();
             add_awgn(&mut rng, &mut noisy, noise_power_for_snr_db(snr_db));
-            let noise: Vec<Complex64> =
-                noisy.iter().zip(&clean).map(|(a, b)| *a - *b).collect();
-            let measured = mimonet_dsp::stats::lin_to_db(
-                mean_power(&clean) / mean_power(&noise),
-            );
+            let noise: Vec<Complex64> = noisy.iter().zip(&clean).map(|(a, b)| *a - *b).collect();
+            let measured = mimonet_dsp::stats::lin_to_db(mean_power(&clean) / mean_power(&noise));
             assert!(
                 (measured - snr_db).abs() < 0.3,
                 "target {snr_db} dB, measured {measured} dB"

@@ -91,7 +91,10 @@ impl ChannelConfig {
 
     /// AWGN-only channel at `snr_db`.
     pub fn awgn(n_tx: usize, n_rx: usize, snr_db: f64) -> Self {
-        Self { snr_db, ..Self::clean(n_tx, n_rx) }
+        Self {
+            snr_db,
+            ..Self::clean(n_tx, n_rx)
+        }
     }
 }
 
@@ -121,11 +124,17 @@ pub struct ChannelSim {
 impl ChannelSim {
     /// Creates a simulator with a deterministic seed.
     pub fn new(cfg: ChannelConfig, seed: u64) -> Self {
-        assert!(cfg.n_tx > 0 && cfg.n_rx > 0, "antenna counts must be nonzero");
+        assert!(
+            cfg.n_tx > 0 && cfg.n_rx > 0,
+            "antenna counts must be nonzero"
+        );
         if matches!(cfg.fading, Fading::Ideal) {
             assert_eq!(cfg.n_tx, cfg.n_rx, "ideal channel requires n_tx == n_rx");
         }
-        Self { cfg, rng: ChaCha8Rng::seed_from_u64(seed) }
+        Self {
+            cfg,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// The configuration.
@@ -137,7 +146,12 @@ impl ChannelSim {
     /// drawing a fresh fading realization, and returns the per-RX-antenna
     /// streams plus the ground truth.
     pub fn apply(&mut self, tx: &[Vec<Complex64>]) -> (Vec<Vec<Complex64>>, ChannelTruth) {
-        assert_eq!(tx.len(), self.cfg.n_tx, "expected {} TX streams", self.cfg.n_tx);
+        assert_eq!(
+            tx.len(),
+            self.cfg.n_tx,
+            "expected {} TX streams",
+            self.cfg.n_tx
+        );
 
         // 1. Fading.
         let (mut rx, flat, tdl) = match self.cfg.fading {
@@ -146,7 +160,8 @@ impl ChannelSim {
                 (ch.apply(tx), Some(ch), None)
             }
             Fading::RayleighFlat => {
-                let ch = MimoChannelMatrix::rayleigh_flat(&mut self.rng, self.cfg.n_rx, self.cfg.n_tx);
+                let ch =
+                    MimoChannelMatrix::rayleigh_flat(&mut self.rng, self.cfg.n_rx, self.cfg.n_tx);
                 (ch.apply(tx), Some(ch), None)
             }
             Fading::Tgn(model) => {
@@ -211,7 +226,9 @@ mod tests {
     use mimonet_dsp::complex::{mean_power, C64};
 
     fn tone(n: usize, f: f64) -> Vec<C64> {
-        (0..n).map(|i| C64::cis(2.0 * std::f64::consts::PI * f * i as f64)).collect()
+        (0..n)
+            .map(|i| C64::cis(2.0 * std::f64::consts::PI * f * i as f64))
+            .collect()
     }
 
     #[test]

@@ -63,13 +63,24 @@ impl TgnModel {
 
     /// Draws a block-fading frequency-selective MIMO realization of this
     /// model.
-    pub fn realize<R: Rng + ?Sized>(self, rng: &mut R, n_rx: usize, n_tx: usize) -> TappedDelayLine {
+    pub fn realize<R: Rng + ?Sized>(
+        self,
+        rng: &mut R,
+        n_rx: usize,
+        n_tx: usize,
+    ) -> TappedDelayLine {
         TappedDelayLine::rayleigh(rng, n_rx, n_tx, &self.pdp())
     }
 
     /// All models in order.
     pub fn all() -> [TgnModel; 5] {
-        [TgnModel::A, TgnModel::B, TgnModel::C, TgnModel::D, TgnModel::E]
+        [
+            TgnModel::A,
+            TgnModel::B,
+            TgnModel::C,
+            TgnModel::D,
+            TgnModel::E,
+        ]
     }
 }
 
@@ -129,13 +140,20 @@ mod tests {
     fn rms_delay_close_to_spec() {
         // Sample-spaced discretization at 50 ns cannot match 15 ns exactly,
         // but should land in the right regime and ordering must hold.
-        let rms: Vec<f64> = TgnModel::all().iter().map(|m| pdp_rms_ns(&m.pdp())).collect();
+        let rms: Vec<f64> = TgnModel::all()
+            .iter()
+            .map(|m| pdp_rms_ns(&m.pdp()))
+            .collect();
         assert_eq!(rms[0], 0.0);
         assert!(rms.windows(2).all(|w| w[0] < w[1]), "ordering {rms:?}");
         // D (50 ns target, one tap per RMS period) within 40%.
         assert!((rms[3] - 50.0).abs() / 50.0 < 0.4, "model D rms {}", rms[3]);
         // E (100 ns) within 25%.
-        assert!((rms[4] - 100.0).abs() / 100.0 < 0.25, "model E rms {}", rms[4]);
+        assert!(
+            (rms[4] - 100.0).abs() / 100.0 < 0.25,
+            "model E rms {}",
+            rms[4]
+        );
     }
 
     #[test]
@@ -153,7 +171,7 @@ mod tests {
     #[test]
     fn realizations_have_expected_tap_counts() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let tdl = TgnModel::E.realize(&mut rng, 2, 2, );
+        let tdl = TgnModel::E.realize(&mut rng, 2, 2);
         assert_eq!(tdl.max_delay(), TgnModel::E.pdp().len());
         assert_eq!(tdl.n_rx(), 2);
         assert_eq!(tdl.n_tx(), 2);

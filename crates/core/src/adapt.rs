@@ -94,7 +94,13 @@ impl RateController {
     /// Creates a controller starting at the most robust rate.
     pub fn new(table: SnrThresholdTable) -> Self {
         let current = table.lowest();
-        Self { table, current, up_margin: 1.0, max_failures: 2, failures: 0 }
+        Self {
+            table,
+            current,
+            up_margin: 1.0,
+            max_failures: 2,
+            failures: 0,
+        }
     }
 
     /// The MCS to use for the next frame.
@@ -115,7 +121,10 @@ impl RateController {
             let target = self.table.select(snr).unwrap_or(self.table.lowest());
             if target > self.current {
                 // Step up only with margin beyond the bare threshold.
-                if self.table.select(snr - self.up_margin).unwrap_or(self.table.lowest())
+                if self
+                    .table
+                    .select(snr - self.up_margin)
+                    .unwrap_or(self.table.lowest())
                     > self.current
                 {
                     self.current = self.next_up();
@@ -167,11 +176,10 @@ mod tests {
     #[test]
     fn table_rejects_bad_rows() {
         assert!(std::panic::catch_unwind(|| SnrThresholdTable::new(vec![])).is_err());
-        assert!(std::panic::catch_unwind(|| SnrThresholdTable::new(vec![
-            (10.0, 9),
-            (10.0, 10)
-        ]))
-        .is_err());
+        assert!(
+            std::panic::catch_unwind(|| SnrThresholdTable::new(vec![(10.0, 9), (10.0, 10)]))
+                .is_err()
+        );
         assert!(std::panic::catch_unwind(|| SnrThresholdTable::new(vec![(5.0, 99)])).is_err());
     }
 

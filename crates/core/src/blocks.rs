@@ -40,7 +40,10 @@ impl TxBlock {
     /// Creates a transmitter block for fixed-size PSDUs.
     pub fn new(cfg: TxConfig, psdu_len: usize) -> Self {
         assert!(psdu_len > 0, "PSDU size must be nonzero");
-        Self { tx: Transmitter::new(cfg), psdu_len }
+        Self {
+            tx: Transmitter::new(cfg),
+            psdu_len,
+        }
     }
 }
 
@@ -65,7 +68,11 @@ impl Block for TxBlock {
             let psdu = convert::to_bytes(&inputs[0].take(self.psdu_len));
             let streams = self.tx.transmit(&psdu).expect("nonzero PSDU");
             for (s, out) in streams.iter().zip(outputs.iter_mut()) {
-                out.add_tag(out.offset(), "frame_start", TagValue::U64(psdu.len() as u64));
+                out.add_tag(
+                    out.offset(),
+                    "frame_start",
+                    TagValue::U64(psdu.len() as u64),
+                );
                 out.push_slice(&vec![Item::Complex(0.0, 0.0); LEAD_IN]);
                 out.push_slice(&convert::from_complex(s));
                 out.push_slice(&vec![Item::Complex(0.0, 0.0); LEAD_OUT]);
@@ -97,7 +104,12 @@ impl ChannelBlock {
         assert!(burst_len > 0, "burst length must be nonzero");
         let n_tx = cfg.n_tx;
         let n_rx = cfg.n_rx;
-        Self { sim: ChannelSim::new(cfg, seed), burst_len, n_tx, n_rx }
+        Self {
+            sim: ChannelSim::new(cfg, seed),
+            burst_len,
+            n_tx,
+            n_rx,
+        }
     }
 }
 
@@ -134,7 +146,10 @@ impl Block for ChannelBlock {
         }
         if progressed {
             WorkStatus::Progress
-        } else if inputs.iter().any(|i| i.is_finished() && i.available() < self.burst_len) {
+        } else if inputs
+            .iter()
+            .any(|i| i.is_finished() && i.available() < self.burst_len)
+        {
             WorkStatus::Done
         } else {
             WorkStatus::Blocked
@@ -154,7 +169,10 @@ impl RxBlock {
     /// Creates a receiver block operating on bursts of `burst_len` samples.
     pub fn new(cfg: RxConfig, burst_len: usize) -> Self {
         assert!(burst_len > 0, "burst length must be nonzero");
-        Self { rx: Receiver::new(cfg), burst_len }
+        Self {
+            rx: Receiver::new(cfg),
+            burst_len,
+        }
     }
 }
 
@@ -182,7 +200,8 @@ impl Block for RxBlock {
                 .collect();
             if let Ok(frame) = self.rx.receive(&bufs) {
                 ctx.msgs.publish("mimonet.snr", Message::F64(frame.snr_db));
-                ctx.msgs.publish("mimonet.frames", Message::Bytes(frame.psdu.clone()));
+                ctx.msgs
+                    .publish("mimonet.frames", Message::Bytes(frame.psdu.clone()));
                 outputs[0].add_tag(
                     outputs[0].offset(),
                     "frame_start",
@@ -194,7 +213,10 @@ impl Block for RxBlock {
         }
         if progressed {
             WorkStatus::Progress
-        } else if inputs.iter().any(|i| i.is_finished() && i.available() < self.burst_len) {
+        } else if inputs
+            .iter()
+            .any(|i| i.is_finished() && i.available() < self.burst_len)
+        {
             WorkStatus::Done
         } else {
             WorkStatus::Blocked
@@ -213,7 +235,11 @@ pub fn build_link_flowgraph(
     psdu_len: usize,
     seed: u64,
 ) -> (Flowgraph, SinkHandle, [BlockId; 3]) {
-    assert_eq!(psdus.len() % psdu_len, 0, "byte stream must hold whole PSDUs");
+    assert_eq!(
+        psdus.len() % psdu_len,
+        0,
+        "byte stream must hold whole PSDUs"
+    );
     let burst = frame_burst_len(&tx_cfg, psdu_len);
     let n_tx = tx_cfg.mcs.n_streams;
     let n_rx = rx_cfg.n_rx;
@@ -282,7 +308,8 @@ mod tests {
             psdu_len,
             12,
         );
-        fg.run_threaded(std::sync::Arc::new(MessageHub::new())).unwrap();
+        fg.run_threaded(std::sync::Arc::new(MessageHub::new()))
+            .unwrap();
         assert_eq!(handle.bytes(), psdus);
     }
 
@@ -307,7 +334,10 @@ mod tests {
     fn burst_length_accounts_for_leads() {
         let cfg = TxConfig::new(0).unwrap();
         let t = Transmitter::new(cfg.clone());
-        assert_eq!(frame_burst_len(&cfg, 100), t.frame_len(100) + LEAD_IN + LEAD_OUT);
+        assert_eq!(
+            frame_burst_len(&cfg, 100),
+            t.frame_len(100) + LEAD_IN + LEAD_OUT
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub struct TxConfig {
 impl TxConfig {
     /// Creates a config for `mcs_index` with the default scrambler seed.
     pub fn new(mcs_index: u8) -> Result<Self, InvalidMcs> {
-        Ok(Self { mcs: Mcs::from_index(mcs_index)?, scrambler_seed: 0x5D })
+        Ok(Self {
+            mcs: Mcs::from_index(mcs_index)?,
+            scrambler_seed: 0x5D,
+        })
     }
 }
 

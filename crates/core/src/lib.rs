@@ -13,7 +13,9 @@
 //! * `blocks` — flowgraph block wrappers for the GNU-Radio-like
 //!   `mimonet-runtime`,
 //! * [`adapt`] — SNR-threshold link adaptation with hysteresis and loss
-//!   fallback.
+//!   fallback,
+//! * [`sweep`] — the deterministic parallel Monte-Carlo sweep engine
+//!   every figure binary runs on.
 
 pub mod adapt;
 pub mod blocks;
@@ -21,6 +23,7 @@ pub mod config;
 pub mod link;
 pub mod metrics;
 pub mod rx;
+pub mod sweep;
 pub mod tx;
 
 pub use adapt::{RateController, SnrThresholdTable};
@@ -29,4 +32,5 @@ pub use config::{RxConfig, TxConfig};
 pub use link::{LinkConfig, LinkSim, LinkStats};
 pub use metrics::{BerCounter, PerCounter};
 pub use rx::{Receiver, RxError, RxFrame};
+pub use sweep::{run_link, run_link_until_errors, Merge, ShardCtx, SweepResult, SweepSpec};
 pub use tx::{Transmitter, TxError};

@@ -37,7 +37,14 @@ impl LinkConfig {
     /// count, whichever is larger).
     pub fn new(mcs: u8, payload_len: usize, channel: ChannelConfig) -> Self {
         let rx = RxConfig::new(channel.n_rx);
-        Self { mcs, payload_len, channel, rx, lead_in: 160, lead_out: 80 }
+        Self {
+            mcs,
+            payload_len,
+            channel,
+            rx,
+            lead_in: 160,
+            lead_out: 80,
+        }
     }
 }
 
@@ -64,6 +71,37 @@ pub struct LinkStats {
     pub timing_error: Running,
 }
 
+impl LinkStats {
+    /// Folds another batch's statistics into this one. Merging batches in
+    /// a fixed order is exactly equivalent to accumulating the underlying
+    /// frames in that order (counters add; moment stats use the parallel
+    /// Welford combination), which is what makes sharded parallel sweeps
+    /// bit-reproducible.
+    pub fn merge(&mut self, other: &Self) {
+        self.per.merge(&other.per);
+        self.payload_ber.merge(&other.payload_ber);
+        self.coded_ber.merge(&other.coded_ber);
+        self.snr_est_db.merge(&other.snr_est_db);
+        self.evm_snr_db.merge(&other.evm_snr_db);
+        self.cfo_error.merge(&other.cfo_error);
+        self.timing_error.merge(&other.timing_error);
+    }
+}
+
+impl serde::Serialize for LinkStats {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::object([
+            ("per", self.per.serialize()),
+            ("payload_ber", self.payload_ber.serialize()),
+            ("coded_ber", self.coded_ber.serialize()),
+            ("snr_est_db", self.snr_est_db.serialize()),
+            ("evm_snr_db", self.evm_snr_db.serialize()),
+            ("cfo_error", self.cfo_error.serialize()),
+            ("timing_error", self.timing_error.serialize()),
+        ])
+    }
+}
+
 /// The seeded link simulator.
 pub struct LinkSim {
     cfg: LinkConfig,
@@ -86,7 +124,14 @@ impl LinkSim {
         );
         let rx = Receiver::new(cfg.rx.clone());
         let chan = ChannelSim::new(cfg.channel.clone(), seed ^ 0x9E37_79B9_7F4A_7C15);
-        Self { cfg, tx, rx, chan, rng: ChaCha8Rng::seed_from_u64(seed), seq: 0 }
+        Self {
+            cfg,
+            tx,
+            rx,
+            chan,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            seq: 0,
+        }
     }
 
     /// The configuration.
@@ -210,7 +255,11 @@ mod tests {
         let cfg = LinkConfig::new(15, 200, ChannelConfig::awgn(2, 2, 3.0));
         let mut sim = LinkSim::new(cfg, 43);
         let stats = sim.run(10);
-        assert!(stats.per.per() > 0.5, "MCS15 at 3 dB must mostly fail: {:?}", stats.per);
+        assert!(
+            stats.per.per() > 0.5,
+            "MCS15 at 3 dB must mostly fail: {:?}",
+            stats.per
+        );
     }
 
     #[test]
@@ -245,7 +294,10 @@ mod tests {
         let cfg = LinkConfig::new(8, 100, chan);
         let stats = LinkSim::new(cfg, 45).run(20);
         assert_eq!(stats.per.sent(), 20);
-        assert!(stats.per.ok() > 0, "some frames should survive 25 dB Rayleigh");
+        assert!(
+            stats.per.ok() > 0,
+            "some frames should survive 25 dB Rayleigh"
+        );
     }
 
     #[test]
@@ -265,9 +317,17 @@ mod tests {
         let cfg = LinkConfig::new(0, 80, chan);
         let stats = LinkSim::new(cfg, 47).run(10);
         assert!(stats.cfo_error.count() > 0);
-        assert!(stats.cfo_error.rms() < 0.02, "cfo rms {}", stats.cfo_error.rms());
+        assert!(
+            stats.cfo_error.rms() < 0.02,
+            "cfo rms {}",
+            stats.cfo_error.rms()
+        );
         assert!(stats.timing_error.count() > 0);
-        assert!(stats.timing_error.rms() <= 2.0, "timing rms {}", stats.timing_error.rms());
+        assert!(
+            stats.timing_error.rms() <= 2.0,
+            "timing rms {}",
+            stats.timing_error.rms()
+        );
     }
 
     #[test]

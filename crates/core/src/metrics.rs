@@ -70,6 +70,16 @@ impl BerCounter {
     }
 }
 
+impl serde::Serialize for BerCounter {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::object([
+            ("bits", self.bits.serialize()),
+            ("errors", self.errors.serialize()),
+            ("ber", self.ber().serialize()),
+        ])
+    }
+}
+
 /// Accumulates packet-error statistics with per-failure-class attribution.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PerCounter {
@@ -163,6 +173,19 @@ impl PerCounter {
         self.sync_failures += other.sync_failures;
         self.header_failures += other.header_failures;
         self.fcs_failures += other.fcs_failures;
+    }
+}
+
+impl serde::Serialize for PerCounter {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::object([
+            ("sent", self.sent.serialize()),
+            ("ok", self.ok.serialize()),
+            ("sync_failures", self.sync_failures.serialize()),
+            ("header_failures", self.header_failures.serialize()),
+            ("fcs_failures", self.fcs_failures.serialize()),
+            ("per", self.per().serialize()),
+        ])
     }
 }
 

@@ -18,7 +18,9 @@ use crate::config::RxConfig;
 use crate::tx::{deparse_streams_soft, DATA_POLARITY_OFFSET};
 use mimonet_detect::chanest::ChannelEstimate;
 use mimonet_detect::snr::snr_from_ltf_repetitions;
-use mimonet_detect::{estimate_mimo_htltf, prepare as prepare_detector, smooth_frequency, Prepared};
+use mimonet_detect::{
+    estimate_mimo_htltf, prepare as prepare_detector, smooth_frequency, Prepared,
+};
 use mimonet_dsp::complex::Complex64;
 use mimonet_dsp::stats::lin_to_db;
 use mimonet_fec::interleaver::Interleaver;
@@ -115,7 +117,10 @@ pub struct Receiver {
 impl Receiver {
     /// Creates a receiver.
     pub fn new(cfg: RxConfig) -> Self {
-        Self { cfg, ofdm: Ofdm::new() }
+        Self {
+            cfg,
+            ofdm: Ofdm::new(),
+        }
     }
 
     /// The configuration.
@@ -137,8 +142,7 @@ impl Receiver {
         let mut out = Vec::new();
         let mut offset = 0usize;
         while offset + 640 < len {
-            let window: Vec<Vec<Complex64>> =
-                rx.iter().map(|a| a[offset..].to_vec()).collect();
+            let window: Vec<Vec<Complex64>> = rx.iter().map(|a| a[offset..].to_vec()).collect();
             match self.receive(&window) {
                 Ok(frame) => {
                     let end = frame.frame_end;
@@ -155,11 +159,17 @@ impl Receiver {
     /// Attempts to detect and decode one frame from per-antenna buffers.
     pub fn receive(&self, rx: &[Vec<Complex64>]) -> Result<RxFrame, RxError> {
         if rx.len() != self.cfg.n_rx {
-            return Err(RxError::AntennaMismatch { expected: self.cfg.n_rx, got: rx.len() });
+            return Err(RxError::AntennaMismatch {
+                expected: self.cfg.n_rx,
+                got: rx.len(),
+            });
         }
         let len = rx[0].len();
         if rx.iter().any(|a| a.len() != len) {
-            return Err(RxError::AntennaMismatch { expected: self.cfg.n_rx, got: rx.len() });
+            return Err(RxError::AntennaMismatch {
+                expected: self.cfg.n_rx,
+                got: rx.len(),
+            });
         }
 
         // --- 1. Packet detection + coarse CFO ---
@@ -203,8 +213,7 @@ impl Receiver {
             let win_lo = (ltf_guess + 128).min(len);
             let win_hi = (win_lo + 480).min(len);
             if win_hi >= win_lo + 160 {
-                let windows: Vec<&[Complex64]> =
-                    bufs.iter().map(|b| &b[win_lo..win_hi]).collect();
+                let windows: Vec<&[Complex64]> = bufs.iter().map(|b| &b[win_lo..win_hi]).collect();
                 let vdb = VanDeBeek::new(64, 16, self.cfg.vdb_snr_db);
                 match vdb.estimate(&windows) {
                     Some(est) => {
@@ -295,7 +304,10 @@ impl Receiver {
         let mcs = Mcs::from_index(htsig.mcs).expect("validated by HtSig::decode");
         let n_ss = mcs.n_streams;
         if n_ss > self.cfg.n_rx {
-            return Err(RxError::TooManyStreams { streams: n_ss, antennas: self.cfg.n_rx });
+            return Err(RxError::TooManyStreams {
+                streams: n_ss,
+                antennas: self.cfg.n_rx,
+            });
         }
 
         // --- 7. HT-LTF channel estimation ---
@@ -382,8 +394,7 @@ impl Receiver {
             // Detect every data carrier with the prepared per-carrier state.
             let mut stream_llrs: Vec<Vec<f64>> = vec![Vec::with_capacity(mcs.n_cbpss()); n_ss];
             for (det, &k) in prepared.iter().zip(&data_carriers) {
-                let y: Vec<Complex64> =
-                    bins.iter().map(|b| b[carrier_to_bin(k)]).collect();
+                let y: Vec<Complex64> = bins.iter().map(|b| b[carrier_to_bin(k)]).collect();
                 let decisions = det.apply(&y);
                 for (s, d) in decisions.iter().enumerate() {
                     stream_llrs[s].extend(&d.llrs);
@@ -418,8 +429,8 @@ impl Receiver {
                 .collect();
             mimonet_fec::decode_hard_unterminated(&hard).map_err(|_| RxError::SyncLost)?
         };
-        let psdu = descramble_data_bits(&decoded, htsig.length as usize)
-            .ok_or(RxError::SyncLost)?;
+        let psdu =
+            descramble_data_bits(&decoded, htsig.length as usize).ok_or(RxError::SyncLost)?;
 
         Ok(RxFrame {
             psdu,
@@ -429,7 +440,10 @@ impl Receiver {
             timing: ltf_start,
             evm_snr_db: evm.snr_db(),
             frame_end: data_start + n_sym * 80,
-            coded_hard: all_llrs.iter().map(|&l| if l > 0.0 { 0 } else { 1 }).collect(),
+            coded_hard: all_llrs
+                .iter()
+                .map(|&l| if l > 0.0 { 0 } else { 1 })
+                .collect(),
         })
     }
 
@@ -507,8 +521,13 @@ mod tests {
     use crate::tx::Transmitter;
     use mimonet_channel::{ChannelConfig, ChannelSim};
 
-    fn run_link(mcs: u8, psdu: &[u8], chan: ChannelConfig, seed: u64, rx_cfg: RxConfig)
-        -> Result<RxFrame, RxError> {
+    fn run_link(
+        mcs: u8,
+        psdu: &[u8],
+        chan: ChannelConfig,
+        seed: u64,
+        rx_cfg: RxConfig,
+    ) -> Result<RxFrame, RxError> {
         let tx = Transmitter::new(TxConfig::new(mcs).unwrap());
         let mut streams = tx.transmit(psdu).unwrap();
         // Lead-in/out silence so detection and channel tails have room.
@@ -526,8 +545,14 @@ mod tests {
     #[test]
     fn siso_clean_channel_roundtrip() {
         let psdu: Vec<u8> = (0..200u8).collect();
-        let frame = run_link(0, &psdu, ChannelConfig::awgn(1, 1, 35.0), 1, RxConfig::new(1))
-            .expect("decode");
+        let frame = run_link(
+            0,
+            &psdu,
+            ChannelConfig::awgn(1, 1, 35.0),
+            1,
+            RxConfig::new(1),
+        )
+        .expect("decode");
         assert_eq!(frame.psdu, psdu);
         assert_eq!(frame.mcs, 0);
         assert!((frame.snr_db - 35.0).abs() < 3.0, "snr {}", frame.snr_db);
@@ -537,8 +562,14 @@ mod tests {
     fn mimo_clean_channel_roundtrip() {
         let psdu: Vec<u8> = (0..255u8).collect();
         for mcs in [8u8, 9, 11] {
-            let frame = run_link(mcs, &psdu, ChannelConfig::awgn(2, 2, 35.0), 2, RxConfig::new(2))
-                .unwrap_or_else(|e| panic!("MCS{mcs}: {e}"));
+            let frame = run_link(
+                mcs,
+                &psdu,
+                ChannelConfig::awgn(2, 2, 35.0),
+                2,
+                RxConfig::new(2),
+            )
+            .unwrap_or_else(|e| panic!("MCS{mcs}: {e}"));
             assert_eq!(frame.psdu, psdu, "MCS{mcs}");
             assert_eq!(frame.mcs, mcs);
         }
@@ -568,7 +599,10 @@ mod tests {
     fn antenna_mismatch_detected() {
         let rx = Receiver::new(RxConfig::new(2));
         let buf = vec![vec![Complex64::ZERO; 100]];
-        assert!(matches!(rx.receive(&buf), Err(RxError::AntennaMismatch { .. })));
+        assert!(matches!(
+            rx.receive(&buf),
+            Err(RxError::AntennaMismatch { .. })
+        ));
     }
 
     #[test]
@@ -600,16 +634,14 @@ mod tests {
         // Single-antenna capture: sum of both TX antennas (what one
         // physical antenna would see on an identity-ish channel).
         let mut capture = vec![Complex64::ZERO; 120];
-        capture.extend(
-            streams[0]
-                .iter()
-                .zip(&streams[1])
-                .map(|(&a, &b)| a + b),
-        );
+        capture.extend(streams[0].iter().zip(&streams[1]).map(|(&a, &b)| a + b));
         capture.extend(vec![Complex64::ZERO; 80]);
         let rx = Receiver::new(RxConfig::new(1));
         match rx.receive(&[capture]) {
-            Err(RxError::TooManyStreams { streams: 2, antennas: 1 }) => {}
+            Err(RxError::TooManyStreams {
+                streams: 2,
+                antennas: 1,
+            }) => {}
             // The summed legacy preamble can also corrupt HT-SIG itself.
             Err(RxError::HtSig(_)) | Err(RxError::SyncLost) => {}
             other => panic!("unexpected {other:?}"),
@@ -653,8 +685,14 @@ mod tests {
         let tx = Transmitter::new(TxConfig::new(8).unwrap());
         let psdu: Vec<u8> = (0..64u8).collect();
         let reference = tx.coded_bits(&psdu);
-        let frame = run_link(8, &psdu, ChannelConfig::awgn(2, 2, 40.0), 6, RxConfig::new(2))
-            .expect("decode");
+        let frame = run_link(
+            8,
+            &psdu,
+            ChannelConfig::awgn(2, 2, 40.0),
+            6,
+            RxConfig::new(2),
+        )
+        .expect("decode");
         assert_eq!(frame.coded_hard.len(), reference.len());
         let errs = frame
             .coded_hard

@@ -68,7 +68,10 @@ impl std::error::Error for TxError {}
 impl Transmitter {
     /// Creates a transmitter.
     pub fn new(cfg: TxConfig) -> Self {
-        Self { cfg, ofdm: Ofdm::new() }
+        Self {
+            cfg,
+            ofdm: Ofdm::new(),
+        }
     }
 
     /// The configuration.
@@ -187,12 +190,21 @@ impl Transmitter {
     /// 48 already-coded bits, with pilots at polarity index `sym_index`.
     /// Returns the *unshifted* frequency bins; CSD is applied per antenna by
     /// [`Self::append_legacy_symbol`].
-    fn legacy_bpsk_symbol(&self, coded_bits: &[u8], sym_index: usize, quadrature: bool) -> [Complex64; FFT_LEN] {
+    fn legacy_bpsk_symbol(
+        &self,
+        coded_bits: &[u8],
+        sym_index: usize,
+        quadrature: bool,
+    ) -> [Complex64; FFT_LEN] {
         assert_eq!(coded_bits.len(), 48, "legacy symbol carries 48 coded bits");
         let il = Interleaver::legacy(48, 1);
         let interleaved = il.interleave(coded_bits);
         let data = Modulation::Bpsk.map(&interleaved);
-        let rot = if quadrature { Complex64::I } else { Complex64::ONE };
+        let rot = if quadrature {
+            Complex64::I
+        } else {
+            Complex64::ONE
+        };
         let mut bins = [Complex64::ZERO; FFT_LEN];
         for (i, &k) in Layout::Legacy.data_carriers().iter().enumerate() {
             bins[carrier_to_bin(k)] = data[i] * rot;
@@ -210,7 +222,10 @@ impl Transmitter {
         for (a, s) in streams.iter_mut().enumerate() {
             let mut shifted = *bins;
             apply_cyclic_shift(&mut shifted, legacy_cyclic_shift(a, n_tx));
-            s.extend(self.ofdm.modulate_bins(&shifted, Ofdm::unit_power_scale(52)));
+            s.extend(
+                self.ofdm
+                    .modulate_bins(&shifted, Ofdm::unit_power_scale(52)),
+            );
         }
     }
 
@@ -263,7 +278,10 @@ pub fn deparse_streams_soft(streams: &[Vec<f64>], n_bpsc: usize) -> Vec<f64> {
     let s = (n_bpsc / 2).max(1);
     let n_streams = streams.len();
     let per_stream = streams[0].len();
-    assert!(streams.iter().all(|v| v.len() == per_stream), "ragged streams");
+    assert!(
+        streams.iter().all(|v| v.len() == per_stream),
+        "ragged streams"
+    );
     assert_eq!(per_stream % s, 0, "stream length not a multiple of s");
     let mut out = Vec::with_capacity(per_stream * n_streams);
     let groups_per_stream = per_stream / s;
@@ -371,7 +389,10 @@ mod tests {
                 .map(|v| v.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect())
                 .collect();
             let merged = deparse_streams_soft(&soft, n_bpsc);
-            let hard: Vec<u8> = merged.iter().map(|&l| if l > 0.0 { 0 } else { 1 }).collect();
+            let hard: Vec<u8> = merged
+                .iter()
+                .map(|&l| if l > 0.0 { 0 } else { 1 })
+                .collect();
             assert_eq!(hard, bits, "n_bpsc {n_bpsc}");
         }
     }

@@ -37,7 +37,11 @@ pub struct ChannelEstimate {
 
 impl ChannelEstimate {
     fn empty(n_rx: usize, n_ss: usize) -> Self {
-        Self { n_rx, n_ss, h: vec![None; FFT_LEN] }
+        Self {
+            n_rx,
+            n_ss,
+            h: vec![None; FFT_LEN],
+        }
     }
 
     /// Receive antenna count.
@@ -97,7 +101,10 @@ impl ChannelEstimate {
 /// `rep1` and `rep2` are the two demodulated 64-bin L-LTF repetitions
 /// (same scaling as the data symbols). Returns a 1×1-matrix-per-carrier
 /// estimate over the 52 legacy carriers.
-pub fn estimate_siso_lltf(rep1: &[Complex64; FFT_LEN], rep2: &[Complex64; FFT_LEN]) -> ChannelEstimate {
+pub fn estimate_siso_lltf(
+    rep1: &[Complex64; FFT_LEN],
+    rep2: &[Complex64; FFT_LEN],
+) -> ChannelEstimate {
     let mut est = ChannelEstimate::empty(1, 1);
     for k in -26..=26i32 {
         let l = lltf_at(k);
@@ -116,18 +123,21 @@ pub fn estimate_siso_lltf(rep1: &[Complex64; FFT_LEN], rep2: &[Complex64; FFT_LE
 /// `ltf_bins[n][r]` holds the demodulated 64 bins of HT-LTF symbol `n` at
 /// receive antenna `r`. Requires `ltf_bins.len() >= n_ss` LTF symbols (2
 /// for 2 streams). Returns an `n_rx × n_ss` estimate per HT carrier.
-pub fn estimate_mimo_htltf(
-    ltf_bins: &[Vec<[Complex64; FFT_LEN]>],
-    n_ss: usize,
-) -> ChannelEstimate {
+pub fn estimate_mimo_htltf(ltf_bins: &[Vec<[Complex64; FFT_LEN]>], n_ss: usize) -> ChannelEstimate {
     let n_ltf = ltf_bins.len();
-    assert!((1..=4).contains(&n_ss), "this transceiver supports 1-4 streams");
+    assert!(
+        (1..=4).contains(&n_ss),
+        "this transceiver supports 1-4 streams"
+    );
     assert!(
         n_ltf >= n_ss,
         "need at least {n_ss} HT-LTF symbols, got {n_ltf}"
     );
     let n_rx = ltf_bins[0].len();
-    assert!(ltf_bins.iter().all(|s| s.len() == n_rx), "ragged antenna data");
+    assert!(
+        ltf_bins.iter().all(|s| s.len() == n_rx),
+        "ragged antenna data"
+    );
 
     let mut est = ChannelEstimate::empty(n_rx, n_ss);
     for k in -28..=28i32 {
@@ -204,8 +214,11 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     /// Simulates demodulated LTF bins through a flat per-carrier channel.
-    fn siso_ltf_through(h: impl Fn(i32) -> C64, noise: f64, rng: &mut ChaCha8Rng)
-        -> ([C64; FFT_LEN], [C64; FFT_LEN]) {
+    fn siso_ltf_through(
+        h: impl Fn(i32) -> C64,
+        noise: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> ([C64; FFT_LEN], [C64; FFT_LEN]) {
         let mut r1 = [C64::ZERO; FFT_LEN];
         let mut r2 = [C64::ZERO; FFT_LEN];
         for k in -26..=26i32 {

@@ -212,7 +212,6 @@ fn ml(h: &CMat, y: &[Complex64], noise_var: f64, modulation: Modulation) -> Vec<
         .collect()
 }
 
-
 /// A detector with per-carrier precomputation hoisted out of the
 /// per-symbol loop.
 ///
@@ -295,7 +294,12 @@ pub fn prepare(
                 mu.push(m);
                 nv_eff.push(((interf + nv * wnorm) / (m_mag * m_mag)).max(1e-15));
             }
-            Ok(Prepared::Linear { w, mu, nv_eff, modulation })
+            Ok(Prepared::Linear {
+                w,
+                mu,
+                nv_eff,
+                modulation,
+            })
         }
         DetectorKind::Ml => {
             let points = modulation.constellation();
@@ -319,7 +323,13 @@ pub fn prepare(
                 }
                 pred.push(row);
             }
-            Ok(Prepared::Ml { pred, points, n_ss, noise_var: nv, modulation })
+            Ok(Prepared::Ml {
+                pred,
+                points,
+                n_ss,
+                noise_var: nv,
+                modulation,
+            })
         }
     }
 }
@@ -328,18 +338,32 @@ impl Prepared {
     /// Detects one received vector (one symbol's samples on this carrier).
     pub fn apply(&self, y: &[Complex64]) -> Vec<StreamDecision> {
         match self {
-            Prepared::Linear { w, mu, nv_eff, modulation } => {
+            Prepared::Linear {
+                w,
+                mu,
+                nv_eff,
+                modulation,
+            } => {
                 assert_eq!(y.len(), w.cols(), "one observation per RX antenna");
                 let x = w.mul_vec(y);
                 x.iter()
                     .zip(mu.iter().zip(nv_eff))
                     .map(|(&xs, (&m, &nv))| {
                         let sym = xs / m;
-                        StreamDecision { symbol: sym, llrs: modulation.demap_soft(sym, nv) }
+                        StreamDecision {
+                            symbol: sym,
+                            llrs: modulation.demap_soft(sym, nv),
+                        }
                     })
                     .collect()
             }
-            Prepared::Ml { pred, points, n_ss, noise_var, modulation } => {
+            Prepared::Ml {
+                pred,
+                points,
+                n_ss,
+                noise_var,
+                modulation,
+            } => {
                 let m = points.len();
                 let bits_per = modulation.bits_per_symbol();
                 let mut best = f64::INFINITY;
@@ -398,7 +422,9 @@ mod tests {
     const KINDS: [DetectorKind; 3] = [DetectorKind::Zf, DetectorKind::Mmse, DetectorKind::Ml];
 
     fn random_symbols(rng: &mut ChaCha8Rng, m: Modulation, n: usize) -> (Vec<u8>, Vec<C64>) {
-        let bits: Vec<u8> = (0..n * m.bits_per_symbol()).map(|_| rng.gen_range(0..2u8)).collect();
+        let bits: Vec<u8> = (0..n * m.bits_per_symbol())
+            .map(|_| rng.gen_range(0..2u8))
+            .collect();
         let syms = m.map(&bits);
         (bits, syms)
     }
@@ -420,7 +446,12 @@ mod tests {
     fn all_detectors_recover_noiseless_2x2() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let h = well_conditioned_h();
-        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
             let (bits, syms) = random_symbols(&mut rng, m, 2);
             let y = h.mul_vec(&syms);
             for kind in KINDS {
@@ -558,7 +589,11 @@ mod tests {
         let dec = detect(DetectorKind::Ml, &h, &y, nv, Modulation::Bpsk).unwrap();
         // min1 = |0.3-1|^2 = 0.49, min0 = |0.3+1|^2 = 1.69;
         // llr = (0.49-1.69)/0.2 = -6.
-        assert!((dec[0].llrs[0] + 6.0).abs() < 1e-9, "llr {}", dec[0].llrs[0]);
+        assert!(
+            (dec[0].llrs[0] + 6.0).abs() < 1e-9,
+            "llr {}",
+            dec[0].llrs[0]
+        );
     }
 
     #[test]

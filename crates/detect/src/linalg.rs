@@ -76,11 +76,7 @@ impl CMat {
     pub fn mul_vec(&self, v: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(self.cols, v.len(), "vector length must equal cols");
         (0..self.rows)
-            .map(|i| {
-                (0..self.cols)
-                    .map(|j| self[(i, j)] * v[j])
-                    .sum()
-            })
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
             .collect()
     }
 
@@ -208,7 +204,11 @@ mod tests {
 
     #[test]
     fn identity_multiplication() {
-        let m = CMat::new(2, 2, vec![c(1.0, 2.0), c(-0.5, 0.0), c(0.0, 1.0), c(3.0, -1.0)]);
+        let m = CMat::new(
+            2,
+            2,
+            vec![c(1.0, 2.0), c(-0.5, 0.0), c(0.0, 1.0), c(3.0, -1.0)],
+        );
         assert_mat_close(&m.mul(&CMat::identity(2)), &m, 1e-12);
         assert_mat_close(&CMat::identity(2).mul(&m), &m, 1e-12);
     }
@@ -227,7 +227,11 @@ mod tests {
 
     #[test]
     fn hermitian_properties() {
-        let m = CMat::new(2, 3, (0..6).map(|i| c(i as f64, -(i as f64) * 0.5)).collect());
+        let m = CMat::new(
+            2,
+            3,
+            (0..6).map(|i| c(i as f64, -(i as f64) * 0.5)).collect(),
+        );
         let h = m.hermitian();
         assert_eq!(h.rows(), 3);
         assert_eq!(h.cols(), 2);
@@ -237,9 +241,17 @@ mod tests {
             }
         }
         // (AB)^H = B^H A^H
-        let a = CMat::new(2, 2, vec![c(1.0, 1.0), c(0.0, 2.0), c(-1.0, 0.5), c(2.0, 0.0)]);
+        let a = CMat::new(
+            2,
+            2,
+            vec![c(1.0, 1.0), c(0.0, 2.0), c(-1.0, 0.5), c(2.0, 0.0)],
+        );
         let b = CMat::new(2, 2, vec![c(0.5, -1.0), C64::ONE, C64::I, c(1.0, 1.0)]);
-        assert_mat_close(&a.mul(&b).hermitian(), &b.hermitian().mul(&a.hermitian()), 1e-12);
+        assert_mat_close(
+            &a.mul(&b).hermitian(),
+            &b.hermitian().mul(&a.hermitian()),
+            1e-12,
+        );
     }
 
     #[test]
@@ -248,9 +260,15 @@ mod tests {
             3,
             3,
             vec![
-                c(2.0, 1.0), c(0.0, -1.0), c(1.0, 0.0),
-                c(1.0, 0.0), c(3.0, 0.5), c(0.0, 0.0),
-                c(0.0, 2.0), c(1.0, -1.0), c(4.0, 0.0),
+                c(2.0, 1.0),
+                c(0.0, -1.0),
+                c(1.0, 0.0),
+                c(1.0, 0.0),
+                c(3.0, 0.5),
+                c(0.0, 0.0),
+                c(0.0, 2.0),
+                c(1.0, -1.0),
+                c(4.0, 0.0),
             ],
         );
         let inv = m.inverse().expect("invertible");
@@ -282,7 +300,11 @@ mod tests {
 
     #[test]
     fn mul_vec_matches_mul() {
-        let m = CMat::new(2, 3, (0..6).map(|i| c(i as f64 * 0.3, 1.0 - i as f64)).collect());
+        let m = CMat::new(
+            2,
+            3,
+            (0..6).map(|i| c(i as f64 * 0.3, 1.0 - i as f64)).collect(),
+        );
         let v = vec![c(1.0, 0.0), c(0.0, 1.0), c(-1.0, 2.0)];
         let as_mat = CMat::new(3, 1, v.clone());
         let want = m.mul(&as_mat);

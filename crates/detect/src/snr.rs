@@ -37,7 +37,7 @@ pub fn snr_from_ltf_repetitions(rep1: &[Complex64], rep2: &[Complex64]) -> Optio
     noise /= n;
     // The half-sum still contains noise/2; unbias both.
     let noise_unbiased = noise; // E[|w1-w2|^2]/4 * 2 components = sigma^2/2 each... see below
-    // E[|(a-b)/2|^2] = sigma^2/2 where sigma^2 is per-repetition noise.
+                                // E[|(a-b)/2|^2] = sigma^2/2 where sigma^2 is per-repetition noise.
     let sigma2 = 2.0 * noise_unbiased;
     let signal = (sig - sigma2 / 2.0).max(0.0);
     if sigma2 <= 0.0 {
@@ -138,8 +138,14 @@ mod tests {
     fn reps_at_snr(rng: &mut ChaCha8Rng, snr_db: f64, n: usize) -> (Vec<C64>, Vec<C64>) {
         let sigma2 = db_to_lin(-snr_db);
         let clean: Vec<C64> = (0..n).map(|_| crandn(rng)).collect();
-        let r1 = clean.iter().map(|&c| c + crandn(rng).scale(sigma2.sqrt())).collect();
-        let r2 = clean.iter().map(|&c| c + crandn(rng).scale(sigma2.sqrt())).collect();
+        let r1 = clean
+            .iter()
+            .map(|&c| c + crandn(rng).scale(sigma2.sqrt()))
+            .collect();
+        let r2 = clean
+            .iter()
+            .map(|&c| c + crandn(rng).scale(sigma2.sqrt()))
+            .collect();
         (r1, r2)
     }
 

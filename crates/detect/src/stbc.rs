@@ -70,8 +70,14 @@ pub fn alamouti_decode(
     // combiner sums |h|^2-weighted unit-variance noise, so var = nv/gain.
     let nv_eff = (noise_var / gain).max(1e-15);
     [
-        StbcDecision { symbol: s1, llrs: modulation.demap_soft(s1, nv_eff) },
-        StbcDecision { symbol: s2, llrs: modulation.demap_soft(s2, nv_eff) },
+        StbcDecision {
+            symbol: s1,
+            llrs: modulation.demap_soft(s1, nv_eff),
+        },
+        StbcDecision {
+            symbol: s2,
+            llrs: modulation.demap_soft(s2, nv_eff),
+        },
     ]
 }
 
@@ -96,8 +102,7 @@ mod tests {
             .map(|hr| {
                 let mut y = [C64::ZERO; 2];
                 for (t, slot) in y.iter_mut().enumerate() {
-                    *slot = hr[0] * tx[0][t] + hr[1] * tx[1][t]
-                        + crandn(rng).scale(noise.sqrt());
+                    *slot = hr[0] * tx[0][t] + hr[1] * tx[1][t] + crandn(rng).scale(noise.sqrt());
                 }
                 y
             })
@@ -185,8 +190,8 @@ mod tests {
             let tx = alamouti_encode(syms[0] * scale, syms[1] * scale);
             let mut y = [C64::ZERO; 2];
             for (t, slot) in y.iter_mut().enumerate() {
-                *slot = hr[0][0] * tx[0][t] + hr[0][1] * tx[1][t]
-                    + crandn(&mut rng).scale(nv.sqrt());
+                *slot =
+                    hr[0][0] * tx[0][t] + hr[0][1] * tx[1][t] + crandn(&mut rng).scale(nv.sqrt());
             }
             let dec = alamouti_decode(&[y], &hr, nv, m);
             for (i, d) in dec.iter().enumerate() {
@@ -215,7 +220,9 @@ mod tests {
         for _ in 0..trials {
             let bits: Vec<u8> = (0..4).map(|_| rng.gen_range(0..2u8)).collect();
             let syms = m.map(&bits);
-            let h: Vec<[C64; 2]> = (0..2).map(|_| [crandn(&mut rng), crandn(&mut rng)]).collect();
+            let h: Vec<[C64; 2]> = (0..2)
+                .map(|_| [crandn(&mut rng), crandn(&mut rng)])
+                .collect();
             let y = send_through(&h, syms[0], syms[1], nv, &mut rng);
             let count_errs = |dec: &[StbcDecision; 2]| -> usize {
                 dec.iter()

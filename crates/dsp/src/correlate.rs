@@ -187,11 +187,7 @@ impl SlidingAutocorrelator {
 /// [`SlidingAutocorrelator`] — i.e. `gamma = sum_k x[i+k] * conj(x[i+k+lag])`,
 /// the Van de Beek convention. Output index `i` covers pairs
 /// `(x[i+k], x[i+k+lag])` for `k in 0..window`.
-pub fn lagged_autocorrelation(
-    x: &[Complex64],
-    lag: usize,
-    window: usize,
-) -> Vec<(Complex64, f64)> {
+pub fn lagged_autocorrelation(x: &[Complex64], lag: usize, window: usize) -> Vec<(Complex64, f64)> {
     if x.len() < lag + window {
         return Vec::new();
     }
@@ -281,7 +277,10 @@ mod tests {
             let want = naive_lagged(&x, lag, window);
             assert_eq!(got.len(), want.len(), "lag={lag} window={window}");
             for (i, ((gg, gp), (wg, wp))) in got.iter().zip(&want).enumerate() {
-                assert!(gg.dist(*wg) < 1e-9, "gamma mismatch at {i} lag={lag} w={window}");
+                assert!(
+                    gg.dist(*wg) < 1e-9,
+                    "gamma mismatch at {i} lag={lag} w={window}"
+                );
                 assert!((gp - wp).abs() < 1e-9, "phi mismatch at {i}");
             }
         }

@@ -52,7 +52,10 @@ impl Fft {
     ///
     /// Panics if `n` is zero or not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two() && n > 0,
+            "FFT size must be a power of two, got {n}"
+        );
         let stages = n.trailing_zeros() as usize;
 
         let mut bitrev = vec![0u32; n];
@@ -204,7 +207,9 @@ mod tests {
             .map(|k| {
                 (0..n)
                     .map(|t| {
-                        x[t] * C64::cis(sign * 2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64)
+                        x[t] * C64::cis(
+                            sign * 2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64,
+                        )
                     })
                     .sum()
             })
@@ -214,10 +219,7 @@ mod tests {
     fn assert_close(a: &[C64], b: &[C64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!(
-                x.dist(*y) < tol,
-                "index {i}: {x:?} vs {y:?} (tol {tol})"
-            );
+            assert!(x.dist(*y) < tol, "index {i}: {x:?} vs {y:?} (tol {tol})");
         }
     }
 

@@ -77,7 +77,9 @@ mod tests {
     use crate::complex::C64;
 
     fn tone(n: usize, freq: f64) -> Vec<C64> {
-        (0..n).map(|i| C64::cis(2.0 * std::f64::consts::PI * freq * i as f64)).collect()
+        (0..n)
+            .map(|i| C64::cis(2.0 * std::f64::consts::PI * freq * i as f64))
+            .collect()
     }
 
     #[test]

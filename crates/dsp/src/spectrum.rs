@@ -22,7 +22,10 @@ use crate::window::hann;
 /// Panics if `segment_len` is not a power of two or `x` is shorter than
 /// one segment.
 pub fn welch_psd(x: &[Complex64], segment_len: usize) -> Vec<f64> {
-    assert!(segment_len.is_power_of_two(), "segment length must be a power of two");
+    assert!(
+        segment_len.is_power_of_two(),
+        "segment length must be a power of two"
+    );
     assert!(
         x.len() >= segment_len,
         "signal ({} samples) shorter than one segment ({segment_len})",
@@ -71,7 +74,11 @@ pub fn power_in_band(psd: &[f64], half_bw: f64) -> f64 {
     let mut inside = 0.0;
     for (k, &p) in psd.iter().enumerate() {
         // Normalized frequency in [-0.5, 0.5).
-        let f = if k < n / 2 { k as f64 } else { k as f64 - n as f64 } / n as f64;
+        let f = if k < n / 2 {
+            k as f64
+        } else {
+            k as f64 - n as f64
+        } / n as f64;
         if f.abs() <= half_bw {
             inside += p;
         }
@@ -153,10 +160,7 @@ mod tests {
         let psd = welch_psd(&x, 64);
         let mean: f64 = psd.iter().sum::<f64>() / psd.len() as f64;
         for (k, &p) in psd.iter().enumerate() {
-            assert!(
-                (p / mean - 1.0).abs() < 0.3,
-                "bin {k}: {p} vs mean {mean}"
-            );
+            assert!((p / mean - 1.0).abs() < 0.3, "bin {k}: {p} vs mean {mean}");
         }
     }
 

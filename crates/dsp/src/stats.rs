@@ -124,6 +124,22 @@ impl Running {
     }
 }
 
+/// JSON shape: derived moments rather than the raw Welford state, since
+/// reports consume mean/std/min/max directly. Non-finite min/max (empty
+/// accumulator) render as null.
+impl serde::Serialize for Running {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::object([
+            ("count", self.count().serialize()),
+            ("mean", self.mean().serialize()),
+            ("std_dev", self.std_dev().serialize()),
+            ("rms", self.rms().serialize()),
+            ("min", self.min().serialize()),
+            ("max", self.max().serialize()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,7 +189,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.77).sin() * 3.0 + 1.0).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.77).sin() * 3.0 + 1.0)
+            .collect();
         let mut whole = Running::new();
         for &x in &xs {
             whole.push(x);

@@ -39,13 +39,25 @@ impl Interleaver {
     ///
     /// Panics if the geometry is inconsistent (`n_cbpss` not divisible by
     /// `n_bpsc * n_col`, zero sizes, or `stream >= n_streams`).
-    pub fn new(n_cbpss: usize, n_bpsc: usize, n_col: usize, stream: usize, n_streams: usize) -> Self {
-        assert!(n_cbpss > 0 && n_bpsc > 0 && n_col > 0, "zero-size interleaver");
+    pub fn new(
+        n_cbpss: usize,
+        n_bpsc: usize,
+        n_col: usize,
+        stream: usize,
+        n_streams: usize,
+    ) -> Self {
+        assert!(
+            n_cbpss > 0 && n_bpsc > 0 && n_col > 0,
+            "zero-size interleaver"
+        );
         assert!(
             n_cbpss.is_multiple_of(n_bpsc * n_col),
             "N_CBPSS {n_cbpss} must be a multiple of N_BPSC {n_bpsc} * N_COL {n_col}"
         );
-        assert!(stream < n_streams, "stream {stream} out of range (of {n_streams})");
+        assert!(
+            stream < n_streams,
+            "stream {stream} out of range (of {n_streams})"
+        );
         Self {
             n_cbpss,
             n_bpsc,
@@ -104,7 +116,11 @@ impl Interleaver {
     ///
     /// Panics if `bits.len() != self.len()`.
     pub fn interleave(&self, bits: &[u8]) -> Vec<u8> {
-        assert_eq!(bits.len(), self.n_cbpss, "interleaver expects exactly one symbol");
+        assert_eq!(
+            bits.len(),
+            self.n_cbpss,
+            "interleaver expects exactly one symbol"
+        );
         let mut out = vec![0u8; self.n_cbpss];
         for (k, &b) in bits.iter().enumerate() {
             out[self.map_index(k)] = b;
@@ -114,7 +130,11 @@ impl Interleaver {
 
     /// Inverse permutation.
     pub fn deinterleave(&self, bits: &[u8]) -> Vec<u8> {
-        assert_eq!(bits.len(), self.n_cbpss, "deinterleaver expects exactly one symbol");
+        assert_eq!(
+            bits.len(),
+            self.n_cbpss,
+            "deinterleaver expects exactly one symbol"
+        );
         let mut out = vec![0u8; self.n_cbpss];
         for (k, slot) in out.iter_mut().enumerate() {
             *slot = bits[self.map_index(k)];
@@ -124,7 +144,11 @@ impl Interleaver {
 
     /// Inverse permutation over soft values (LLRs).
     pub fn deinterleave_soft(&self, llrs: &[f64]) -> Vec<f64> {
-        assert_eq!(llrs.len(), self.n_cbpss, "deinterleaver expects exactly one symbol");
+        assert_eq!(
+            llrs.len(),
+            self.n_cbpss,
+            "deinterleaver expects exactly one symbol"
+        );
         let mut out = vec![0.0; self.n_cbpss];
         for (k, slot) in out.iter_mut().enumerate() {
             *slot = llrs[self.map_index(k)];
@@ -167,7 +191,10 @@ mod tests {
                 for k in 0..ncbpss {
                     let m = il.map_index(k);
                     assert!(m < ncbpss);
-                    assert!(!seen[m], "collision at {m} (ncbpss={ncbpss}, stream={stream})");
+                    assert!(
+                        !seen[m],
+                        "collision at {m} (ncbpss={ncbpss}, stream={stream})"
+                    );
                     seen[m] = true;
                 }
             }
@@ -190,7 +217,10 @@ mod tests {
         let il = Interleaver::ht(104, 2, 1, 2);
         let bits = prbs(104, 33);
         let interleaved = il.interleave(&bits);
-        let soft: Vec<f64> = interleaved.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        let soft: Vec<f64> = interleaved
+            .iter()
+            .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+            .collect();
         let de = il.deinterleave_soft(&soft);
         for (b, l) in bits.iter().zip(&de) {
             assert_eq!(*b == 0, *l > 0.0);
@@ -222,7 +252,9 @@ mod tests {
     fn streams_get_distinct_mappings() {
         let il0 = Interleaver::ht(104, 2, 0, 2);
         let il1 = Interleaver::ht(104, 2, 1, 2);
-        let differing = (0..104).filter(|&k| il0.map_index(k) != il1.map_index(k)).count();
+        let differing = (0..104)
+            .filter(|&k| il0.map_index(k) != il1.map_index(k))
+            .count();
         assert_eq!(differing, 104, "rotation must move every bit");
         // And the offset should be the standard's 2*11*N_BPSC rotation.
         let delta = (il0.map_index(0) as isize - il1.map_index(0) as isize).rem_euclid(104);

@@ -27,4 +27,7 @@ pub use crc::{append_fcs, check_fcs, crc32};
 pub use interleaver::Interleaver;
 pub use puncture::{depuncture_hard, depuncture_soft, puncture, CodeRate};
 pub use scrambler::Scrambler;
-pub use viterbi::{decode_hard, decode_hard_unterminated, decode_soft, decode_soft_unterminated, Symbol, ViterbiError};
+pub use viterbi::{
+    decode_hard, decode_hard_unterminated, decode_soft, decode_soft_unterminated, Symbol,
+    ViterbiError,
+};

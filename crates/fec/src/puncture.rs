@@ -145,7 +145,13 @@ pub fn depuncture_soft(punctured: &[f64], rate: CodeRate, mother_len: usize) -> 
     let p = rate.pattern();
     let mut it = punctured.iter();
     (0..mother_len)
-        .map(|i| if p[i % p.len()] { *it.next().unwrap() } else { 0.0 })
+        .map(|i| {
+            if p[i % p.len()] {
+                *it.next().unwrap()
+            } else {
+                0.0
+            }
+        })
         .collect()
 }
 
@@ -177,7 +183,12 @@ mod tests {
 
     #[test]
     fn pattern_keep_counts_match_rates() {
-        for r in [CodeRate::R1_2, CodeRate::R2_3, CodeRate::R3_4, CodeRate::R5_6] {
+        for r in [
+            CodeRate::R1_2,
+            CodeRate::R2_3,
+            CodeRate::R3_4,
+            CodeRate::R5_6,
+        ] {
             let p = r.pattern();
             // Period covers 2*k mother bits and keeps n of them.
             assert_eq!(p.len(), 2 * r.k());
@@ -221,7 +232,12 @@ mod tests {
 
     #[test]
     fn end_to_end_all_rates_clean_channel() {
-        for rate in [CodeRate::R1_2, CodeRate::R2_3, CodeRate::R3_4, CodeRate::R5_6] {
+        for rate in [
+            CodeRate::R1_2,
+            CodeRate::R2_3,
+            CodeRate::R3_4,
+            CodeRate::R5_6,
+        ] {
             // Pick a data length that makes the mother length divisible by
             // the pattern period to keep the test simple.
             let data = prbs(114, 1234);
@@ -239,7 +255,10 @@ mod tests {
             let data = prbs(114, 77);
             let mother = encode_terminated(&data);
             let tx = puncture(&mother, rate);
-            let llrs: Vec<f64> = tx.iter().map(|&b| if b == 0 { 3.0 } else { -3.0 }).collect();
+            let llrs: Vec<f64> = tx
+                .iter()
+                .map(|&b| if b == 0 { 3.0 } else { -3.0 })
+                .collect();
             let rx = depuncture_soft(&llrs, rate, mother.len());
             assert_eq!(decode_soft(&rx).unwrap(), data, "rate {rate}");
         }

@@ -21,7 +21,10 @@ impl Scrambler {
     /// state) or wider than 7 bits.
     pub fn new(seed: u8) -> Self {
         assert!(seed != 0, "scrambler seed must be nonzero");
-        assert!(seed < 0x80, "scrambler seed is a 7-bit value, got {seed:#x}");
+        assert!(
+            seed < 0x80,
+            "scrambler seed is a 7-bit value, got {seed:#x}"
+        );
         Self { state: seed }
     }
 

@@ -102,7 +102,7 @@ fn search(
 
     let mut metric = vec![NEG; NUM_STATES];
     metric[0] = 0.0; // encoder starts in the zero state
-    // survivor[t][next_state] = (prev_state, input bit)
+                     // survivor[t][next_state] = (prev_state, input bit)
     let mut survivor: Vec<[(u8, u8); NUM_STATES]> = Vec::with_capacity(num_steps);
 
     let mut next_metric = vec![NEG; NUM_STATES];
@@ -298,7 +298,10 @@ mod tests {
     fn clean_roundtrip_soft() {
         let data = pattern(177, 7);
         let coded = encode_terminated(&data);
-        let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 4.0 } else { -4.0 }).collect();
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { 4.0 } else { -4.0 })
+            .collect();
         let decoded = decode_soft(&llrs).unwrap();
         assert_eq!(decoded, data);
     }
@@ -345,7 +348,10 @@ mod tests {
     fn soft_zero_llrs_at_punctures() {
         let data = pattern(90, 21);
         let coded = encode_terminated(&data);
-        let mut llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 2.0 } else { -2.0 }).collect();
+        let mut llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { 2.0 } else { -2.0 })
+            .collect();
         for i in (0..llrs.len()).step_by(6) {
             llrs[i] = 0.0;
         }
@@ -360,7 +366,10 @@ mod tests {
         // errors converges with far fewer metric ties.
         let data = pattern(60, 5);
         let coded = encode_terminated(&data);
-        let mut llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 5.0 } else { -5.0 }).collect();
+        let mut llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { 5.0 } else { -5.0 })
+            .collect();
         for &pos in &[10usize, 50, 90] {
             // wrong sign but small magnitude
             llrs[pos] = -llrs[pos].signum() * 0.2;
@@ -398,7 +407,10 @@ mod tests {
         let coded = crate::conv::ConvEncoder::new().encode(&data);
         let got = decode_hard_unterminated(&to_symbols(&coded)).unwrap();
         assert_eq!(got, data);
-        let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 3.0 } else { -3.0 }).collect();
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { 3.0 } else { -3.0 })
+            .collect();
         assert_eq!(decode_soft_unterminated(&llrs).unwrap(), data);
     }
 

@@ -34,7 +34,11 @@ pub struct InvalidMcs(pub u8);
 
 impl std::fmt::Display for InvalidMcs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "MCS index {} is outside the supported range 0-31", self.0)
+        write!(
+            f,
+            "MCS index {} is outside the supported range 0-31",
+            self.0
+        )
     }
 }
 
@@ -193,7 +197,7 @@ mod tests {
     #[test]
     fn symbol_count_and_padding() {
         let mcs = Mcs::from_index(0).unwrap(); // 26 data bits/symbol
-        // 1 byte payload: 16 + 8 + 6 = 30 bits → 2 symbols, 22 pad bits.
+                                               // 1 byte payload: 16 + 8 + 6 = 30 bits → 2 symbols, 22 pad bits.
         assert_eq!(mcs.num_symbols(8), 2);
         assert_eq!(mcs.pad_bits(8), 22);
         // Exactly filling: 26*3 - 22 = 56 payload bits → 3 symbols, 0 pad.

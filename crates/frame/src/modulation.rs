@@ -369,10 +369,7 @@ mod tests {
                 let llrs = m.demap_soft(y, 0.1);
                 for (b, l) in chunk.iter().zip(&llrs) {
                     // bit 0 ⇒ positive LLR.
-                    assert!(
-                        (*b == 0) == (*l > 0.0),
-                        "{m}: bit {b} got LLR {l}"
-                    );
+                    assert!((*b == 0) == (*l > 0.0), "{m}: bit {b} got LLR {l}");
                 }
             }
         }

@@ -24,7 +24,9 @@ impl Default for Ofdm {
 impl Ofdm {
     /// Creates the 64-point engine.
     pub fn new() -> Self {
-        Self { fft: Fft::new(FFT_LEN) }
+        Self {
+            fft: Fft::new(FFT_LEN),
+        }
     }
 
     /// Converts a frequency-domain map (indexed by *logical* subcarrier,
@@ -87,7 +89,11 @@ impl Ofdm {
     /// [`Ofdm::demodulate`]. Used when the receiver has already located the
     /// FFT window.
     pub fn demodulate_window(&self, window: &[Complex64], scale: f64) -> [Complex64; FFT_LEN] {
-        assert_eq!(window.len(), FFT_LEN, "FFT window must be {FFT_LEN} samples");
+        assert_eq!(
+            window.len(),
+            FFT_LEN,
+            "FFT window must be {FFT_LEN} samples"
+        );
         let mut bins = [Complex64::ZERO; FFT_LEN];
         bins.copy_from_slice(window);
         self.fft.forward(&mut bins);

@@ -42,10 +42,7 @@ pub const LEGACY_PILOTS: [f64; 4] = [1.0, 1.0, 1.0, -1.0];
 /// HT per-stream pilot patterns Ψ for 20 MHz (Table 20-19); row = stream,
 /// column = pilot position before rotation.
 const HT_PSI_1: [[f64; 4]; 1] = [[1.0, 1.0, 1.0, -1.0]];
-const HT_PSI_2: [[f64; 4]; 2] = [
-    [1.0, 1.0, -1.0, -1.0],
-    [1.0, -1.0, -1.0, 1.0],
-];
+const HT_PSI_2: [[f64; 4]; 2] = [[1.0, 1.0, -1.0, -1.0], [1.0, -1.0, -1.0, 1.0]];
 const HT_PSI_3: [[f64; 4]; 3] = [
     [1.0, 1.0, -1.0, -1.0],
     [1.0, -1.0, 1.0, -1.0],

@@ -9,7 +9,7 @@
 // Index-based loops here are the clearer expression of the math
 // (matrix/carrier indexing); silence the iterator-style suggestion.
 #![allow(clippy::needless_range_loop)]
-use crate::carriers::{FFT_LEN};
+use crate::carriers::FFT_LEN;
 use crate::ofdm::{apply_cyclic_shift, ht_cyclic_shift, legacy_cyclic_shift, Ofdm};
 use mimonet_dsp::complex::Complex64;
 
@@ -216,7 +216,10 @@ mod tests {
         let stf = lstf_time(0, 1);
         assert_eq!(stf.len(), LSTF_LEN);
         for i in 0..LSTF_LEN - STF_PERIOD {
-            assert!(stf[i].dist(stf[i + STF_PERIOD]) < 1e-9, "period break at {i}");
+            assert!(
+                stf[i].dist(stf[i + STF_PERIOD]) < 1e-9,
+                "period break at {i}"
+            );
         }
         assert!((mean_power(&stf) - 1.0).abs() < 1e-9);
     }
@@ -264,7 +267,10 @@ mod tests {
     fn two_stream_block_is_orthogonal() {
         // The 2×2 upper-left block used for 2 streams must itself be
         // invertible with orthogonal columns.
-        let p = [[P_HTLTF[0][0], P_HTLTF[0][1]], [P_HTLTF[1][0], P_HTLTF[1][1]]];
+        let p = [
+            [P_HTLTF[0][0], P_HTLTF[0][1]],
+            [P_HTLTF[1][0], P_HTLTF[1][1]],
+        ];
         let det = p[0][0] * p[1][1] - p[0][1] * p[1][0];
         assert!(det.abs() > 1.0);
         let col_dot = p[0][0] * p[0][1] + p[1][0] * p[1][1];

@@ -109,7 +109,13 @@ impl Mpdu {
     /// Builds a data MPDU between two addresses.
     pub fn data(src: [u8; 6], dst: [u8; 6], seq: u16, payload: Vec<u8>) -> Self {
         Self {
-            header: MacHeader { frame_type: FrameType::Data, duration: 0, dst, src, seq },
+            header: MacHeader {
+                frame_type: FrameType::Data,
+                duration: 0,
+                dst,
+                src,
+                seq,
+            },
             payload,
         }
     }
@@ -127,7 +133,10 @@ impl Mpdu {
     pub fn from_psdu(psdu: &[u8]) -> Option<Self> {
         let inner = check_fcs(psdu)?;
         let header = MacHeader::from_bytes(inner)?;
-        Some(Self { header, payload: inner[HEADER_LEN..].to_vec() })
+        Some(Self {
+            header,
+            payload: inner[HEADER_LEN..].to_vec(),
+        })
     }
 
     /// PSDU length in octets for this MPDU.
@@ -252,7 +261,9 @@ mod tests {
         scramble_data_bits(&mut bits, psdu.len(), 0x35);
         // Tail bits must be zero after scrambling.
         let tail_start = SERVICE_BITS + psdu.len() * 8;
-        assert!(bits[tail_start..tail_start + TAIL_BITS].iter().all(|&b| b == 0));
+        assert!(bits[tail_start..tail_start + TAIL_BITS]
+            .iter()
+            .all(|&b| b == 0));
         let got = descramble_data_bits(&bits, psdu.len()).unwrap();
         assert_eq!(got, psdu);
     }

@@ -33,7 +33,9 @@ pub enum SigError {
 impl std::fmt::Display for SigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SigError::Length { got, want } => write!(f, "SIGNAL field has {got} bits, expected {want}"),
+            SigError::Length { got, want } => {
+                write!(f, "SIGNAL field has {got} bits, expected {want}")
+            }
             SigError::Parity => write!(f, "L-SIG parity check failed"),
             SigError::BadRate(r) => write!(f, "unknown legacy RATE code {r:#06b}"),
             SigError::BadLength(l) => write!(f, "invalid LENGTH {l}"),
@@ -81,7 +83,10 @@ impl LSig {
             LEGACY_RATE_CODES.iter().any(|&(_, r)| r == rate_mbps),
             "{rate_mbps} Mb/s is not a legacy rate"
         );
-        assert!((1..=4095).contains(&length), "L-SIG LENGTH {length} out of range");
+        assert!(
+            (1..=4095).contains(&length),
+            "L-SIG LENGTH {length} out of range"
+        );
         Self { rate_mbps, length }
     }
 
@@ -98,7 +103,7 @@ impl LSig {
             bits.push((code >> i) & 1);
         }
         bits.push(0); // reserved
-        // LENGTH: 12 bits, LSB first.
+                      // LENGTH: 12 bits, LSB first.
         for i in 0..12 {
             bits.push(((self.length >> i) & 1) as u8);
         }
@@ -112,7 +117,10 @@ impl LSig {
     /// Decodes 24 received bits.
     pub fn decode(bits: &[u8]) -> Result<Self, SigError> {
         if bits.len() != Self::BITS {
-            return Err(SigError::Length { got: bits.len(), want: Self::BITS });
+            return Err(SigError::Length {
+                got: bits.len(),
+                want: Self::BITS,
+            });
         }
         let parity: u8 = bits[..18].iter().sum::<u8>() & 1;
         if parity != 0 {
@@ -134,7 +142,10 @@ impl LSig {
         if bits[18..].iter().any(|&b| b != 0) {
             return Err(SigError::Tail);
         }
-        Ok(Self { rate_mbps: rate, length })
+        Ok(Self {
+            rate_mbps: rate,
+            length,
+        })
     }
 }
 
@@ -158,7 +169,12 @@ impl HtSig {
 
     /// Creates an HT-SIG.
     pub fn new(mcs: u8, length: u16) -> Self {
-        Self { mcs, length, smoothing: true, aggregation: false }
+        Self {
+            mcs,
+            length,
+            smoothing: true,
+            aggregation: false,
+        }
     }
 
     /// CRC-8 over the first 34 bits (x⁸+x²+x+1, init all ones, output
@@ -183,7 +199,7 @@ impl HtSig {
             bits.push((self.mcs >> i) & 1);
         }
         bits.push(0); // CBW 20/40: 0 = 20 MHz
-        // HT LENGTH: 16 bits LSB first.
+                      // HT LENGTH: 16 bits LSB first.
         for i in 0..16 {
             bits.push(((self.length >> i) & 1) as u8);
         }
@@ -208,11 +224,12 @@ impl HtSig {
     /// Decodes 48 received bits, checking the CRC and MCS validity.
     pub fn decode(bits: &[u8]) -> Result<Self, SigError> {
         if bits.len() != Self::BITS {
-            return Err(SigError::Length { got: bits.len(), want: Self::BITS });
+            return Err(SigError::Length {
+                got: bits.len(),
+                want: Self::BITS,
+            });
         }
-        let crc_got = bits[34..42]
-            .iter()
-            .fold(0u8, |acc, &b| (acc << 1) | b);
+        let crc_got = bits[34..42].iter().fold(0u8, |acc, &b| (acc << 1) | b);
         if Self::crc8(&bits[..34]) != crc_got {
             return Err(SigError::Crc);
         }

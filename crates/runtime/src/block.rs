@@ -56,7 +56,12 @@ pub struct VectorSource {
 impl VectorSource {
     /// Creates a source over `items`.
     pub fn new(items: Vec<Item>) -> Self {
-        Self { name: "vector_source".into(), items, pos: 0, chunk: 4096 }
+        Self {
+            name: "vector_source".into(),
+            items,
+            pos: 0,
+            chunk: 4096,
+        }
     }
 
     /// Creates a source of complex samples.
@@ -150,7 +155,13 @@ impl VectorSink {
     /// Creates the sink and its read handle.
     pub fn new() -> (Self, SinkHandle) {
         let handle = SinkHandle::default();
-        (Self { name: "vector_sink".into(), store: handle.clone() }, handle)
+        (
+            Self {
+                name: "vector_sink".into(),
+                store: handle.clone(),
+            },
+            handle,
+        )
     }
 }
 
@@ -192,7 +203,10 @@ pub struct MapBlock {
 impl MapBlock {
     /// Creates a map block.
     pub fn new(name: impl Into<String>, f: impl FnMut(Item) -> Item + Send + 'static) -> Self {
-        Self { name: name.into(), f: Box::new(f) }
+        Self {
+            name: name.into(),
+            f: Box::new(f),
+        }
     }
 }
 
@@ -214,7 +228,11 @@ impl Block for MapBlock {
     ) -> WorkStatus {
         let n = inputs[0].available();
         if n == 0 {
-            return if inputs[0].is_finished() { WorkStatus::Done } else { WorkStatus::Blocked };
+            return if inputs[0].is_finished() {
+                WorkStatus::Done
+            } else {
+                WorkStatus::Blocked
+            };
         }
         for item in inputs[0].take(n) {
             outputs[0].push((self.f)(item));
@@ -241,7 +259,11 @@ impl ChunkBlock {
         f: impl FnMut(&[Item]) -> Vec<Item> + Send + 'static,
     ) -> Self {
         assert!(in_chunk > 0, "chunk size must be nonzero");
-        Self { name: name.into(), in_chunk, f: Box::new(f) }
+        Self {
+            name: name.into(),
+            in_chunk,
+            f: Box::new(f),
+        }
     }
 }
 
@@ -290,7 +312,10 @@ impl FanoutBlock {
     /// Creates a 1-to-`n` duplicator.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1);
-        Self { name: "fanout".into(), n }
+        Self {
+            name: "fanout".into(),
+            n,
+        }
     }
 }
 
@@ -312,7 +337,11 @@ impl Block for FanoutBlock {
     ) -> WorkStatus {
         let n = inputs[0].available();
         if n == 0 {
-            return if inputs[0].is_finished() { WorkStatus::Done } else { WorkStatus::Blocked };
+            return if inputs[0].is_finished() {
+                WorkStatus::Done
+            } else {
+                WorkStatus::Blocked
+            };
         }
         let items = inputs[0].take(n);
         for out in outputs.iter_mut() {
@@ -333,7 +362,10 @@ impl ZipBlock {
     /// Creates an `n`-to-1 zipper.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1);
-        Self { name: "zip".into(), n }
+        Self {
+            name: "zip".into(),
+            n,
+        }
     }
 }
 
@@ -356,8 +388,7 @@ impl Block for ZipBlock {
         let ready = inputs.iter().map(|i| i.available()).min().unwrap_or(0);
         if ready == 0 {
             let all_done = inputs.iter().all(|i| i.is_finished() && i.available() == 0);
-            let any_starved_done =
-                inputs.iter().any(|i| i.is_finished() && i.available() == 0);
+            let any_starved_done = inputs.iter().any(|i| i.is_finished() && i.available() == 0);
             return if all_done || any_starved_done {
                 // One leg can never deliver again → the zip can never
                 // produce another full row.
@@ -407,13 +438,22 @@ mod tests {
         input.push_items([Item::Byte(1), Item::Byte(2)]);
         let mut inputs = [input];
         let mut outputs = [OutputBuffer::new()];
-        assert_eq!(map.work(&mut inputs, &mut outputs, &mut ctx), WorkStatus::Progress);
+        assert_eq!(
+            map.work(&mut inputs, &mut outputs, &mut ctx),
+            WorkStatus::Progress
+        );
         let (items, _) = outputs[0].drain();
         assert_eq!(items, vec![Item::Byte(2), Item::Byte(3)]);
         // Starved but upstream alive → Blocked; finished → Done.
-        assert_eq!(map.work(&mut inputs, &mut outputs, &mut ctx), WorkStatus::Blocked);
+        assert_eq!(
+            map.work(&mut inputs, &mut outputs, &mut ctx),
+            WorkStatus::Blocked
+        );
         inputs[0].upstream_done = true;
-        assert_eq!(map.work(&mut inputs, &mut outputs, &mut ctx), WorkStatus::Done);
+        assert_eq!(
+            map.work(&mut inputs, &mut outputs, &mut ctx),
+            WorkStatus::Done
+        );
     }
 
     #[test]
@@ -434,7 +474,10 @@ mod tests {
         assert_eq!(inputs[0].available(), 1);
         // Upstream ends: residual partial chunk dropped, block done.
         inputs[0].upstream_done = true;
-        assert_eq!(blk.work(&mut inputs, &mut outputs, &mut ctx), WorkStatus::Done);
+        assert_eq!(
+            blk.work(&mut inputs, &mut outputs, &mut ctx),
+            WorkStatus::Done
+        );
     }
 
     #[test]
@@ -445,7 +488,11 @@ mod tests {
         let mut input = InputBuffer::new();
         input.push_items([Item::Real(1.5)]);
         let mut inputs = [input];
-        let mut outputs = [OutputBuffer::new(), OutputBuffer::new(), OutputBuffer::new()];
+        let mut outputs = [
+            OutputBuffer::new(),
+            OutputBuffer::new(),
+            OutputBuffer::new(),
+        ];
         blk.work(&mut inputs, &mut outputs, &mut ctx);
         for out in &mut outputs {
             let (items, _) = out.drain();

@@ -187,7 +187,11 @@ impl OutputBuffer {
     /// Attaches a tag at absolute offset `offset` (usually
     /// `self.offset()` before pushing the tagged item).
     pub fn add_tag(&mut self, offset: u64, key: impl Into<String>, value: TagValue) {
-        self.tags.push(Tag { offset, key: key.into(), value });
+        self.tags.push(Tag {
+            offset,
+            key: key.into(),
+            value,
+        });
     }
 
     /// Items produced since the last drain.
@@ -197,7 +201,10 @@ impl OutputBuffer {
 
     /// Drains produced items and tags (scheduler side).
     pub(crate) fn drain(&mut self) -> (Vec<Item>, Vec<Tag>) {
-        (std::mem::take(&mut self.items), std::mem::take(&mut self.tags))
+        (
+            std::mem::take(&mut self.items),
+            std::mem::take(&mut self.tags),
+        )
     }
 }
 
@@ -278,8 +285,16 @@ mod tests {
     fn tags_follow_the_read_pointer() {
         let mut buf = InputBuffer::new();
         buf.push_items((0..20u8).map(Item::Byte));
-        buf.push_tag(Tag { offset: 5, key: "a".into(), value: TagValue::U64(1) });
-        buf.push_tag(Tag { offset: 15, key: "b".into(), value: TagValue::U64(2) });
+        buf.push_tag(Tag {
+            offset: 5,
+            key: "a".into(),
+            value: TagValue::U64(1),
+        });
+        buf.push_tag(Tag {
+            offset: 15,
+            key: "b".into(),
+            value: TagValue::U64(2),
+        });
         assert_eq!(buf.tags_in_window(10).len(), 1);
         buf.take(6); // read past tag "a"
         assert_eq!(buf.tags_in_window(20).len(), 1);

@@ -26,11 +26,23 @@ pub struct BlockId(usize);
 #[derive(Debug, PartialEq, Eq)]
 pub enum GraphError {
     /// Port index out of range for the named block.
-    BadPort { block: String, port: usize, is_input: bool },
+    BadPort {
+        block: String,
+        port: usize,
+        is_input: bool,
+    },
     /// The port is already connected.
-    PortTaken { block: String, port: usize, is_input: bool },
+    PortTaken {
+        block: String,
+        port: usize,
+        is_input: bool,
+    },
     /// A port was left unconnected at run time.
-    Unconnected { block: String, port: usize, is_input: bool },
+    Unconnected {
+        block: String,
+        port: usize,
+        is_input: bool,
+    },
     /// No block made progress but not all finished — a livelock (usually a
     /// block that never reports `Done`).
     Deadlock { stuck: Vec<String> },
@@ -41,23 +53,39 @@ pub enum GraphError {
 impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GraphError::BadPort { block, port, is_input } => write!(
+            GraphError::BadPort {
+                block,
+                port,
+                is_input,
+            } => write!(
                 f,
                 "{} port {port} out of range on block '{block}'",
                 if *is_input { "input" } else { "output" }
             ),
-            GraphError::PortTaken { block, port, is_input } => write!(
+            GraphError::PortTaken {
+                block,
+                port,
+                is_input,
+            } => write!(
                 f,
                 "{} port {port} on block '{block}' already connected",
                 if *is_input { "input" } else { "output" }
             ),
-            GraphError::Unconnected { block, port, is_input } => write!(
+            GraphError::Unconnected {
+                block,
+                port,
+                is_input,
+            } => write!(
                 f,
                 "{} port {port} on block '{block}' is not connected",
                 if *is_input { "input" } else { "output" }
             ),
             GraphError::Deadlock { stuck } => {
-                write!(f, "flowgraph deadlocked; stuck blocks: {}", stuck.join(", "))
+                write!(
+                    f,
+                    "flowgraph deadlocked; stuck blocks: {}",
+                    stuck.join(", ")
+                )
             }
             GraphError::BlockPanicked { block } => write!(f, "block '{block}' panicked"),
         }
@@ -94,7 +122,12 @@ impl Flowgraph {
         let name = block.name().to_string();
         let n_in = block.num_inputs();
         let n_out = block.num_outputs();
-        self.blocks.push(Entry { block: Box::new(block), name, n_in, n_out });
+        self.blocks.push(Entry {
+            block: Box::new(block),
+            name,
+            n_in,
+            n_out,
+        });
         BlockId(self.blocks.len() - 1)
     }
 
@@ -108,11 +141,19 @@ impl Flowgraph {
     ) -> Result<(), GraphError> {
         let se = &self.blocks[src.0];
         if src_port >= se.n_out {
-            return Err(GraphError::BadPort { block: se.name.clone(), port: src_port, is_input: false });
+            return Err(GraphError::BadPort {
+                block: se.name.clone(),
+                port: src_port,
+                is_input: false,
+            });
         }
         let de = &self.blocks[dst.0];
         if dst_port >= de.n_in {
-            return Err(GraphError::BadPort { block: de.name.clone(), port: dst_port, is_input: true });
+            return Err(GraphError::BadPort {
+                block: de.name.clone(),
+                port: dst_port,
+                is_input: true,
+            });
         }
         if self.edges.contains_key(&(src.0, src_port)) {
             return Err(GraphError::PortTaken {
@@ -137,12 +178,20 @@ impl Flowgraph {
         for (i, e) in self.blocks.iter().enumerate() {
             for p in 0..e.n_out {
                 if !self.edges.contains_key(&(i, p)) {
-                    return Err(GraphError::Unconnected { block: e.name.clone(), port: p, is_input: false });
+                    return Err(GraphError::Unconnected {
+                        block: e.name.clone(),
+                        port: p,
+                        is_input: false,
+                    });
                 }
             }
             for p in 0..e.n_in {
                 if !self.redges.contains_key(&(i, p)) {
-                    return Err(GraphError::Unconnected { block: e.name.clone(), port: p, is_input: true });
+                    return Err(GraphError::Unconnected {
+                        block: e.name.clone(),
+                        port: p,
+                        is_input: true,
+                    });
                 }
             }
         }
@@ -154,10 +203,16 @@ impl Flowgraph {
     pub fn run(&mut self, hub: &MessageHub) -> Result<(), GraphError> {
         self.validate()?;
         let n = self.blocks.len();
-        let mut inputs: Vec<Vec<InputBuffer>> =
-            self.blocks.iter().map(|e| (0..e.n_in).map(|_| InputBuffer::new()).collect()).collect();
-        let mut outputs: Vec<Vec<OutputBuffer>> =
-            self.blocks.iter().map(|e| (0..e.n_out).map(|_| OutputBuffer::new()).collect()).collect();
+        let mut inputs: Vec<Vec<InputBuffer>> = self
+            .blocks
+            .iter()
+            .map(|e| (0..e.n_in).map(|_| InputBuffer::new()).collect())
+            .collect();
+        let mut outputs: Vec<Vec<OutputBuffer>> = self
+            .blocks
+            .iter()
+            .map(|e| (0..e.n_out).map(|_| OutputBuffer::new()).collect())
+            .collect();
         let mut done = vec![false; n];
 
         loop {
@@ -171,7 +226,9 @@ impl Flowgraph {
                     // Split-borrow: take this block's buffers out briefly.
                     let mut my_inputs = std::mem::take(&mut inputs[i]);
                     let mut my_outputs = std::mem::take(&mut outputs[i]);
-                    let st = self.blocks[i].block.work(&mut my_inputs, &mut my_outputs, &mut ctx);
+                    let st = self.blocks[i]
+                        .block
+                        .work(&mut my_inputs, &mut my_outputs, &mut ctx);
                     inputs[i] = my_inputs;
                     outputs[i] = my_outputs;
                     st
@@ -228,10 +285,16 @@ impl Flowgraph {
 
         let n = self.blocks.len();
         // Build channels per edge.
-        let mut senders: Vec<Vec<Option<Sender<Chunk>>>> =
-            self.blocks.iter().map(|e| (0..e.n_out).map(|_| None).collect()).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Chunk>>>> =
-            self.blocks.iter().map(|e| (0..e.n_in).map(|_| None).collect()).collect();
+        let mut senders: Vec<Vec<Option<Sender<Chunk>>>> = self
+            .blocks
+            .iter()
+            .map(|e| (0..e.n_out).map(|_| None).collect())
+            .collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Chunk>>>> = self
+            .blocks
+            .iter()
+            .map(|e| (0..e.n_in).map(|_| None).collect())
+            .collect();
         for (&(si, sp), &(di, dp)) in &self.edges {
             let (tx, rx) = bounded::<Chunk>(64);
             senders[si][sp] = Some(tx);
@@ -243,16 +306,21 @@ impl Flowgraph {
         for (i, entry) in self.blocks.into_iter().enumerate() {
             let mut block = entry.block;
             names.push(entry.name.clone());
-            let my_senders: Vec<Sender<Chunk>> =
-                senders[i].iter_mut().map(|s| s.take().expect("validated")).collect();
-            let my_receivers: Vec<Receiver<Chunk>> =
-                receivers[i].iter_mut().map(|r| r.take().expect("validated")).collect();
+            let my_senders: Vec<Sender<Chunk>> = senders[i]
+                .iter_mut()
+                .map(|s| s.take().expect("validated"))
+                .collect();
+            let my_receivers: Vec<Receiver<Chunk>> = receivers[i]
+                .iter_mut()
+                .map(|r| r.take().expect("validated"))
+                .collect();
             let hub = hub.clone();
             let n_in = entry.n_in;
             let n_out = entry.n_out;
             handles.push(std::thread::spawn(move || {
                 let mut inputs: Vec<InputBuffer> = (0..n_in).map(|_| InputBuffer::new()).collect();
-                let mut outputs: Vec<OutputBuffer> = (0..n_out).map(|_| OutputBuffer::new()).collect();
+                let mut outputs: Vec<OutputBuffer> =
+                    (0..n_out).map(|_| OutputBuffer::new()).collect();
                 loop {
                     // Drain whatever has arrived.
                     for (buf, rx) in inputs.iter_mut().zip(&my_receivers) {
@@ -293,7 +361,8 @@ impl Flowgraph {
                             if my_receivers.is_empty() {
                                 break; // blocked source = done
                             }
-                            match my_receivers[0].recv_timeout(std::time::Duration::from_millis(1)) {
+                            match my_receivers[0].recv_timeout(std::time::Duration::from_millis(1))
+                            {
                                 Ok((items, tags)) => {
                                     inputs[0].push_items(items);
                                     for t in tags {
@@ -345,7 +414,9 @@ mod tests {
     fn linear_pipeline_runs() {
         let mut fg = Flowgraph::new();
         let src = fg.add(VectorSource::new((0..100u8).map(Item::Byte).collect()).with_chunk(7));
-        let map = fg.add(MapBlock::new("double", |i| Item::Byte(i.byte().wrapping_mul(2))));
+        let map = fg.add(MapBlock::new("double", |i| {
+            Item::Byte(i.byte().wrapping_mul(2))
+        }));
         let (sink, handle) = VectorSink::new();
         let sink = fg.add(sink);
         fg.connect(src, 0, map, 0).unwrap();
@@ -361,7 +432,9 @@ mod tests {
         let src = fg.add(VectorSource::new((0..64u8).map(Item::Byte).collect()).with_chunk(5));
         // 8:1 decimator summing chunks (wrapping — bytes overflow past 255).
         let dec = fg.add(ChunkBlock::new("sum8", 8, |c| {
-            vec![Item::Byte(c.iter().fold(0u8, |a, i| a.wrapping_add(i.byte())))]
+            vec![Item::Byte(
+                c.iter().fold(0u8, |a, i| a.wrapping_add(i.byte())),
+            )]
         }));
         let (sink, handle) = VectorSink::new();
         let sink = fg.add(sink);
@@ -398,7 +471,10 @@ mod tests {
     fn threaded_matches_single_threaded() {
         let build = || {
             let mut fg = Flowgraph::new();
-            let src = fg.add(VectorSource::new((0..500u32).map(|i| Item::Real(i as f64)).collect()).with_chunk(13));
+            let src = fg.add(
+                VectorSource::new((0..500u32).map(|i| Item::Real(i as f64)).collect())
+                    .with_chunk(13),
+            );
             let sq = fg.add(MapBlock::new("square", |i| {
                 let v = i.real();
                 Item::Real(v * v)
@@ -412,7 +488,8 @@ mod tests {
         let (mut fg1, h1) = build();
         fg1.run(&MessageHub::new()).unwrap();
         let (fg2, h2) = build();
-        fg2.run_threaded(std::sync::Arc::new(MessageHub::new())).unwrap();
+        fg2.run_threaded(std::sync::Arc::new(MessageHub::new()))
+            .unwrap();
         assert_eq!(h1.reals(), h2.reals());
     }
 
@@ -421,7 +498,16 @@ mod tests {
         let mut fg = Flowgraph::new();
         let _src = fg.add(VectorSource::new(vec![Item::Byte(1)]));
         let err = fg.run(&MessageHub::new()).unwrap_err();
-        assert!(matches!(err, GraphError::Unconnected { is_input: false, .. }), "{err}");
+        assert!(
+            matches!(
+                err,
+                GraphError::Unconnected {
+                    is_input: false,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -435,7 +521,10 @@ mod tests {
         fg.connect(src, 0, a, 0).unwrap();
         assert!(matches!(
             fg.connect(src, 0, b, 0),
-            Err(GraphError::PortTaken { is_input: false, .. })
+            Err(GraphError::PortTaken {
+                is_input: false,
+                ..
+            })
         ));
     }
 
@@ -447,7 +536,10 @@ mod tests {
         let sink = fg.add(sink);
         assert!(matches!(
             fg.connect(src, 1, sink, 0),
-            Err(GraphError::BadPort { is_input: false, .. })
+            Err(GraphError::BadPort {
+                is_input: false,
+                ..
+            })
         ));
         assert!(matches!(
             fg.connect(src, 0, sink, 3),
@@ -594,7 +686,11 @@ mod tests {
             ) -> WorkStatus {
                 let n = i[0].available();
                 if n == 0 {
-                    return if i[0].is_finished() { WorkStatus::Done } else { WorkStatus::Blocked };
+                    return if i[0].is_finished() {
+                        WorkStatus::Done
+                    } else {
+                        WorkStatus::Blocked
+                    };
                 }
                 let tags: Vec<Tag> = i[0].tags_in_window(n).into_iter().cloned().collect();
                 self.seen.lock().extend(tags);

@@ -19,7 +19,10 @@ pub mod graph;
 pub mod message;
 pub mod stdblocks;
 
-pub use block::{Block, BlockCtx, ChunkBlock, FanoutBlock, MapBlock, SinkHandle, VectorSink, VectorSource, WorkStatus, ZipBlock};
+pub use block::{
+    Block, BlockCtx, ChunkBlock, FanoutBlock, MapBlock, SinkHandle, VectorSink, VectorSource,
+    WorkStatus, ZipBlock,
+};
 pub use buffer::{convert, InputBuffer, Item, OutputBuffer, Tag, TagValue};
 pub use graph::{BlockId, Flowgraph, GraphError};
 pub use message::{Message, MessageHub, Subscription};

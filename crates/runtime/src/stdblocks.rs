@@ -39,7 +39,11 @@ impl Block for HeadBlock {
         }
         let take = inputs[0].available().min(self.remaining);
         if take == 0 {
-            return if inputs[0].is_finished() { WorkStatus::Done } else { WorkStatus::Blocked };
+            return if inputs[0].is_finished() {
+                WorkStatus::Done
+            } else {
+                WorkStatus::Blocked
+            };
         }
         let items = inputs[0].take(take);
         outputs[0].push_slice(&items);
@@ -111,7 +115,11 @@ impl Block for AddBlock {
         let ready = inputs.iter().map(|i| i.available()).min().unwrap_or(0);
         if ready == 0 {
             let starved_out = inputs.iter().any(|i| i.is_finished() && i.available() == 0);
-            return if starved_out { WorkStatus::Done } else { WorkStatus::Blocked };
+            return if starved_out {
+                WorkStatus::Done
+            } else {
+                WorkStatus::Blocked
+            };
         }
         let cols: Vec<Vec<Item>> = inputs.iter_mut().map(|i| i.take(ready)).collect();
         for row in 0..ready {
@@ -160,11 +168,18 @@ impl Block for MultiplyConstBlock {
     ) -> WorkStatus {
         let n = inputs[0].available();
         if n == 0 {
-            return if inputs[0].is_finished() { WorkStatus::Done } else { WorkStatus::Blocked };
+            return if inputs[0].is_finished() {
+                WorkStatus::Done
+            } else {
+                WorkStatus::Blocked
+            };
         }
         for item in inputs[0].take(n) {
             let (r, i) = item.complex();
-            outputs[0].push(Item::Complex(r * self.re - i * self.im, r * self.im + i * self.re));
+            outputs[0].push(Item::Complex(
+                r * self.re - i * self.im,
+                r * self.im + i * self.re,
+            ));
         }
         WorkStatus::Progress
     }
@@ -183,7 +198,12 @@ impl PowerProbe {
     /// Creates a probe publishing to `topic` every `interval` samples.
     pub fn new(topic: impl Into<String>, interval: usize) -> Self {
         assert!(interval > 0, "interval must be nonzero");
-        Self { topic: topic.into(), interval, acc: 0.0, count: 0 }
+        Self {
+            topic: topic.into(),
+            interval,
+            acc: 0.0,
+            count: 0,
+        }
     }
 }
 
@@ -205,7 +225,11 @@ impl Block for PowerProbe {
     ) -> WorkStatus {
         let n = inputs[0].available();
         if n == 0 {
-            return if inputs[0].is_finished() { WorkStatus::Done } else { WorkStatus::Blocked };
+            return if inputs[0].is_finished() {
+                WorkStatus::Done
+            } else {
+                WorkStatus::Blocked
+            };
         }
         for item in inputs[0].take(n) {
             let (r, i) = item.complex();
@@ -233,7 +257,9 @@ mod tests {
     use crate::message::MessageHub;
 
     fn complex_items(n: usize) -> Vec<Item> {
-        (0..n).map(|i| Item::Complex(i as f64, -(i as f64))).collect()
+        (0..n)
+            .map(|i| Item::Complex(i as f64, -(i as f64)))
+            .collect()
     }
 
     #[test]
@@ -295,7 +321,10 @@ mod tests {
     #[test]
     fn multiply_by_i_rotates() {
         let mut fg = Flowgraph::new();
-        let src = fg.add(VectorSource::new(vec![Item::Complex(1.0, 0.0), Item::Complex(0.0, 1.0)]));
+        let src = fg.add(VectorSource::new(vec![
+            Item::Complex(1.0, 0.0),
+            Item::Complex(0.0, 1.0),
+        ]));
         let mul = fg.add(MultiplyConstBlock::new(0.0, 1.0));
         let (sink, handle) = VectorSink::new();
         let sink = fg.add(sink);

@@ -28,7 +28,13 @@ pub struct DetectorConfig {
 
 impl Default for DetectorConfig {
     fn default() -> Self {
-        Self { lag: 16, window: 32, threshold: 0.75, min_run: 24, energy_floor: 1e-6 }
+        Self {
+            lag: 16,
+            window: 32,
+            threshold: 0.75,
+            min_run: 24,
+            energy_floor: 1e-6,
+        }
     }
 }
 
@@ -59,10 +65,15 @@ impl PacketDetector {
     /// Creates a detector for `n_rx` antennas.
     pub fn new(n_rx: usize, cfg: DetectorConfig) -> Self {
         assert!(n_rx > 0, "need at least one antenna");
-        assert!(cfg.threshold > 0.0 && cfg.threshold < 1.0, "threshold in (0,1)");
+        assert!(
+            cfg.threshold > 0.0 && cfg.threshold < 1.0,
+            "threshold in (0,1)"
+        );
         Self {
             cfg,
-            corr: (0..n_rx).map(|_| SlidingAutocorrelator::new(cfg.lag, cfg.window)).collect(),
+            corr: (0..n_rx)
+                .map(|_| SlidingAutocorrelator::new(cfg.lag, cfg.window))
+                .collect(),
             run: 0,
             sample_idx: 0,
         }
@@ -87,7 +98,11 @@ impl PacketDetector {
         let gamma: Complex64 = self.corr.iter().map(|c| c.gamma()).sum();
         let phi: f64 = self.corr.iter().map(|c| c.phi()).sum();
         let energy_ok = phi / self.cfg.window as f64 > self.cfg.energy_floor;
-        let metric = if phi > f64::EPSILON { gamma.abs() / phi } else { 0.0 };
+        let metric = if phi > f64::EPSILON {
+            gamma.abs() / phi
+        } else {
+            0.0
+        };
         if energy_ok && metric >= self.cfg.threshold {
             self.run += 1;
             if self.run >= self.cfg.min_run {
@@ -109,7 +124,10 @@ impl PacketDetector {
     pub fn detect(&mut self, rx: &[&[Complex64]]) -> Option<Detection> {
         assert_eq!(rx.len(), self.corr.len(), "antenna count mismatch");
         let len = rx[0].len();
-        assert!(rx.iter().all(|a| a.len() == len), "antenna buffers must be equal length");
+        assert!(
+            rx.iter().all(|a| a.len() == len),
+            "antenna buffers must be equal length"
+        );
         let mut sample = vec![Complex64::ZERO; rx.len()];
         for i in 0..len {
             for (s, a) in sample.iter_mut().zip(rx) {
@@ -166,8 +184,11 @@ mod tests {
         let mut det = PacketDetector::new(1, DetectorConfig::default());
         let d = det.detect(&[&sig]).expect("should detect");
         // Confirmation lands inside the STF (after warmup + run).
-        assert!(d.confirmed_at > lead && d.confirmed_at < lead + 160 + 16,
-            "confirmed at {} (lead {lead})", d.confirmed_at);
+        assert!(
+            d.confirmed_at > lead && d.confirmed_at < lead + 160 + 16,
+            "confirmed at {} (lead {lead})",
+            d.confirmed_at
+        );
         assert!(d.metric > 0.75);
     }
 
@@ -238,7 +259,10 @@ mod tests {
             }
         }
         assert!(mimo >= siso, "MIMO {mimo} vs SISO {siso}");
-        assert!(mimo > trials / 2, "MIMO detects most frames: {mimo}/{trials}");
+        assert!(
+            mimo > trials / 2,
+            "MIMO detects most frames: {mimo}/{trials}"
+        );
     }
 
     #[test]

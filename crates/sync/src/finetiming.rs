@@ -50,7 +50,10 @@ pub struct FineTiming {
 pub fn fine_timing(rx: &[&[Complex64]]) -> Option<FineTiming> {
     assert!(!rx.is_empty(), "need at least one antenna");
     let len = rx[0].len();
-    assert!(rx.iter().all(|a| a.len() == len), "antenna buffers must be equal length");
+    assert!(
+        rx.iter().all(|a| a.len() == len),
+        "antenna buffers must be equal length"
+    );
     let reference = lltf_reference();
     if len < reference.len() {
         return None;
@@ -157,7 +160,10 @@ mod tests {
                 errs_mimo += 1;
             }
         }
-        assert!(errs_mimo <= errs_siso, "mimo errs {errs_mimo} vs siso {errs_siso}");
+        assert!(
+            errs_mimo <= errs_siso,
+            "mimo errs {errs_mimo} vs siso {errs_siso}"
+        );
     }
 
     #[test]

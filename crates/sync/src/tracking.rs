@@ -44,10 +44,7 @@ pub fn estimate_phase(pilots: &[(i32, Complex64, Complex64)]) -> Option<PhaseEst
         return None;
     }
     // Rotation-invariant common phase: angle of sum of obs * conj(expected).
-    let common: Complex64 = pilots
-        .iter()
-        .map(|&(_, e, o)| o * e.conj())
-        .sum();
+    let common: Complex64 = pilots.iter().map(|&(_, e, o)| o * e.conj()).sum();
     if common.abs() < 1e-15 {
         return None;
     }
@@ -83,7 +80,10 @@ pub fn estimate_phase(pilots: &[(i32, Complex64, Complex64)]) -> Option<PhaseEst
         let d_theta = (swp - slope * swk) / sw;
         (d_theta, slope)
     };
-    Some(PhaseEstimate { theta: theta + d_theta, slope })
+    Some(PhaseEstimate {
+        theta: theta + d_theta,
+        slope,
+    })
 }
 
 /// Streaming tracker that smooths per-symbol estimates with a single-pole

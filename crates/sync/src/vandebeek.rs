@@ -54,7 +54,11 @@ impl VanDeBeek {
     pub fn new(fft_len: usize, cp_len: usize, snr_db: f64) -> Self {
         assert!(fft_len > 0 && cp_len > 0, "nonzero numerology required");
         let snr = mimonet_dsp::stats::db_to_lin(snr_db);
-        Self { fft_len, cp_len, rho: snr / (snr + 1.0) }
+        Self {
+            fft_len,
+            cp_len,
+            rho: snr / (snr + 1.0),
+        }
     }
 
     /// The ML weight `rho` in use.
@@ -78,13 +82,19 @@ impl VanDeBeek {
     /// have equal length.
     pub fn metric_trace_mimo(&self, rx: &[&[Complex64]]) -> Vec<f64> {
         let combined = self.combined_stats(rx);
-        combined.into_iter().map(|(g, p)| g.abs() - self.rho * p).collect()
+        combined
+            .into_iter()
+            .map(|(g, p)| g.abs() - self.rho * p)
+            .collect()
     }
 
     fn combined_stats(&self, rx: &[&[Complex64]]) -> Vec<(Complex64, f64)> {
         assert!(!rx.is_empty(), "need at least one antenna");
         let len = rx[0].len();
-        assert!(rx.iter().all(|a| a.len() == len), "antenna buffers must be equal length");
+        assert!(
+            rx.iter().all(|a| a.len() == len),
+            "antenna buffers must be equal length"
+        );
         let mut acc: Vec<(Complex64, f64)> = Vec::new();
         for ant in rx {
             let stats = lagged_autocorrelation(ant, self.fft_len, self.cp_len);
@@ -153,8 +163,9 @@ mod tests {
     fn cp_signal(rng: &mut ChaCha8Rng, n_sym: usize, lead: usize) -> Vec<C64> {
         let mut out = vec![C64::ZERO; lead];
         for _ in 0..n_sym {
-            let body: Vec<C64> =
-                (0..N).map(|_| mimonet_channel::noise::crandn(rng)).collect();
+            let body: Vec<C64> = (0..N)
+                .map(|_| mimonet_channel::noise::crandn(rng))
+                .collect();
             out.extend_from_slice(&body[N - L..]);
             out.extend_from_slice(&body);
         }
@@ -217,8 +228,16 @@ mod tests {
             // independent noise and independent flat gains.
             let clean = cp_signal(&mut rng, 2, lead);
             let tail = vec![C64::ZERO; 30];
-            let mut a0: Vec<C64> = clean.iter().chain(&tail).map(|&x| x * C64::cis(0.7)).collect();
-            let mut a1: Vec<C64> = clean.iter().chain(&tail).map(|&x| x * C64::cis(-1.1)).collect();
+            let mut a0: Vec<C64> = clean
+                .iter()
+                .chain(&tail)
+                .map(|&x| x * C64::cis(0.7))
+                .collect();
+            let mut a1: Vec<C64> = clean
+                .iter()
+                .chain(&tail)
+                .map(|&x| x * C64::cis(-1.1))
+                .collect();
             let npow = mimonet_dsp::stats::db_to_lin(-snr_db);
             add_awgn(&mut rng, &mut a0, npow);
             add_awgn(&mut rng, &mut a1, npow);

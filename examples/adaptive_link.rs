@@ -50,7 +50,10 @@ fn main() {
     let mut airtime_us = 0.0f64;
     let mut ok_total = 0u64;
     let mut sent_total = 0u64;
-    println!("{:>5} {:>8} {:>6} {:>10} {:>10}", "step", "SNR dB", "MCS", "ok/sent", "est dB");
+    println!(
+        "{:>5} {:>8} {:>6} {:>10} {:>10}",
+        "step", "SNR dB", "MCS", "ok/sent", "est dB"
+    );
     for step in 0..steps {
         let mcs = rc.current_mcs();
         let cfg = LinkConfig::new(mcs, PAYLOAD, ChannelConfig::awgn(2, 2, snr_at(step)));
@@ -60,7 +63,11 @@ fn main() {
         delivered_bits += stats.per.ok() * PAYLOAD as u64 * 8;
         ok_total += stats.per.ok();
         sent_total += stats.per.sent();
-        let est = if stats.snr_est_db.count() > 0 { stats.snr_est_db.mean() } else { f64::NAN };
+        let est = if stats.snr_est_db.count() > 0 {
+            stats.snr_est_db.mean()
+        } else {
+            f64::NAN
+        };
         println!(
             "{:>5} {:>8.1} {:>6} {:>7}/{:<2} {:>10.1}",
             step,
@@ -76,9 +83,7 @@ fn main() {
         );
     }
     let adaptive_goodput = delivered_bits as f64 / airtime_us;
-    println!(
-        "\nadaptive: {ok_total}/{sent_total} delivered, {adaptive_goodput:.1} Mb/s goodput"
-    );
+    println!("\nadaptive: {ok_total}/{sent_total} delivered, {adaptive_goodput:.1} Mb/s goodput");
 
     for mcs in [8u8, 11, 15] {
         let (ok, sent) = run_fixed(mcs, steps);

@@ -68,9 +68,8 @@ fn main() {
     let ant_scale = 1.0 / 2f64.sqrt();
     let truth_at = |k: i32, r: usize, s: usize| -> Complex64 {
         let shift = mimonet_frame::ofdm::ht_cyclic_shift(s, 2);
-        let csd = Complex64::cis(
-            -2.0 * std::f64::consts::PI * k as f64 * shift as f64 / FFT_LEN as f64,
-        );
+        let csd =
+            Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 * shift as f64 / FFT_LEN as f64);
         tdl.freq_response(r, s, k, FFT_LEN) * csd * ant_scale
     };
 
@@ -91,7 +90,9 @@ fn main() {
         .iter()
         .map(|&k| {
             let m = est.at(k).unwrap();
-            (0..2).flat_map(|r| (0..2).map(move |s| m[(r, s)].norm_sqr())).sum::<f64>()
+            (0..2)
+                .flat_map(|r| (0..2).map(move |s| m[(r, s)].norm_sqr()))
+                .sum::<f64>()
         })
         .sum::<f64>()
         / est.carriers().len() as f64;

@@ -81,11 +81,7 @@ fn main() {
         }
     }
 
-    let intact = received
-        .iter()
-        .zip(&file)
-        .filter(|(a, b)| a == b)
-        .count();
+    let intact = received.iter().zip(&file).filter(|(a, b)| a == b).count();
     println!("\nDelivered {intact}/{} bytes intact", file.len());
     println!(
         "{} transmissions for {} chunks ({:.2} tx/chunk); {} chunks abandoned",

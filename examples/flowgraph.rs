@@ -45,7 +45,10 @@ fn main() {
             println!("  frame {i}: SNR estimate {db:.1} dB");
         }
     }
-    println!("  message port delivered {} frame announcements", frames.drain().len());
+    println!(
+        "  message port delivered {} frame announcements",
+        frames.drain().len()
+    );
 
     // --- thread-per-block scheduler, same graph ---
     let (fg2, sink2, _) = build_link_flowgraph(

@@ -36,9 +36,7 @@ fn main() {
     for snr in [8, 12, 16, 20, 24, 28, 32] {
         let (per1, tput1) = run(3, 1, snr as f64, 42 + snr as u64);
         let (per2, tput2) = run(11, 2, snr as f64, 142 + snr as u64);
-        println!(
-            "{snr:>7} | {per1:>9.3} {tput1:>13.1} | {per2:>9.3} {tput2:>13.1}"
-        );
+        println!("{snr:>7} | {per1:>9.3} {tput1:>13.1} | {per2:>9.3} {tput2:>13.1}");
     }
     println!("\nRead: MIMO needs ~4-6 dB more SNR for the same PER, then");
     println!("delivers ~2x the goodput — the spatial-multiplexing trade.");

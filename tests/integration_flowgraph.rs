@@ -52,7 +52,8 @@ fn threaded_scheduler_delivers_identically() {
     let (mut fg1, h1, _) = build(55);
     fg1.run(&MessageHub::new()).unwrap();
     let (fg2, h2, _) = build(55);
-    fg2.run_threaded(std::sync::Arc::new(MessageHub::new())).unwrap();
+    fg2.run_threaded(std::sync::Arc::new(MessageHub::new()))
+        .unwrap();
     assert_eq!(h1.bytes(), h2.bytes(), "schedulers must agree (same seed)");
     assert_eq!(h1.bytes(), psdus);
 }

@@ -35,7 +35,10 @@ fn coded_bits_reference_is_invertible() {
 
 #[test]
 fn scrambled_service_prefix_reveals_seed() {
-    let cfg = TxConfig { scrambler_seed: 0x2B, ..TxConfig::new(0).unwrap() };
+    let cfg = TxConfig {
+        scrambler_seed: 0x2B,
+        ..TxConfig::new(0).unwrap()
+    };
     let mcs = cfg.mcs;
     let psdu = vec![0u8; 20];
     let mut bits = assemble_data_bits(&psdu, &mcs);
@@ -53,7 +56,10 @@ fn data_field_geometry_matches_mcs_table() {
             assert_eq!(bits.len() % mcs.n_dbps(), 0, "{mcs}");
             assert_eq!(bits.len(), mcs.num_symbols(psdu_bits) * mcs.n_dbps());
             assert_eq!(&bits[..SERVICE_BITS], &[0u8; 16]);
-            assert_eq!(&bits[SERVICE_BITS..SERVICE_BITS + 16], &bytes_to_bits(&[0u8; 2])[..]);
+            assert_eq!(
+                &bits[SERVICE_BITS..SERVICE_BITS + 16],
+                &bytes_to_bits(&[0u8; 2])[..]
+            );
         }
     }
 }
@@ -66,15 +72,18 @@ fn interleaver_and_parser_compose_losslessly_per_symbol() {
         let mcs = Mcs::from_index(idx).unwrap();
         let bits: Vec<u8> = (0..mcs.n_cbps()).map(|i| ((i * 13) % 2) as u8).collect();
         let parsed = mimonet::tx::parse_streams(&bits, 2, mcs.n_bpsc());
-        let ils: Vec<Interleaver> =
-            (0..2).map(|s| Interleaver::ht(mcs.n_cbpss(), mcs.n_bpsc(), s, 2)).collect();
+        let ils: Vec<Interleaver> = (0..2)
+            .map(|s| Interleaver::ht(mcs.n_cbpss(), mcs.n_bpsc(), s, 2))
+            .collect();
         let soft: Vec<Vec<f64>> = parsed
             .iter()
             .enumerate()
             .map(|(s, b)| {
                 let inter = ils[s].interleave(b);
-                let as_llr: Vec<f64> =
-                    inter.iter().map(|&x| if x == 0 { 1.0 } else { -1.0 }).collect();
+                let as_llr: Vec<f64> = inter
+                    .iter()
+                    .map(|&x| if x == 0 { 1.0 } else { -1.0 })
+                    .collect();
                 ils[s].deinterleave_soft(&as_llr)
             })
             .collect();
@@ -139,5 +148,9 @@ fn conv_plus_scrambler_pipeline_is_deterministic() {
 fn all_code_rates_reachable_from_mcs_table() {
     use std::collections::HashSet;
     let rates: HashSet<CodeRate> = Mcs::all().iter().map(|m| m.code_rate).collect();
-    assert_eq!(rates.len(), 4, "MCS table must exercise all four code rates");
+    assert_eq!(
+        rates.len(),
+        4,
+        "MCS table must exercise all four code rates"
+    );
 }

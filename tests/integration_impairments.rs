@@ -118,7 +118,10 @@ fn fine_timing_required_under_timing_offset() {
     };
     let with = run(true);
     let without = run(false);
-    assert!(with >= without, "fine timing {with}/20 vs without {without}/20");
+    assert!(
+        with >= without,
+        "fine timing {with}/20 vs without {without}/20"
+    );
     assert_eq!(with, 20, "fine timing must deliver everything at 30 dB");
 }
 

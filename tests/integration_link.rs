@@ -86,7 +86,10 @@ fn ber_decreases_monotonically_with_snr() {
         assert!(stats.coded_ber.bits() > 0, "no frames decoded at {snr} dB");
         bers.push(stats.coded_ber.ber());
     }
-    assert!(bers[0] > bers[1] && bers[1] > bers[2], "BER vs SNR: {bers:?}");
+    assert!(
+        bers[0] > bers[1] && bers[1] > bers[2],
+        "BER vs SNR: {bers:?}"
+    );
 }
 
 #[test]
@@ -105,7 +108,10 @@ fn soft_decoding_beats_hard_decoding() {
         s.payload_ber.ber(),
         h.payload_ber.ber()
     );
-    assert!(h.payload_ber.errors() > 0, "operating point must stress the decoder");
+    assert!(
+        h.payload_ber.errors() > 0,
+        "operating point must stress the decoder"
+    );
 }
 
 #[test]
@@ -123,7 +129,10 @@ fn mimo_rayleigh_detector_ordering() {
     let ml = run(DetectorKind::Ml);
     assert!(ml >= mmse, "ML {ml} vs MMSE {mmse}");
     assert!(mmse >= zf, "MMSE {mmse} vs ZF {zf}");
-    assert!(ml > zf, "ML {ml} must strictly beat ZF {zf} over 120 Rayleigh frames");
+    assert!(
+        ml > zf,
+        "ML {ml} must strictly beat ZF {zf} over 120 Rayleigh frames"
+    );
 }
 
 #[test]

@@ -23,8 +23,7 @@ fn tx_waveform_respects_spectral_occupancy() {
         assert!(inband > 0.97, "antenna {a}: in-band fraction {inband}");
         // DC null: the DC bin is well below the average occupied bin
         // (carriers sit at bins 4, 8, ..., 112 and mirrors).
-        let avg_occupied: f64 =
-            (1..=28).map(|k| psd[4 * k] + psd[256 - 4 * k]).sum::<f64>() / 56.0;
+        let avg_occupied: f64 = (1..=28).map(|k| psd[4 * k] + psd[256 - 4 * k]).sum::<f64>() / 56.0;
         assert!(
             psd[0] < avg_occupied * 0.2,
             "antenna {a}: DC bin {} vs avg occupied {avg_occupied}",
@@ -65,8 +64,11 @@ fn closed_loop_rate_adaptation_converges() {
         if ok {
             delivered_payloads += 3;
         }
-        let snr_feedback =
-            if stats.snr_est_db.count() > 0 { Some(stats.snr_est_db.mean()) } else { None };
+        let snr_feedback = if stats.snr_est_db.count() > 0 {
+            Some(stats.snr_est_db.mean())
+        } else {
+            None
+        };
         rc.update(ok, snr_feedback);
         history.push(mcs);
     }
@@ -77,8 +79,14 @@ fn closed_loop_rate_adaptation_converges() {
         (9..=13).contains(&final_mcs),
         "settled at MCS{final_mcs}, history {history:?}"
     );
-    assert!(final_mcs > 8, "must climb above the most robust rate: {history:?}");
-    assert!(delivered_payloads >= 45, "delivered {delivered_payloads}/60");
+    assert!(
+        final_mcs > 8,
+        "must climb above the most robust rate: {history:?}"
+    );
+    assert!(
+        delivered_payloads >= 45,
+        "delivered {delivered_payloads}/60"
+    );
 }
 
 #[test]
@@ -97,7 +105,11 @@ fn rate_adaptation_tracks_snr_steps() {
         let mcs = rc.current_mcs();
         let cfg = LinkConfig::new(mcs, 300, ChannelConfig::awgn(2, 2, 10.0));
         let stats = LinkSim::new(cfg, 6_200 + round).run(2);
-        let fb = if stats.snr_est_db.count() > 0 { Some(stats.snr_est_db.mean()) } else { None };
+        let fb = if stats.snr_est_db.count() > 0 {
+            Some(stats.snr_est_db.mean())
+        } else {
+            None
+        };
         rc.update(stats.per.ok() == 2, fb);
     }
     let low = rc.current_mcs();

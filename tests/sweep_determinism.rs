@@ -1,0 +1,161 @@
+//! The sweep engine's core contract: results are byte-identical for any
+//! worker-thread count. Checked three ways — serialized `LinkStats` from
+//! full link sweeps, a structural proptest over random spec shapes with a
+//! cheap synthetic accumulator, and a (small) randomized link-sweep
+//! proptest.
+
+use mimonet::link::LinkConfig;
+use mimonet::sweep::{run_link, run_link_until_errors, SweepSpec};
+use mimonet_channel::{ChannelConfig, Fading};
+use mimonet_dsp::stats::Running;
+use proptest::prelude::*;
+use serde::{json, Serialize};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn link_points(snrs: &[f64]) -> Vec<LinkConfig> {
+    snrs.iter()
+        .map(|&snr| {
+            let mut chan = ChannelConfig::awgn(2, 2, snr);
+            chan.fading = Fading::RayleighFlat;
+            LinkConfig::new(8, 60, chan)
+        })
+        .collect()
+}
+
+/// Serializes every per-point statistic of a sweep result to JSON bytes.
+fn stats_bytes<S: Serialize>(stats: &[S]) -> String {
+    json::to_string(&stats.iter().map(|s| s.serialize()).collect::<Vec<_>>())
+}
+
+#[test]
+fn link_sweep_serialized_stats_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let spec = SweepSpec::new("det", link_points(&[6.0, 12.0, 24.0]), 24)
+            .seed(0x00D5_EED0)
+            .shard_size(5)
+            .threads(threads);
+        stats_bytes(&run_link(&spec).stats)
+    };
+    let reference = run(THREAD_COUNTS[0]);
+    assert!(
+        reference.contains("payload_ber"),
+        "sanity: stats serialized"
+    );
+    for &threads in &THREAD_COUNTS[1..] {
+        assert_eq!(
+            run(threads),
+            reference,
+            "thread count {threads} changed the bytes"
+        );
+    }
+}
+
+#[test]
+fn early_stopped_sweep_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let spec = SweepSpec::new("det_stop", link_points(&[2.0, 8.0]), 200)
+            .seed(7)
+            .shard_size(4)
+            .threads(threads);
+        let result = run_link_until_errors(&spec, 50);
+        (stats_bytes(&result.stats), result.trials_run.clone())
+    };
+    let reference = run(THREAD_COUNTS[0]);
+    for &threads in &THREAD_COUNTS[1..] {
+        assert_eq!(
+            run(threads),
+            reference,
+            "thread count {threads} changed the result"
+        );
+    }
+}
+
+proptest! {
+    // Structural determinism over random spec shapes: a cheap synthetic
+    // accumulator makes the fold order the only thing under test, so we
+    // can afford many cases.
+    #[test]
+    fn random_specs_thread_invariant(
+        n_points in 1usize..5,
+        trials in 1usize..40,
+        shard_size in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let points: Vec<u64> = (0..n_points as u64).collect();
+        let run = |threads: usize| {
+            let spec = SweepSpec::new("prop", points.clone(), trials)
+                .seed(seed)
+                .shard_size(shard_size)
+                .threads(threads);
+            let result = spec.run(|&p, ctx, acc: &mut Running| {
+                // Deterministic pseudo-observations from the shard seed;
+                // floating-point accumulation order is what we probe.
+                let mut x = ctx.seed ^ p;
+                for _ in 0..ctx.trials {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    acc.push((x >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
+                }
+            });
+            stats_bytes(&result.stats)
+        };
+        let reference = run(1);
+        prop_assert_eq!(run(2), reference.clone());
+        prop_assert_eq!(run(8), reference);
+    }
+
+    // Randomized early stopping: the stop decision itself must also be
+    // scheduling-independent.
+    #[test]
+    fn random_early_stop_thread_invariant(
+        trials in 1usize..60,
+        shard_size in 1usize..7,
+        threshold in 1u64..40,
+        seed in any::<u64>(),
+    ) {
+        let run = |threads: usize| {
+            let spec = SweepSpec::new("prop_stop", vec![0u8, 1], trials)
+                .seed(seed)
+                .shard_size(shard_size)
+                .threads(threads);
+            let result = spec.run_until(
+                |&p, ctx, acc: &mut u64| {
+                    let mut x = ctx.seed ^ p as u64;
+                    for _ in 0..ctx.trials {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+                        *acc += (x >> 62 == 0) as u64;
+                    }
+                },
+                move |acc: &u64| *acc >= threshold,
+            );
+            (result.stats.clone(), result.trials_run.clone())
+        };
+        let reference = run(1);
+        prop_assert_eq!(run(2), reference.clone());
+        prop_assert_eq!(run(8), reference);
+    }
+}
+
+proptest! {
+    // Full-link randomized check: expensive per case, so only a handful,
+    // but it exercises the real TX→channel→RX path end to end.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn random_link_specs_thread_invariant(
+        snr in 4.0f64..26.0,
+        trials in 1usize..10,
+        shard_size in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let run = |threads: usize| {
+            let spec = SweepSpec::new("prop_link", link_points(&[snr]), trials)
+                .seed(seed)
+                .shard_size(shard_size)
+                .threads(threads);
+            stats_bytes(&run_link(&spec).stats)
+        };
+        let reference = run(1);
+        prop_assert_eq!(run(2), reference.clone());
+        prop_assert_eq!(run(8), reference);
+    }
+}

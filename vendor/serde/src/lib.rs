@@ -1,0 +1,310 @@
+//! Offline mini-serde: the serialization surface mimonet needs, without
+//! the real serde's proc-macro derive (the build environment has no
+//! crates.io access, so `syn`/`quote` are unavailable).
+//!
+//! Types implement [`Serialize`] by producing a [`Value`] tree; the
+//! [`json`] module renders that tree as canonical JSON text. Rendering is
+//! fully deterministic — object keys keep insertion order and floats use
+//! Rust's shortest-roundtrip formatting — which the sweep engine's
+//! bit-identical-across-threads guarantee relies on.
+
+use std::collections::BTreeMap;
+
+/// A JSON-shaped value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null` (also the rendering of non-finite floats).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Convenience constructor for an object from key/value pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor for an array of serializable items.
+    pub fn array<T: Serialize>(items: impl IntoIterator<Item = T>) -> Value {
+        Value::Array(items.into_iter().map(|v| v.serialize()).collect())
+    }
+}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Produces the value tree for this object.
+    fn serialize(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(impl Serialize for $t {
+        fn serialize(&self) -> Value { Value::U64(*self as u64) }
+    })*};
+}
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(impl Serialize for $t {
+        fn serialize(&self) -> Value { Value::I64(*self as i64) }
+    })*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+/// JSON text rendering of the [`Value`] model.
+pub mod json {
+    use super::{Serialize, Value};
+    use std::fmt::Write;
+
+    /// Serializes any [`Serialize`] type to compact JSON.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.serialize(), None, 0);
+        out
+    }
+
+    /// Serializes to human-friendly two-space-indented JSON.
+    pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.serialize(), Some(2), 0);
+        out
+    }
+
+    fn newline(out: &mut String, indent: Option<usize>, depth: usize) {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * depth));
+        }
+    }
+
+    fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::F64(f) => write_f64(out, *f),
+            Value::Str(s) => write_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent, depth + 1);
+                    write_value(out, item, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    newline(out, indent, depth);
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, item)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent, depth + 1);
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, item, indent, depth + 1);
+                }
+                if !pairs.is_empty() {
+                    newline(out, indent, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// JSON has no NaN/Infinity; map them to null (serde_json behavior).
+    fn write_f64(out: &mut String, f: f64) {
+        if !f.is_finite() {
+            out.push_str("null");
+        } else if f == f.trunc() && f.abs() < 1e15 {
+            // Integral floats as "x.0" so the value reads back as float.
+            let _ = write!(out, "{f:.1}");
+        } else {
+            // Shortest representation that round-trips the exact bits.
+            let _ = write!(out, "{f}");
+        }
+    }
+
+    fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        assert_eq!(json::to_string(&42u64), "42");
+        assert_eq!(json::to_string(&-3i32), "-3");
+        assert_eq!(json::to_string(&true), "true");
+        assert_eq!(json::to_string(&1.5f64), "1.5");
+        assert_eq!(json::to_string(&2.0f64), "2.0");
+        assert_eq!(json::to_string("hi \"there\"\n"), "\"hi \\\"there\\\"\\n\"");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(json::to_string(&f64::NAN), "null");
+        assert_eq!(json::to_string(&f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn collections_render() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(json::to_string(&v), "[1,2,3]");
+        let obj = Value::object([("a", Value::U64(1)), ("b", Value::Array(vec![]))]);
+        assert_eq!(json::to_string(&obj), "{\"a\":1,\"b\":[]}");
+    }
+
+    #[test]
+    fn option_renders_null() {
+        let none: Option<u64> = None;
+        assert_eq!(json::to_string(&none), "null");
+        assert_eq!(json::to_string(&Some(7u64)), "7");
+    }
+
+    #[test]
+    fn float_roundtrip_precision() {
+        let x = 0.123_456_789_012_345_68_f64;
+        let s = json::to_string(&x);
+        assert_eq!(s.parse::<f64>().unwrap().to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn pretty_is_indented_and_reparses_identically() {
+        let obj = Value::object([
+            (
+                "series",
+                Value::Array(vec![Value::F64(1.0), Value::F64(2.5)]),
+            ),
+            ("name", Value::Str("fig".into())),
+        ]);
+        let pretty = json::to_string_pretty(&obj);
+        assert!(pretty.contains("\n  \"series\""));
+        // No string in this tree contains whitespace, so stripping all
+        // whitespace must recover the compact form exactly.
+        let stripped: String = pretty.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(stripped, json::to_string(&obj));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let obj = Value::object([("z", Value::F64(3.25)), ("a", Value::U64(1))]);
+        assert_eq!(json::to_string(&obj), json::to_string(&obj.clone()));
+        // Insertion order preserved, not sorted.
+        assert_eq!(json::to_string(&obj), "{\"z\":3.25,\"a\":1}");
+    }
+}
