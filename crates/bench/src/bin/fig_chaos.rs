@@ -1,0 +1,94 @@
+//! R1 — link recovery under seeded fault schedules (chaos figure).
+//!
+//! Sweeps SNR for a 2×2 MCS8 link whose captures take the harsh
+//! mid-capture fault schedule (noise bursts, dropouts, impulses, a
+//! transient desync): each point reports overall frame delivery, delivery
+//! inside the damage window, and — the robustness headline — the
+//! post-fault-window recovery rate the chaos soak suite gates at ≥ 0.9.
+//!
+//! ```sh
+//! cargo run --release -p mimonet-bench --bin fig_chaos [--quick] [--threads N]
+//! ```
+//!
+//! With `MIMONET_DETERMINISTIC=1` the JSON report omits `wall_s` and
+//! `threads`, so `results/fig_chaos.json` is byte-identical for any
+//! `--threads` value.
+
+use mimonet::chaos::{run_chaos, ChaosConfig};
+use mimonet_bench::report::FigureReport;
+use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
+use mimonet_channel::{ChannelConfig, FaultSpec};
+use serde::Serialize;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let captures = opts.count(60, 8);
+
+    let mut report = FigureReport::new(
+        "fig_chaos",
+        "2x2 MCS8 frame recovery under seeded fault schedules",
+        "SNR dB",
+        seeds::CHAOS,
+        &opts,
+    );
+
+    let snrs = snr_grid(18, 34, 2);
+    let points: Vec<ChaosConfig> = snrs
+        .iter()
+        .map(|&snr| {
+            ChaosConfig::new(
+                8,
+                6,
+                ChannelConfig::awgn(2, 2, snr),
+                FaultSpec::harsh_mid_capture(),
+            )
+        })
+        .collect();
+
+    println!("# R1: frame recovery under harsh mid-capture faults, {captures} captures/point");
+    println!("# (6 frames per capture; faults confined to the 25-60% window)");
+    header(&["SNR dB", "delivery", "in-fault", "post-fault", "rescans"]);
+
+    let result = run_chaos(&opts.spec("chaos/mcs8", points, captures, seeds::CHAOS));
+
+    let mut delivery = Vec::new();
+    let mut in_fault = Vec::new();
+    let mut post_fault = Vec::new();
+    for (&snr, stats) in snrs.iter().zip(&result.stats) {
+        let (f_sent, f_ok) = stats.recovery.faulted();
+        let faulted_rate = if f_sent == 0 {
+            f64::NAN
+        } else {
+            f_ok as f64 / f_sent as f64
+        };
+        let recovery = stats.recovery.post_fault_recovery();
+        let ok_rate = 1.0 - stats.per.per();
+        row(
+            snr,
+            &[
+                ok_rate,
+                faulted_rate,
+                recovery,
+                stats.recovery.rescans() as f64 / captures as f64,
+            ],
+        );
+        delivery.push(ok_rate);
+        in_fault.push(faulted_rate);
+        post_fault.push(recovery);
+    }
+
+    report.series_with_points(
+        "post-fault recovery",
+        &snrs,
+        &post_fault,
+        result.stats.iter().map(|s| s.serialize()).collect(),
+    );
+    report.series("overall delivery", &snrs, &delivery);
+    report.series("delivery inside fault window", &snrs, &in_fault);
+
+    println!("# expected shape: post-fault recovery saturates near 1.0 once the");
+    println!("# clean-channel waterfall clears (~24 dB); delivery inside the fault");
+    println!("# window stays depressed at every SNR because bursts and dropouts");
+    println!("# destroy frames regardless of noise floor");
+    report.finish();
+}

@@ -57,6 +57,15 @@ impl Serialize for Series {
     }
 }
 
+/// True when `MIMONET_DETERMINISTIC` is set (to anything but `0`): the
+/// written report drops the volatile `wall_s` and run-dependent `threads`
+/// fields, so `results/*.json` from different `--threads` runs are
+/// byte-identical — the property `scripts`/CI compare for the chaos
+/// figure.
+fn deterministic_from_env() -> bool {
+    std::env::var("MIMONET_DETERMINISTIC").is_ok_and(|v| v != "0")
+}
+
 /// Accumulates a figure's curves and writes the JSON report.
 pub struct FigureReport {
     name: String,
@@ -65,6 +74,7 @@ pub struct FigureReport {
     seed: u64,
     threads: usize,
     scale: f64,
+    deterministic: bool,
     series: Vec<Series>,
     meta: Vec<(String, Value)>,
     started: Instant,
@@ -88,6 +98,7 @@ impl FigureReport {
             seed,
             threads: opts.threads,
             scale: opts.scale.scale,
+            deterministic: deterministic_from_env(),
             series: Vec::new(),
             meta: Vec::new(),
             started: Instant::now(),
@@ -123,18 +134,29 @@ impl FigureReport {
         self
     }
 
+    /// Forces deterministic output on or off, overriding the
+    /// `MIMONET_DETERMINISTIC` environment default.
+    pub fn deterministic(&mut self, on: bool) -> &mut Self {
+        self.deterministic = on;
+        self
+    }
+
     /// Renders the report (without the volatile `wall_s` field) — used by
-    /// the determinism tests, which need byte-stable output.
+    /// the determinism tests, which need byte-stable output. In
+    /// deterministic mode the `threads` field is omitted too, so reports
+    /// from different `--threads` runs can be byte-compared.
     pub fn to_value(&self) -> Value {
         let mut fields = vec![
             ("figure", self.name.serialize()),
             ("title", self.title.serialize()),
             ("x_label", self.x_label.serialize()),
             ("seed", self.seed.serialize()),
-            ("threads", self.threads.serialize()),
-            ("scale", self.scale.serialize()),
-            ("series", self.series.serialize()),
         ];
+        if !self.deterministic {
+            fields.push(("threads", self.threads.serialize()));
+        }
+        fields.push(("scale", self.scale.serialize()));
+        fields.push(("series", self.series.serialize()));
         if !self.meta.is_empty() {
             fields.push((
                 "meta",
@@ -159,14 +181,16 @@ impl FigureReport {
         let path = dir.join(format!("{}.json", self.name));
 
         let mut value = self.to_value();
-        let wall_s = self.started.elapsed().as_secs_f64();
-        if let Value::Object(fields) = &mut value {
-            // Keep wall_s before the bulky series array for readability.
-            let at = fields
-                .iter()
-                .position(|(k, _)| k == "series")
-                .unwrap_or(fields.len());
-            fields.insert(at, ("wall_s".into(), wall_s.serialize()));
+        if !self.deterministic {
+            let wall_s = self.started.elapsed().as_secs_f64();
+            if let Value::Object(fields) = &mut value {
+                // Keep wall_s before the bulky series array for readability.
+                let at = fields
+                    .iter()
+                    .position(|(k, _)| k == "series")
+                    .unwrap_or(fields.len());
+                fields.insert(at, ("wall_s".into(), wall_s.serialize()));
+            }
         }
 
         let mut file = std::fs::File::create(&path)?;
@@ -224,6 +248,22 @@ mod tests {
             json::to_string(&r.to_value())
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn deterministic_mode_strips_volatile_fields() {
+        let dir = std::env::temp_dir().join(format!("mimonet_det_report_{}", std::process::id()));
+        std::env::set_var("MIMONET_RESULTS_DIR", &dir);
+        let mut r = FigureReport::new("fig_det_mode", "D", "x", 1, &opts());
+        r.series("s", &[1.0], &[2.0]).deterministic(true);
+        let s = json::to_string(&r.to_value());
+        assert!(!s.contains("\"threads\""), "deterministic omits threads");
+        let path = r.write().expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(!text.contains("wall_s"), "deterministic omits wall_s");
+        assert!(!text.contains("\"threads\""));
+        std::env::remove_var("MIMONET_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -50,3 +50,5 @@ pub const ABLATION_FINETIMING_TGN: u64 = 7171;
 pub const ABLATION_SOFT: u64 = 8080;
 /// A5 — Doppler / channel-aging sweep.
 pub const DOPPLER: u64 = 2718;
+/// R1 — chaos/fault-injection recovery figure.
+pub const CHAOS: u64 = 0xFA_0175;

@@ -1,0 +1,482 @@
+//! Deterministic fault injection on captured sample streams.
+//!
+//! A [`FaultSchedule`] is a list of timed [`FaultEvent`]s — corruption
+//! bursts, deep-fade dropouts, impulse noise, inter-antenna desync and
+//! capture truncation — generated purely from `(spec, capture_len, seed)`.
+//! The same triple always yields the same schedule and the same corrupted
+//! samples, so chaos experiments compose with the `mimonet::sweep` engine
+//! bit-identically at any thread count: derive the seed with
+//! `shard_seed(...)` and the fault pattern is a pure function of the
+//! trial, not of scheduling.
+//!
+//! Faults are confined to a configurable window of the capture so tests
+//! can assert recovery *after* the window closes — the "link comes back
+//! when the interference stops" property the paper's channel-validation
+//! experiments care about.
+
+use mimonet_dsp::complex::Complex64;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// What kinds and how many faults to inject. Counts are exact (not
+/// probabilistic), so the severity of a schedule is controlled and the
+/// randomness only places and shapes the events.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// Number of corruption bursts (samples replaced by strong noise).
+    pub bursts: usize,
+    /// Samples per burst.
+    pub burst_len: usize,
+    /// Linear amplitude of burst noise relative to unit signal power.
+    pub burst_gain: f64,
+    /// Number of deep-fade dropouts (samples zeroed).
+    pub dropouts: usize,
+    /// Samples per dropout.
+    pub dropout_len: usize,
+    /// Number of single-sample impulses.
+    pub impulses: usize,
+    /// Linear amplitude of each impulse.
+    pub impulse_gain: f64,
+    /// Number of transient inter-antenna desync events (one antenna slips
+    /// by up to `max_slip` samples for the event's duration, then
+    /// realigns).
+    pub desyncs: usize,
+    /// Maximum slip, in samples, of a desync event.
+    pub max_slip: usize,
+    /// Length of a desync event.
+    pub desync_len: usize,
+    /// Truncate the capture to this fraction of its length (1.0 = keep
+    /// all). Models a capture that stops mid-frame.
+    pub truncate_frac: f64,
+    /// Fault window as fractions of the capture: events start inside
+    /// `[window.0, window.1) * capture_len`.
+    pub window: (f64, f64),
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self {
+            bursts: 2,
+            burst_len: 256,
+            burst_gain: 6.0,
+            dropouts: 1,
+            dropout_len: 512,
+            impulses: 8,
+            impulse_gain: 20.0,
+            desyncs: 0,
+            max_slip: 4,
+            desync_len: 1024,
+            truncate_frac: 1.0,
+            window: (0.0, 1.0),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// No faults at all — the identity schedule.
+    pub fn none() -> Self {
+        Self {
+            bursts: 0,
+            dropouts: 0,
+            impulses: 0,
+            desyncs: 0,
+            truncate_frac: 1.0,
+            ..Self::default()
+        }
+    }
+
+    /// A harsh mix of every fault type confined to the middle of the
+    /// capture (window 0.25–0.60), leaving the tail clean so recovery can
+    /// be measured.
+    pub fn harsh_mid_capture() -> Self {
+        Self {
+            bursts: 3,
+            burst_len: 384,
+            burst_gain: 8.0,
+            dropouts: 2,
+            dropout_len: 640,
+            impulses: 12,
+            impulse_gain: 25.0,
+            desyncs: 1,
+            max_slip: 3,
+            desync_len: 800,
+            truncate_frac: 1.0,
+            window: (0.25, 0.60),
+        }
+    }
+}
+
+/// One fault's type and parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Replace samples with strong Gaussian noise of the given amplitude.
+    Burst {
+        /// Linear noise amplitude.
+        gain: f64,
+    },
+    /// Zero samples (deep fade / squelch).
+    Dropout,
+    /// Add one large impulse to a single sample.
+    Impulse {
+        /// Linear impulse amplitude.
+        gain: f64,
+    },
+    /// One antenna's stream slips by `slip` samples for the event's
+    /// duration, then realigns (transient sample drop at `start`,
+    /// zero-fill at the event end keeps total length unchanged).
+    Desync {
+        /// Which RX antenna slips.
+        antenna: usize,
+        /// Samples slipped.
+        slip: usize,
+    },
+    /// The capture ends at `start`; everything after is discarded.
+    Truncate,
+}
+
+/// A fault at an absolute sample position.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// What happens.
+    pub kind: FaultKind,
+    /// First affected sample index.
+    pub start: usize,
+    /// Affected span in samples (1 for impulses, 0 for truncation).
+    pub len: usize,
+}
+
+/// What a schedule actually did to a capture, for stats and assertions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultReport {
+    /// Samples overwritten with noise or an impulse.
+    pub corrupted_samples: usize,
+    /// Samples zeroed by dropouts or desync fills.
+    pub zeroed_samples: usize,
+    /// Samples removed by truncation (per antenna).
+    pub truncated_samples: usize,
+    /// The events applied, in application order.
+    pub events: Vec<FaultEvent>,
+}
+
+/// A deterministic, seeded list of fault events for one capture.
+#[derive(Clone, Debug)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+    /// Seed for the sample-level noise the events inject.
+    noise_seed: u64,
+    capture_len: usize,
+}
+
+impl FaultSchedule {
+    /// Generates the schedule for a capture of `capture_len` samples per
+    /// antenna. Pure in `(spec, capture_len, seed)`.
+    pub fn generate(spec: &FaultSpec, capture_len: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let lo = ((spec.window.0.clamp(0.0, 1.0)) * capture_len as f64) as usize;
+        let hi = ((spec.window.1.clamp(0.0, 1.0)) * capture_len as f64) as usize;
+        let place = |rng: &mut ChaCha8Rng, len: usize| -> Option<usize> {
+            let len = len.min(capture_len);
+            let end = hi.min(capture_len.saturating_sub(len)).max(lo);
+            if capture_len == 0 || end <= lo {
+                return if lo < capture_len { Some(lo) } else { None };
+            }
+            Some(rng.gen_range(lo..end))
+        };
+        for _ in 0..spec.bursts {
+            if let Some(start) = place(&mut rng, spec.burst_len) {
+                events.push(FaultEvent {
+                    kind: FaultKind::Burst {
+                        gain: spec.burst_gain,
+                    },
+                    start,
+                    len: spec.burst_len.min(capture_len - start),
+                });
+            }
+        }
+        for _ in 0..spec.dropouts {
+            if let Some(start) = place(&mut rng, spec.dropout_len) {
+                events.push(FaultEvent {
+                    kind: FaultKind::Dropout,
+                    start,
+                    len: spec.dropout_len.min(capture_len - start),
+                });
+            }
+        }
+        for _ in 0..spec.impulses {
+            if let Some(start) = place(&mut rng, 1) {
+                events.push(FaultEvent {
+                    kind: FaultKind::Impulse {
+                        gain: spec.impulse_gain,
+                    },
+                    start,
+                    len: 1.min(capture_len - start),
+                });
+            }
+        }
+        for _ in 0..spec.desyncs {
+            if spec.max_slip == 0 {
+                continue;
+            }
+            if let Some(start) = place(&mut rng, spec.desync_len) {
+                let antenna = rng.gen_range(0..usize::MAX); // bound at apply time
+                let slip = rng.gen_range(1..spec.max_slip + 1);
+                events.push(FaultEvent {
+                    kind: FaultKind::Desync { antenna, slip },
+                    start,
+                    len: spec.desync_len.min(capture_len - start),
+                });
+            }
+        }
+        if spec.truncate_frac < 1.0 {
+            let keep = ((spec.truncate_frac.max(0.0)) * capture_len as f64) as usize;
+            events.push(FaultEvent {
+                kind: FaultKind::Truncate,
+                start: keep,
+                len: 0,
+            });
+        }
+        // Sort for a canonical application order independent of the
+        // generation sequence above (truncation last so spans are
+        // measured against the full capture).
+        events.sort_by_key(|e| {
+            (
+                matches!(e.kind, FaultKind::Truncate) as usize,
+                e.start,
+                e.len,
+            )
+        });
+        Self {
+            events,
+            noise_seed: seed ^ 0xA076_1D64_78BD_642F,
+            capture_len,
+        }
+    }
+
+    /// The generated events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The sample span `[start, end)` covering every event, or `None` for
+    /// an empty schedule. Samples at or past `end` are untouched — the
+    /// basis for "recovers after the fault window" assertions.
+    pub fn window(&self) -> Option<(usize, usize)> {
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for e in &self.events {
+            match e.kind {
+                // Truncation affects everything from its start onward.
+                FaultKind::Truncate => {
+                    lo = lo.min(e.start);
+                    hi = hi.max(self.capture_len);
+                }
+                _ => {
+                    lo = lo.min(e.start);
+                    hi = hi.max(e.start + e.len);
+                }
+            }
+        }
+        if lo == usize::MAX {
+            None
+        } else {
+            Some((lo, hi))
+        }
+    }
+
+    /// Applies every event to the per-antenna capture in place. Antenna
+    /// vectors may end up shorter (truncation) but are kept equal-length.
+    pub fn apply(&self, rx: &mut [Vec<Complex64>]) -> FaultReport {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.noise_seed);
+        let mut report = FaultReport {
+            events: self.events.clone(),
+            ..FaultReport::default()
+        };
+        for event in &self.events {
+            match event.kind {
+                FaultKind::Burst { gain } => {
+                    for ant in rx.iter_mut() {
+                        let end = (event.start + event.len).min(ant.len());
+                        let start = event.start.min(ant.len());
+                        for s in ant.iter_mut().take(end).skip(start) {
+                            // Box-Muller-free: two uniforms centred at 0
+                            // are noise enough for a jammer burst, and
+                            // cheaper to keep bit-stable.
+                            let re: f64 = rng.gen_range(-1.0..1.0);
+                            let im: f64 = rng.gen_range(-1.0..1.0);
+                            *s = Complex64::new(gain * re, gain * im);
+                            report.corrupted_samples += 1;
+                        }
+                    }
+                }
+                FaultKind::Dropout => {
+                    for ant in rx.iter_mut() {
+                        let end = (event.start + event.len).min(ant.len());
+                        let start = event.start.min(ant.len());
+                        for s in ant.iter_mut().take(end).skip(start) {
+                            *s = Complex64::new(0.0, 0.0);
+                            report.zeroed_samples += 1;
+                        }
+                    }
+                }
+                FaultKind::Impulse { gain } => {
+                    // Alternate the impulse phase deterministically.
+                    let re: f64 = rng.gen_range(-1.0..1.0);
+                    let im: f64 = rng.gen_range(-1.0..1.0);
+                    for ant in rx.iter_mut() {
+                        if event.start < ant.len() {
+                            ant[event.start] += Complex64::new(gain * re, gain * im);
+                            report.corrupted_samples += 1;
+                        }
+                    }
+                }
+                FaultKind::Desync { antenna, slip } => {
+                    if rx.is_empty() {
+                        continue;
+                    }
+                    let antenna = antenna % rx.len();
+                    let ant = &mut rx[antenna];
+                    if event.start >= ant.len() || slip == 0 {
+                        continue;
+                    }
+                    let end = (event.start + event.len).min(ant.len());
+                    let slip = slip.min(end - event.start);
+                    // Shift the event span left by `slip` (samples drop
+                    // out at the event start), zero-fill the gap at the
+                    // event end so the stream realigns afterwards.
+                    ant.copy_within(event.start + slip..end, event.start);
+                    for s in &mut ant[end - slip..end] {
+                        *s = Complex64::new(0.0, 0.0);
+                        report.zeroed_samples += 1;
+                    }
+                }
+                FaultKind::Truncate => {
+                    for ant in rx.iter_mut() {
+                        if event.start < ant.len() {
+                            report.truncated_samples += ant.len() - event.start;
+                            ant.truncate(event.start);
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture(n_ant: usize, len: usize) -> Vec<Vec<Complex64>> {
+        (0..n_ant)
+            .map(|a| {
+                (0..len)
+                    .map(|i| Complex64::new(1.0 + a as f64, i as f64 * 1e-3))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn generation_is_pure_in_seed() {
+        let spec = FaultSpec::default();
+        let a = FaultSchedule::generate(&spec, 10_000, 42);
+        let b = FaultSchedule::generate(&spec, 10_000, 42);
+        let c = FaultSchedule::generate(&spec, 10_000, 43);
+        assert_eq!(a.events(), b.events());
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn apply_is_deterministic() {
+        let spec = FaultSpec::harsh_mid_capture();
+        let sched = FaultSchedule::generate(&spec, 8_000, 7);
+        let mut x = capture(2, 8_000);
+        let mut y = capture(2, 8_000);
+        let ra = sched.apply(&mut x);
+        let rb = sched.apply(&mut y);
+        assert_eq!(x, y);
+        assert_eq!(ra, rb);
+        assert!(ra.corrupted_samples > 0);
+        assert!(ra.zeroed_samples > 0);
+    }
+
+    #[test]
+    fn window_confines_all_damage() {
+        let spec = FaultSpec::harsh_mid_capture();
+        let len = 20_000;
+        let sched = FaultSchedule::generate(&spec, len, 99);
+        let clean = capture(2, len);
+        let mut dirty = clean.clone();
+        sched.apply(&mut dirty);
+        let (lo, hi) = sched.window().expect("events exist");
+        assert!(lo >= (0.25 * len as f64) as usize);
+        // Events start inside the window; spans may run past its upper
+        // fraction but never past the capture.
+        assert!(hi <= len);
+        for (c, d) in clean.iter().zip(&dirty) {
+            assert_eq!(c[..lo], d[..lo], "samples before the window changed");
+            assert_eq!(c[hi..], d[hi..], "samples after the window changed");
+        }
+    }
+
+    #[test]
+    fn none_schedule_is_identity() {
+        let sched = FaultSchedule::generate(&FaultSpec::none(), 5_000, 1);
+        assert!(sched.events().is_empty());
+        assert_eq!(sched.window(), None);
+        let clean = capture(2, 5_000);
+        let mut x = clean.clone();
+        let report = sched.apply(&mut x);
+        assert_eq!(x, clean);
+        assert_eq!(report.corrupted_samples + report.zeroed_samples, 0);
+    }
+
+    #[test]
+    fn truncation_shortens_every_antenna_equally() {
+        let spec = FaultSpec {
+            truncate_frac: 0.5,
+            ..FaultSpec::none()
+        };
+        let sched = FaultSchedule::generate(&spec, 4_000, 3);
+        let mut x = capture(3, 4_000);
+        let report = sched.apply(&mut x);
+        assert!(x.iter().all(|a| a.len() == 2_000));
+        assert_eq!(report.truncated_samples, 3 * 2_000);
+    }
+
+    #[test]
+    fn desync_preserves_length_and_realigns_after_event() {
+        let spec = FaultSpec {
+            desyncs: 1,
+            max_slip: 4,
+            desync_len: 100,
+            window: (0.2, 0.5),
+            ..FaultSpec::none()
+        };
+        let len = 2_000;
+        let sched = FaultSchedule::generate(&spec, len, 11);
+        let clean = capture(2, len);
+        let mut x = clean.clone();
+        sched.apply(&mut x);
+        let (_, hi) = sched.window().expect("one desync event");
+        for (c, d) in clean.iter().zip(&x) {
+            assert_eq!(c.len(), d.len(), "desync must not change length");
+            assert_eq!(c[hi..], d[hi..], "streams must realign after event");
+        }
+    }
+
+    #[test]
+    fn degenerate_captures_do_not_panic() {
+        let spec = FaultSpec::harsh_mid_capture();
+        for len in [0usize, 1, 2, 63] {
+            let sched = FaultSchedule::generate(&spec, len, 5);
+            let mut x = capture(2, len);
+            sched.apply(&mut x);
+            let mut empty: Vec<Vec<Complex64>> = Vec::new();
+            sched.apply(&mut empty);
+        }
+    }
+}

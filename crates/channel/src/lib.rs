@@ -14,10 +14,13 @@
 //! * [`impairments`] — CFO, SFO, timing offset, IQ imbalance, DC offset,
 //!   ADC quantization,
 //! * [`sim`] — the composable [`sim::ChannelSim`] pipeline with ground
-//!   truth for estimator-accuracy experiments.
+//!   truth for estimator-accuracy experiments,
+//! * [`faults`] — deterministic seeded fault schedules (bursts, dropouts,
+//!   impulses, desync, truncation) for chaos testing the receiver.
 
 pub mod doppler;
 pub mod fading;
+pub mod faults;
 pub mod impairments;
 pub mod noise;
 pub mod sim;
@@ -25,5 +28,6 @@ pub mod tgn;
 
 pub use doppler::{JakesProcess, TimeVaryingChannel};
 pub use fading::{MimoChannelMatrix, TappedDelayLine};
+pub use faults::{FaultEvent, FaultKind, FaultReport, FaultSchedule, FaultSpec};
 pub use sim::{ChannelConfig, ChannelSim, ChannelTruth, Fading};
 pub use tgn::TgnModel;

@@ -1,0 +1,212 @@
+//! Chaos harness: multi-frame link captures under seeded fault schedules.
+//!
+//! One chaos trial builds a capture of `n_frames` back-to-back frames,
+//! passes it through the channel simulator, applies a deterministic
+//! [`FaultSchedule`], then lets [`Receiver::scan`] pick up the pieces.
+//! Frames are classified against the schedule's damage window — inside it
+//! (allowed to die) versus after it (must mostly survive) — into
+//! [`LinkStats::recovery`], which is what `tests/chaos_soak.rs` and the
+//! `fig_chaos` figure assert on.
+//!
+//! Everything is a pure function of `(config, seed)`: trial seeds derive
+//! with the sweep engine's [`mix`], so a chaos sweep is bit-identical at
+//! any `--threads` count.
+
+use crate::config::{RxConfig, TxConfig};
+use crate::link::LinkStats;
+use crate::rx::Receiver;
+use crate::sweep::{mix, ShardCtx, SweepResult, SweepSpec};
+use crate::tx::Transmitter;
+use mimonet_channel::{ChannelConfig, ChannelSim, FaultReport, FaultSchedule, FaultSpec};
+use mimonet_dsp::complex::Complex64;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for one chaos capture.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// MCS index for every frame.
+    pub mcs: u8,
+    /// PSDU length per frame, octets.
+    pub payload_len: usize,
+    /// Frames in the capture.
+    pub n_frames: usize,
+    /// Silence between frames, samples.
+    pub gap: usize,
+    /// Silence before the first frame, samples.
+    pub lead_in: usize,
+    /// Channel between the radios.
+    pub channel: ChannelConfig,
+    /// Receiver settings.
+    pub rx: RxConfig,
+    /// The fault schedule specification.
+    pub faults: FaultSpec,
+}
+
+impl ChaosConfig {
+    /// A chaos capture of `n_frames` frames at `mcs` over `channel` with
+    /// `faults`; receiver sized to the channel.
+    pub fn new(mcs: u8, n_frames: usize, channel: ChannelConfig, faults: FaultSpec) -> Self {
+        let rx = RxConfig::new(channel.n_rx);
+        Self {
+            mcs,
+            payload_len: 80,
+            n_frames,
+            gap: 240,
+            lead_in: 160,
+            channel,
+            rx,
+            faults,
+        }
+    }
+}
+
+/// Runs one seeded chaos capture, folding delivery and recovery counts
+/// into `stats`. Returns what the fault schedule did to the samples.
+///
+/// Frame classification against the schedule's damage window
+/// ([`FaultSchedule::window`]): a frame whose samples overlap the window
+/// is *faulted* (allowed to fail); a frame starting at or after the
+/// window's end is *post-fault* (counted toward
+/// [`crate::metrics::RecoveryCounter::post_fault_recovery`]). With an
+/// empty schedule every frame counts as post-fault, so the recovery
+/// metric degenerates to plain delivery rate.
+pub fn run_chaos_capture(cfg: &ChaosConfig, seed: u64, stats: &mut LinkStats) -> FaultReport {
+    let tx = Transmitter::new(TxConfig::new(cfg.mcs).expect("valid MCS"));
+    let n_tx = tx.mcs().n_streams;
+    assert_eq!(
+        cfg.channel.n_tx, n_tx,
+        "channel n_tx must match the MCS stream count"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // --- Build the multi-frame TX capture ---
+    let mut capture: Vec<Vec<Complex64>> = vec![vec![Complex64::ZERO; cfg.lead_in]; n_tx];
+    // (sample span in the capture, PSDU) per frame.
+    let mut sent: Vec<((usize, usize), Vec<u8>)> = Vec::with_capacity(cfg.n_frames);
+    for _ in 0..cfg.n_frames {
+        let psdu: Vec<u8> = (0..cfg.payload_len).map(|_| rng.gen()).collect();
+        let streams = tx.transmit(&psdu).expect("valid PSDU");
+        let start = capture[0].len();
+        let end = start + streams[0].len();
+        for (c, s) in capture.iter_mut().zip(&streams) {
+            c.extend_from_slice(s);
+            c.extend(std::iter::repeat_n(Complex64::ZERO, cfg.gap));
+        }
+        sent.push(((start, end), psdu));
+    }
+
+    // --- Channel, then faults on the received samples ---
+    let mut sim = ChannelSim::new(cfg.channel.clone(), seed ^ 0x9E37_79B9_7F4A_7C15);
+    let (mut rx_streams, _truth) = sim.apply(&capture);
+    let capture_len = rx_streams.iter().map(|a| a.len()).min().unwrap_or(0);
+    let sched = FaultSchedule::generate(&cfg.faults, capture_len, seed ^ 0xC3A5_C85C_97CB_3127);
+    let report = sched.apply(&mut rx_streams);
+
+    // --- Scan and score ---
+    let receiver = Receiver::new(cfg.rx.clone());
+    let (frames, scan) = receiver.scan(&rx_streams);
+    stats.recovery.record_events(report.events.len() as u64);
+    stats.recovery.record_rescans(scan.rescans as u64);
+
+    let mut claimed = vec![false; frames.len()];
+    for ((start, end), psdu) in &sent {
+        let delivered = frames
+            .iter()
+            .enumerate()
+            .find(|(i, (_, f))| !claimed[*i] && &f.psdu == psdu)
+            .map(|(i, _)| i);
+        if let Some(i) = delivered {
+            claimed[i] = true;
+        }
+        let ok = delivered.is_some();
+        if ok {
+            stats.per.record_ok();
+        } else {
+            stats.per.record_sync_failure();
+        }
+        match sched.window() {
+            Some((lo, hi)) if *start < hi && *end > lo => stats.recovery.record_faulted(ok),
+            Some((_, hi)) if *start >= hi => stats.recovery.record_post_fault(ok),
+            Some(_) => {} // entirely before the window: plain traffic
+            None => stats.recovery.record_post_fault(ok),
+        }
+    }
+    report
+}
+
+/// Standard shard body for chaos sweeps: `ctx.trials` independent seeded
+/// captures, each with its own derived seed.
+pub fn chaos_shard(cfg: &ChaosConfig, ctx: &ShardCtx, stats: &mut LinkStats) {
+    for t in 0..ctx.trials {
+        let capture_seed = mix(ctx.seed ^ mix(0x0063_6861_6F73 ^ (ctx.trial_offset + t) as u64));
+        run_chaos_capture(cfg, capture_seed, stats);
+    }
+}
+
+/// Runs a chaos-config sweep to completion — composes with the parallel
+/// engine bit-identically at any thread count.
+pub fn run_chaos(spec: &SweepSpec<ChaosConfig>) -> SweepResult<LinkStats> {
+    spec.run(chaos_shard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> ChaosConfig {
+        ChaosConfig::new(
+            8,
+            4,
+            ChannelConfig::awgn(2, 2, 30.0),
+            FaultSpec::harsh_mid_capture(),
+        )
+    }
+
+    #[test]
+    fn fault_free_capture_delivers_everything() {
+        let cfg = ChaosConfig {
+            faults: FaultSpec::none(),
+            ..base_cfg()
+        };
+        let mut stats = LinkStats::default();
+        let report = run_chaos_capture(&cfg, 5, &mut stats);
+        assert!(report.events.is_empty());
+        assert_eq!(stats.per.sent(), 4);
+        assert_eq!(stats.per.ok(), 4, "clean capture: {:?}", stats.per);
+        assert_eq!(stats.recovery.post_fault(), (4, 4));
+        assert_eq!(stats.recovery.post_fault_recovery(), 1.0);
+    }
+
+    #[test]
+    fn faulted_capture_is_damaged_but_accounted() {
+        let cfg = base_cfg();
+        let mut stats = LinkStats::default();
+        let report = run_chaos_capture(&cfg, 11, &mut stats);
+        assert!(!report.events.is_empty());
+        assert!(report.corrupted_samples + report.zeroed_samples > 0);
+        assert_eq!(stats.per.sent(), 4);
+        let (f_sent, _) = stats.recovery.faulted();
+        let (p_sent, _) = stats.recovery.post_fault();
+        assert!(
+            f_sent + p_sent <= 4,
+            "classified frames cannot exceed transmitted"
+        );
+    }
+
+    #[test]
+    fn captures_reproduce_per_seed() {
+        let cfg = base_cfg();
+        let run = |seed| {
+            let mut stats = LinkStats::default();
+            run_chaos_capture(&cfg, seed, &mut stats);
+            (
+                stats.per.ok(),
+                stats.recovery.rescans(),
+                stats.recovery.post_fault(),
+            )
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

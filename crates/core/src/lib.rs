@@ -15,10 +15,13 @@
 //! * [`adapt`] — SNR-threshold link adaptation with hysteresis and loss
 //!   fallback,
 //! * [`sweep`] — the deterministic parallel Monte-Carlo sweep engine
-//!   every figure binary runs on.
+//!   every figure binary runs on,
+//! * [`chaos`] — multi-frame captures under seeded fault schedules, with
+//!   recovery accounting (the robustness test harness).
 
 pub mod adapt;
 pub mod blocks;
+pub mod chaos;
 pub mod config;
 pub mod link;
 pub mod metrics;
@@ -28,9 +31,10 @@ pub mod tx;
 
 pub use adapt::{RateController, SnrThresholdTable};
 pub use blocks::{build_link_flowgraph, ChannelBlock, RxBlock, TxBlock};
+pub use chaos::{chaos_shard, run_chaos, run_chaos_capture, ChaosConfig};
 pub use config::{RxConfig, TxConfig};
 pub use link::{LinkConfig, LinkSim, LinkStats};
-pub use metrics::{BerCounter, PerCounter};
-pub use rx::{Receiver, RxError, RxFrame};
+pub use metrics::{BerCounter, PerCounter, RecoveryCounter};
+pub use rx::{Receiver, RxError, RxFrame, ScanStats, MAX_FRAME_SPAN};
 pub use sweep::{run_link, run_link_until_errors, Merge, ShardCtx, SweepResult, SweepSpec};
 pub use tx::{Transmitter, TxError};

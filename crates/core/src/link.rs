@@ -3,7 +3,7 @@
 //! EXPERIMENTS.md is a sweep over [`LinkSim`] runs.
 
 use crate::config::{RxConfig, TxConfig};
-use crate::metrics::{BerCounter, PerCounter};
+use crate::metrics::{BerCounter, PerCounter, RecoveryCounter};
 use crate::rx::{Receiver, RxError};
 use crate::tx::Transmitter;
 use mimonet_channel::{ChannelConfig, ChannelSim};
@@ -69,6 +69,9 @@ pub struct LinkStats {
     /// Timing estimation error in samples (flat channels only; multipath
     /// makes "true" timing ambiguous).
     pub timing_error: Running,
+    /// Fault-injection and recovery accounting. Stays all-zero for
+    /// ordinary (fault-free) links; populated by the chaos harness.
+    pub recovery: RecoveryCounter,
 }
 
 impl LinkStats {
@@ -85,6 +88,7 @@ impl LinkStats {
         self.evm_snr_db.merge(&other.evm_snr_db);
         self.cfo_error.merge(&other.cfo_error);
         self.timing_error.merge(&other.timing_error);
+        self.recovery.merge(&other.recovery);
     }
 }
 
@@ -98,6 +102,7 @@ impl serde::Serialize for LinkStats {
             ("evm_snr_db", self.evm_snr_db.serialize()),
             ("cfo_error", self.cfo_error.serialize()),
             ("timing_error", self.timing_error.serialize()),
+            ("recovery", self.recovery.serialize()),
         ])
     }
 }

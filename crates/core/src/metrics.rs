@@ -189,6 +189,108 @@ impl serde::Serialize for PerCounter {
     }
 }
 
+/// Fault-and-recovery instrumentation for chaos experiments: how much
+/// damage a fault schedule did and, separately, how the link performed on
+/// frames inside versus after the fault window. The headline number is
+/// [`Self::post_fault_recovery`] — the fraction of post-window frames
+/// delivered intact, the "link comes back when the interference stops"
+/// metric the chaos suite asserts on.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryCounter {
+    fault_events: u64,
+    rescans: u64,
+    faulted_sent: u64,
+    faulted_ok: u64,
+    post_fault_sent: u64,
+    post_fault_ok: u64,
+}
+
+impl RecoveryCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` injected fault events.
+    pub fn record_events(&mut self, n: u64) {
+        self.fault_events += n;
+    }
+
+    /// Records `n` error-driven receiver re-scans.
+    pub fn record_rescans(&mut self, n: u64) {
+        self.rescans += n;
+    }
+
+    /// Records a frame whose samples overlapped the fault window.
+    pub fn record_faulted(&mut self, ok: bool) {
+        self.faulted_sent += 1;
+        self.faulted_ok += u64::from(ok);
+    }
+
+    /// Records a frame transmitted entirely after the fault window.
+    pub fn record_post_fault(&mut self, ok: bool) {
+        self.post_fault_sent += 1;
+        self.post_fault_ok += u64::from(ok);
+    }
+
+    /// Injected fault events.
+    pub fn fault_events(&self) -> u64 {
+        self.fault_events
+    }
+
+    /// Receiver re-scans.
+    pub fn rescans(&self) -> u64 {
+        self.rescans
+    }
+
+    /// Frames overlapping the fault window: (sent, delivered).
+    pub fn faulted(&self) -> (u64, u64) {
+        (self.faulted_sent, self.faulted_ok)
+    }
+
+    /// Frames after the fault window: (sent, delivered).
+    pub fn post_fault(&self) -> (u64, u64) {
+        (self.post_fault_sent, self.post_fault_ok)
+    }
+
+    /// Delivered fraction of post-window frames; 1.0 when none were sent
+    /// (no post-window traffic means nothing failed to recover).
+    pub fn post_fault_recovery(&self) -> f64 {
+        if self.post_fault_sent == 0 {
+            1.0
+        } else {
+            self.post_fault_ok as f64 / self.post_fault_sent as f64
+        }
+    }
+
+    /// Merges another counter.
+    pub fn merge(&mut self, other: &RecoveryCounter) {
+        self.fault_events += other.fault_events;
+        self.rescans += other.rescans;
+        self.faulted_sent += other.faulted_sent;
+        self.faulted_ok += other.faulted_ok;
+        self.post_fault_sent += other.post_fault_sent;
+        self.post_fault_ok += other.post_fault_ok;
+    }
+}
+
+impl serde::Serialize for RecoveryCounter {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::object([
+            ("fault_events", self.fault_events.serialize()),
+            ("rescans", self.rescans.serialize()),
+            ("faulted_sent", self.faulted_sent.serialize()),
+            ("faulted_ok", self.faulted_ok.serialize()),
+            ("post_fault_sent", self.post_fault_sent.serialize()),
+            ("post_fault_ok", self.post_fault_ok.serialize()),
+            (
+                "post_fault_recovery",
+                self.post_fault_recovery().serialize(),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +362,28 @@ mod tests {
         let g = p.goodput_mbps(1500, 100.0);
         assert!((g - 96.0).abs() < 1e-9);
         assert_eq!(PerCounter::new().goodput_mbps(100, 100.0), 0.0);
+    }
+
+    #[test]
+    fn recovery_counting_and_merge() {
+        let mut r = RecoveryCounter::new();
+        assert_eq!(r.post_fault_recovery(), 1.0, "vacuous recovery is 1.0");
+        r.record_events(3);
+        r.record_rescans(2);
+        r.record_faulted(false);
+        r.record_faulted(true);
+        r.record_post_fault(true);
+        r.record_post_fault(true);
+        r.record_post_fault(false);
+        assert_eq!(r.fault_events(), 3);
+        assert_eq!(r.rescans(), 2);
+        assert_eq!(r.faulted(), (2, 1));
+        assert_eq!(r.post_fault(), (3, 2));
+        assert!((r.post_fault_recovery() - 2.0 / 3.0).abs() < 1e-12);
+        let mut other = RecoveryCounter::new();
+        other.record_post_fault(true);
+        r.merge(&other);
+        assert_eq!(r.post_fault(), (4, 3));
     }
 
     #[test]

@@ -107,6 +107,28 @@ impl std::fmt::Display for RxError {
 
 impl std::error::Error for RxError {}
 
+/// Upper bound on the samples one frame can legally span: preamble plus
+/// the data symbols of a maximum-length (65535-byte) PSDU at the lowest
+/// rate (MCS0, 26 data bits/symbol ⇒ ~20.2k symbols × 80 samples), with
+/// headroom for detection lead-in. [`Receiver::scan`] windows each decode
+/// attempt to this span so a corrupt length field cannot make the
+/// receiver chew through (or allocate proportionally to) an arbitrarily
+/// long capture.
+pub const MAX_FRAME_SPAN: usize = 1_700_000;
+
+/// Robustness statistics from one [`Receiver::scan`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Frames successfully decoded.
+    pub frames: usize,
+    /// Error-driven skip-ahead re-scans (every non-`NoPacket` failure).
+    pub rescans: usize,
+    /// Failures before the headers: lost sync, short buffer, detector.
+    pub sync_errors: usize,
+    /// Failures decoding L-SIG / HT-SIG or validating their fields.
+    pub header_errors: usize,
+}
+
 /// The receiver. Reusable across frames.
 #[derive(Clone, Debug)]
 pub struct Receiver {
@@ -137,23 +159,63 @@ impl Receiver {
     /// cannot stall the stream; the scan ends at the first stretch with no
     /// detectable packet.
     pub fn receive_all(&self, rx: &[Vec<Complex64>]) -> Vec<(usize, RxFrame)> {
+        self.scan(rx).0
+    }
+
+    /// [`Self::receive_all`] plus per-capture robustness statistics.
+    ///
+    /// Hardening over a naive scan loop, all reachable under injected
+    /// faults:
+    ///
+    /// * per-antenna buffers of *unequal* length are scanned up to the
+    ///   shortest (a desynchronized or partially-truncated capture must
+    ///   degrade, not index out of bounds);
+    /// * each `receive` call sees a window of at most [`MAX_FRAME_SPAN`]
+    ///   samples, so the work and allocations a corrupt HT-SIG can trigger
+    ///   are bounded by the longest legal frame, not the capture length;
+    /// * after `SyncLost` / a failed header the scan skips ahead and
+    ///   re-scans instead of aborting the capture, and a persistent
+    ///   [`RxError::AntennaMismatch`] (a config error, not a channel
+    ///   condition) stops the scan instead of looping on it.
+    pub fn scan(&self, rx: &[Vec<Complex64>]) -> (Vec<(usize, RxFrame)>, ScanStats) {
         const ERROR_STRIDE: usize = 400;
-        let len = rx.first().map_or(0, |a| a.len());
+        let len = rx.iter().map(|a| a.len()).min().unwrap_or(0);
         let mut out = Vec::new();
+        let mut stats = ScanStats::default();
         let mut offset = 0usize;
         while offset + 640 < len {
-            let window: Vec<Vec<Complex64>> = rx.iter().map(|a| a[offset..].to_vec()).collect();
+            let hi = (offset + MAX_FRAME_SPAN).min(len);
+            let window: Vec<Vec<Complex64>> = rx.iter().map(|a| a[offset..hi].to_vec()).collect();
             match self.receive(&window) {
                 Ok(frame) => {
                     let end = frame.frame_end;
                     out.push((offset, frame));
                     offset += end.max(ERROR_STRIDE);
                 }
-                Err(RxError::NoPacket) => break,
-                Err(_) => offset += ERROR_STRIDE,
+                Err(RxError::NoPacket) => {
+                    if hi == len {
+                        break;
+                    }
+                    // Nothing in this window, but the capture continues:
+                    // slide forward, overlapping by one detection span so a
+                    // frame straddling the boundary is still found.
+                    offset = hi - 640;
+                }
+                Err(RxError::AntennaMismatch { .. }) => break,
+                Err(e) => {
+                    stats.rescans += 1;
+                    match e {
+                        RxError::LSig(_) | RxError::HtSig(_) | RxError::TooManyStreams { .. } => {
+                            stats.header_errors += 1
+                        }
+                        _ => stats.sync_errors += 1,
+                    }
+                    offset += ERROR_STRIDE;
+                }
             }
         }
-        out
+        stats.frames = out.len();
+        (out, stats)
     }
 
     /// Attempts to detect and decode one frame from per-antenna buffers.
@@ -301,7 +363,11 @@ impl Receiver {
         let mut htsig_bits = decode_hard(&to_symbols(&coded)).map_err(|_| RxError::SyncLost)?;
         htsig_bits.extend_from_slice(&[0; 6]);
         let htsig = HtSig::decode(&htsig_bits).map_err(RxError::HtSig)?;
-        let mcs = Mcs::from_index(htsig.mcs).expect("validated by HtSig::decode");
+        // Do NOT trust the decode-time validation here: these bits came off
+        // the air, and a corrupt-but-CRC-colliding HT-SIG reaching an
+        // `expect` would let attacker-controlled input panic the receiver.
+        let mcs =
+            Mcs::from_index(htsig.mcs).map_err(|_| RxError::HtSig(SigError::BadMcs(htsig.mcs)))?;
         let n_ss = mcs.n_streams;
         if n_ss > self.cfg.n_rx {
             return Err(RxError::TooManyStreams {

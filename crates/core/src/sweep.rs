@@ -144,7 +144,9 @@ impl<T: Merge + Clone> Merge for Vec<T> {
 }
 
 /// SplitMix64 finalizer — the hash behind the seed-derivation scheme.
-fn mix(mut z: u64) -> u64 {
+/// Public so downstream seeded subsystems (the chaos harness's per-trial
+/// capture seeds) derive independent streams the same way the engine does.
+pub fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

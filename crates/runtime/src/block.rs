@@ -8,8 +8,41 @@
 use crate::buffer::{convert, InputBuffer, Item, OutputBuffer};
 use crate::message::MessageHub;
 
+/// A typed, recoverable block failure — the alternative to panicking.
+///
+/// A block that hits an unprocessable condition (malformed header,
+/// numerically singular matrix, resource exhaustion) returns
+/// [`WorkStatus::Error`] carrying one of these; the scheduler stops the
+/// graph and surfaces it as `GraphError::BlockFailed` with the block's
+/// name attached, so the failure is diagnosable without a backtrace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockError {
+    /// Short machine-matchable failure class, e.g. `"bad-header"`.
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl BlockError {
+    /// Creates an error with a failure class and detail message.
+    pub fn new(kind: impl Into<String>, detail: impl Into<String>) -> Self {
+        Self {
+            kind: kind.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+impl std::error::Error for BlockError {}
+
 /// What a `work` call accomplished.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum WorkStatus {
     /// Consumed and/or produced something; call again.
     Progress,
@@ -18,6 +51,9 @@ pub enum WorkStatus {
     /// This block will never produce again (source exhausted, or all
     /// upstreams finished and residual input processed).
     Done,
+    /// The block failed in a typed, recoverable way; the scheduler stops
+    /// the graph and reports `GraphError::BlockFailed`.
+    Error(BlockError),
 }
 
 /// Context handed to `work` alongside the stream buffers.

@@ -199,6 +199,17 @@ impl OutputBuffer {
         self.items.len()
     }
 
+    /// Applies `f` to every not-yet-drained item in place, preserving
+    /// offsets and tags. Used by wrapper blocks (fault injection) that
+    /// mutate another block's output before the scheduler ships it;
+    /// a drain-and-repush would advance `write_offset` a second time and
+    /// misalign every downstream tag.
+    pub(crate) fn map_pending(&mut self, mut f: impl FnMut(&mut Item)) {
+        for item in &mut self.items {
+            f(item);
+        }
+    }
+
     /// Drains produced items and tags (scheduler side).
     pub(crate) fn drain(&mut self) -> (Vec<Item>, Vec<Tag>) {
         (

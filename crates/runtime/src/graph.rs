@@ -13,10 +13,11 @@
 // Index-based loops here are the clearer expression of the math
 // (matrix/carrier indexing); silence the iterator-style suggestion.
 #![allow(clippy::needless_range_loop)]
-use crate::block::{Block, BlockCtx, WorkStatus};
+use crate::block::{Block, BlockCtx, BlockError, WorkStatus};
 use crate::buffer::{InputBuffer, OutputBuffer};
 use crate::message::MessageHub;
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Identifies a block inside a flowgraph.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -46,8 +47,14 @@ pub enum GraphError {
     /// No block made progress but not all finished — a livelock (usually a
     /// block that never reports `Done`).
     Deadlock { stuck: Vec<String> },
-    /// A block thread panicked in the threaded scheduler.
-    BlockPanicked { block: String },
+    /// A block thread panicked in the threaded scheduler. `payload` is the
+    /// captured panic message (or a placeholder for non-string payloads).
+    BlockPanicked { block: String, payload: String },
+    /// A block reported a typed [`BlockError`] from `work`.
+    BlockFailed { block: String, error: BlockError },
+    /// The supervisor's watchdog saw no progress from this block for
+    /// longer than the stall timeout while the graph was still unfinished.
+    BlockStalled { block: String, idle: Duration },
 }
 
 impl std::fmt::Display for GraphError {
@@ -87,12 +94,62 @@ impl std::fmt::Display for GraphError {
                     stuck.join(", ")
                 )
             }
-            GraphError::BlockPanicked { block } => write!(f, "block '{block}' panicked"),
+            GraphError::BlockPanicked { block, payload } => {
+                write!(f, "block '{block}' panicked: {payload}")
+            }
+            GraphError::BlockFailed { block, error } => {
+                write!(f, "block '{block}' failed: {error}")
+            }
+            GraphError::BlockStalled { block, idle } => {
+                write!(
+                    f,
+                    "block '{block}' stalled: no progress for {:.3} s",
+                    idle.as_secs_f64()
+                )
+            }
+        }
+    }
+}
+
+/// Supervision knobs for [`Flowgraph::run_threaded_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorConfig {
+    /// A non-finished block with no healthy activity for this long is
+    /// reported as [`GraphError::BlockStalled`] and the graph cancelled.
+    pub stall_timeout: Duration,
+    /// How often the supervisor wakes to run the watchdog when no worker
+    /// outcome is arriving.
+    pub poll_interval: Duration,
+    /// After cancellation, how long to wait for workers to acknowledge
+    /// before detaching their threads (a thread wedged *inside* one `work`
+    /// call cannot be interrupted; it is abandoned so the caller returns).
+    pub join_grace: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            stall_timeout: Duration::from_secs(5),
+            poll_interval: Duration::from_millis(5),
+            join_grace: Duration::from_millis(200),
         }
     }
 }
 
 impl std::error::Error for GraphError {}
+
+/// Extracts a human-readable message from a `catch_unwind`/`join` payload.
+/// `panic!("...")` and `panic!(String)` cover essentially every panic in
+/// practice; anything else gets a placeholder rather than being dropped.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 struct Entry {
     block: Box<dyn Block>,
@@ -256,6 +313,12 @@ impl Flowgraph {
                             inputs[di][dp].upstream_done = true;
                         }
                     }
+                    WorkStatus::Error(error) => {
+                        return Err(GraphError::BlockFailed {
+                            block: self.blocks[i].name.clone(),
+                            error,
+                        });
+                    }
                 }
             }
             if done.iter().all(|&d| d) {
@@ -275,15 +338,47 @@ impl Flowgraph {
     }
 
     /// Runs one thread per block, edges as bounded channels (the
-    /// thread-per-block model). Results are identical to [`Flowgraph::run`]
-    /// for well-behaved blocks; ordering of message-hub publications may
-    /// differ.
+    /// thread-per-block model), under the default [`SupervisorConfig`].
+    /// Results are identical to [`Flowgraph::run`] for well-behaved
+    /// blocks; ordering of message-hub publications may differ.
     pub fn run_threaded(self, hub: std::sync::Arc<MessageHub>) -> Result<(), GraphError> {
+        self.run_threaded_with(hub, SupervisorConfig::default())
+    }
+
+    /// Threaded scheduler with explicit supervision: every block body runs
+    /// under `catch_unwind`, a panic or [`WorkStatus::Error`] cancels the
+    /// remaining threads promptly, and a watchdog converts a block that
+    /// stops making progress into [`GraphError::BlockStalled`] instead of
+    /// hanging the caller. The call always terminates — a thread wedged
+    /// inside a single `work` invocation is detached after `join_grace`.
+    pub fn run_threaded_with(
+        self,
+        hub: std::sync::Arc<MessageHub>,
+        sup: SupervisorConfig,
+    ) -> Result<(), GraphError> {
         self.validate()?;
-        use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+        use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Arc;
+        use std::time::Instant;
         type Chunk = (Vec<crate::buffer::Item>, Vec<crate::buffer::Tag>);
 
+        /// How a worker thread ended, reported to the supervisor.
+        enum Outcome {
+            /// The block reported `Done` (or was a starved source).
+            Finished,
+            /// The worker saw the cancel flag and bailed out.
+            Cancelled,
+            /// The block returned `WorkStatus::Error`.
+            Failed(BlockError),
+            /// `work` panicked; the payload was captured.
+            Panicked(String),
+        }
+
         let n = self.blocks.len();
+        if n == 0 {
+            return Ok(());
+        }
         // Build channels per edge.
         let mut senders: Vec<Vec<Option<Sender<Chunk>>>> = self
             .blocks
@@ -301,7 +396,13 @@ impl Flowgraph {
             receivers[di][dp] = Some(rx);
         }
 
-        let mut handles = Vec::with_capacity(n);
+        let start = Instant::now();
+        let cancel = Arc::new(AtomicBool::new(false));
+        // Per-block "last healthy activity" timestamp, in ms since `start`.
+        let heartbeats: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let (report_tx, report_rx) = unbounded::<(usize, Outcome)>();
+
+        let mut handles: Vec<Option<std::thread::JoinHandle<()>>> = Vec::with_capacity(n);
         let mut names = Vec::with_capacity(n);
         for (i, entry) in self.blocks.into_iter().enumerate() {
             let mut block = entry.block;
@@ -317,11 +418,20 @@ impl Flowgraph {
             let hub = hub.clone();
             let n_in = entry.n_in;
             let n_out = entry.n_out;
-            handles.push(std::thread::spawn(move || {
+            let cancel = cancel.clone();
+            let heartbeats = heartbeats.clone();
+            let report = report_tx.clone();
+            handles.push(Some(std::thread::spawn(move || {
                 let mut inputs: Vec<InputBuffer> = (0..n_in).map(|_| InputBuffer::new()).collect();
                 let mut outputs: Vec<OutputBuffer> =
                     (0..n_out).map(|_| OutputBuffer::new()).collect();
-                loop {
+                let beat = |hb: &AtomicU64| {
+                    hb.store(start.elapsed().as_millis() as u64, Ordering::Relaxed)
+                };
+                let outcome = 'life: loop {
+                    if cancel.load(Ordering::Relaxed) {
+                        break 'life Outcome::Cancelled;
+                    }
                     // Drain whatever has arrived.
                     for (buf, rx) in inputs.iter_mut().zip(&my_receivers) {
                         loop {
@@ -340,29 +450,75 @@ impl Flowgraph {
                             }
                         }
                     }
-                    let mut ctx = BlockCtx { msgs: &hub };
-                    let status = block.work(&mut inputs, &mut outputs, &mut ctx);
-                    // Ship outputs (with backpressure).
+                    let in_before: usize = inputs.iter().map(|b| b.available()).sum();
+                    let status = {
+                        let mut ctx = BlockCtx { msgs: &hub };
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            block.work(&mut inputs, &mut outputs, &mut ctx)
+                        })) {
+                            Ok(status) => status,
+                            Err(payload) => {
+                                break 'life Outcome::Panicked(panic_message(&*payload))
+                            }
+                        }
+                    };
+                    let produced: usize = outputs.iter().map(|o| o.pending()).sum();
+                    let consumed = inputs.iter().map(|b| b.available()).sum::<usize>() < in_before;
+                    // Ship outputs, keeping backpressure waits cancellable.
                     for (out, tx) in outputs.iter_mut().zip(&my_senders) {
                         let (items, tags) = out.drain();
                         if items.is_empty() && tags.is_empty() {
                             continue;
                         }
-                        if tx.send((items, tags)).is_err() {
-                            // Downstream gone; nothing more to do with this
-                            // port's data.
+                        let mut chunk = (items, tags);
+                        loop {
+                            match tx.try_send(chunk) {
+                                Ok(()) => break,
+                                Err(crossbeam::channel::TrySendError::Full(c)) => {
+                                    if cancel.load(Ordering::Relaxed) {
+                                        break 'life Outcome::Cancelled;
+                                    }
+                                    chunk = c;
+                                    std::thread::sleep(Duration::from_micros(200));
+                                }
+                                Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                                    // Downstream gone; drop this port's data.
+                                    break;
+                                }
+                            }
                         }
                     }
                     match status {
-                        WorkStatus::Done => break,
-                        WorkStatus::Progress => {}
-                        WorkStatus::Blocked => {
-                            // Wait for any input rather than spinning.
-                            if my_receivers.is_empty() {
-                                break; // blocked source = done
+                        WorkStatus::Done => {
+                            beat(&heartbeats[i]);
+                            break 'life Outcome::Finished;
+                        }
+                        WorkStatus::Error(e) => break 'life Outcome::Failed(e),
+                        WorkStatus::Progress => {
+                            // Progress without consuming or producing is a
+                            // busy-loop the watchdog should see through, so
+                            // only real activity refreshes the heartbeat.
+                            if consumed || produced > 0 {
+                                beat(&heartbeats[i]);
                             }
-                            match my_receivers[0].recv_timeout(std::time::Duration::from_millis(1))
+                        }
+                        WorkStatus::Blocked => {
+                            if my_receivers.is_empty() {
+                                // A blocked source can never be unblocked.
+                                beat(&heartbeats[i]);
+                                break 'life Outcome::Finished;
+                            }
+                            // Healthy only while some open upstream could
+                            // still deliver the missing input; Blocked with
+                            // data on every port, or after all upstreams
+                            // finished, ages toward the stall timeout.
+                            if inputs
+                                .iter()
+                                .any(|b| b.available() == 0 && !b.is_finished())
                             {
+                                beat(&heartbeats[i]);
+                            }
+                            match my_receivers[0].recv_timeout(Duration::from_millis(1)) {
                                 Ok((items, tags)) => {
                                     inputs[0].push_items(items);
                                     for t in tags {
@@ -376,19 +532,109 @@ impl Flowgraph {
                             }
                         }
                     }
-                }
+                };
+                let _ = report.send((i, outcome));
                 // Dropping senders signals downstream completion.
-            }));
+            })));
         }
+        drop(report_tx);
 
-        let mut panicked = None;
-        for (h, name) in handles.into_iter().zip(names) {
-            if h.join().is_err() && panicked.is_none() {
-                panicked = Some(name);
+        // Supervisor: collect outcomes, run the watchdog, cancel and
+        // detach as needed. Never blocks indefinitely.
+        let mut first_error: Option<GraphError> = None;
+        let mut finished = vec![false; n];
+        let mut outcomes = 0usize;
+        let mut cancelled_at: Option<Instant> = None;
+        let fail = |err: GraphError,
+                    first_error: &mut Option<GraphError>,
+                    cancelled_at: &mut Option<Instant>| {
+            if first_error.is_none() {
+                *first_error = Some(err);
+            }
+            cancel.store(true, Ordering::Relaxed);
+            cancelled_at.get_or_insert_with(Instant::now);
+        };
+        while outcomes < n {
+            match report_rx.recv_timeout(sup.poll_interval) {
+                Ok((i, outcome)) => {
+                    outcomes += 1;
+                    finished[i] = true;
+                    if let Some(h) = handles[i].take() {
+                        let _ = h.join();
+                    }
+                    match outcome {
+                        Outcome::Finished | Outcome::Cancelled => {}
+                        Outcome::Failed(error) => fail(
+                            GraphError::BlockFailed {
+                                block: names[i].clone(),
+                                error,
+                            },
+                            &mut first_error,
+                            &mut cancelled_at,
+                        ),
+                        Outcome::Panicked(payload) => fail(
+                            GraphError::BlockPanicked {
+                                block: names[i].clone(),
+                                payload,
+                            },
+                            &mut first_error,
+                            &mut cancelled_at,
+                        ),
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(t) = cancelled_at {
+                        if t.elapsed() > sup.join_grace {
+                            // Stragglers are wedged inside `work`; detach
+                            // them so the caller gets its typed error.
+                            break;
+                        }
+                        continue;
+                    }
+                    // Watchdog: blame the stalest unfinished block.
+                    let now_ms = start.elapsed().as_millis() as u64;
+                    let stalest = (0..n)
+                        .filter(|&i| !finished[i])
+                        .map(|i| {
+                            let hb = heartbeats[i].load(Ordering::Relaxed);
+                            (now_ms.saturating_sub(hb), i)
+                        })
+                        .max();
+                    if let Some((idle_ms, i)) = stalest {
+                        if Duration::from_millis(idle_ms) >= sup.stall_timeout {
+                            fail(
+                                GraphError::BlockStalled {
+                                    block: names[i].clone(),
+                                    idle: Duration::from_millis(idle_ms),
+                                },
+                                &mut first_error,
+                                &mut cancelled_at,
+                            );
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        match panicked {
-            Some(block) => Err(GraphError::BlockPanicked { block }),
+        if cancelled_at.is_none() {
+            // Clean finish (or a worker died without reporting): join the
+            // rest; a join error here means our own scheduler code
+            // panicked inside a worker thread.
+            for (h, name) in handles.iter_mut().zip(&names) {
+                if let Some(h) = h.take() {
+                    if let Err(payload) = h.join() {
+                        if first_error.is_none() {
+                            first_error = Some(GraphError::BlockPanicked {
+                                block: name.clone(),
+                                payload: panic_message(&*payload),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        match first_error {
+            Some(err) => Err(err),
             None => Ok(()),
         }
     }
@@ -615,7 +861,128 @@ mod tests {
             .run_threaded(std::sync::Arc::new(MessageHub::new()))
             .unwrap_err();
         match err {
-            GraphError::BlockPanicked { block } => assert_eq!(block, "bomb"),
+            GraphError::BlockPanicked { block, payload } => {
+                assert_eq!(block, "bomb");
+                assert!(payload.contains("boom"), "payload was {payload:?}");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    /// Sink that fails with a typed error on the first delivered item.
+    struct Failing;
+    impl crate::block::Block for Failing {
+        fn name(&self) -> &str {
+            "failing"
+        }
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn num_outputs(&self) -> usize {
+            0
+        }
+        fn work(
+            &mut self,
+            i: &mut [InputBuffer],
+            _o: &mut [OutputBuffer],
+            _c: &mut BlockCtx<'_>,
+        ) -> WorkStatus {
+            if i[0].available() > 0 {
+                return WorkStatus::Error(crate::block::BlockError::new(
+                    "decode",
+                    "checksum mismatch",
+                ));
+            }
+            if i[0].is_finished() {
+                WorkStatus::Done
+            } else {
+                WorkStatus::Blocked
+            }
+        }
+    }
+
+    #[test]
+    fn single_threaded_scheduler_surfaces_typed_errors() {
+        let mut fg = Flowgraph::new();
+        let src = fg.add(VectorSource::new(vec![Item::Byte(1)]));
+        let bad = fg.add(Failing);
+        fg.connect(src, 0, bad, 0).unwrap();
+        let err = fg.run(&MessageHub::new()).unwrap_err();
+        match err {
+            GraphError::BlockFailed { block, error } => {
+                assert_eq!(block, "failing");
+                assert_eq!(error.kind, "decode");
+                assert!(error.to_string().contains("checksum mismatch"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn threaded_scheduler_surfaces_typed_errors() {
+        let mut fg = Flowgraph::new();
+        let src = fg.add(VectorSource::new(vec![Item::Byte(1)]));
+        let bad = fg.add(Failing);
+        fg.connect(src, 0, bad, 0).unwrap();
+        let err = fg
+            .run_threaded(std::sync::Arc::new(MessageHub::new()))
+            .unwrap_err();
+        match err {
+            GraphError::BlockFailed { block, error } => {
+                assert_eq!(block, "failing");
+                assert_eq!(error.kind, "decode");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_converts_livelock_into_block_stalled() {
+        /// Claims Progress forever without consuming anything: the classic
+        /// livelock the single-threaded scheduler cannot distinguish from
+        /// useful work and the old threaded scheduler span on forever.
+        struct Spinner;
+        impl crate::block::Block for Spinner {
+            fn name(&self) -> &str {
+                "spinner"
+            }
+            fn num_inputs(&self) -> usize {
+                1
+            }
+            fn num_outputs(&self) -> usize {
+                0
+            }
+            fn work(
+                &mut self,
+                _i: &mut [InputBuffer],
+                _o: &mut [OutputBuffer],
+                _c: &mut BlockCtx<'_>,
+            ) -> WorkStatus {
+                std::thread::sleep(Duration::from_millis(1));
+                WorkStatus::Progress
+            }
+        }
+        let mut fg = Flowgraph::new();
+        let src = fg.add(VectorSource::new(vec![Item::Byte(1)]));
+        let spin = fg.add(Spinner);
+        fg.connect(src, 0, spin, 0).unwrap();
+        let sup = SupervisorConfig {
+            stall_timeout: Duration::from_millis(100),
+            ..SupervisorConfig::default()
+        };
+        let start = std::time::Instant::now();
+        let err = fg
+            .run_threaded_with(std::sync::Arc::new(MessageHub::new()), sup)
+            .unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "scheduler failed to terminate promptly"
+        );
+        match err {
+            GraphError::BlockStalled { block, idle } => {
+                assert_eq!(block, "spinner");
+                assert!(idle >= Duration::from_millis(100));
+            }
             other => panic!("unexpected {other}"),
         }
     }

@@ -10,20 +10,25 @@
 //! * [`buffer`] — typed stream items with absolute-offset stream tags,
 //! * [`message`] — out-of-band publish/subscribe message ports,
 //! * [`graph::Flowgraph`] — topology building plus two schedulers:
-//!   deterministic single-threaded and thread-per-block over bounded
-//!   channels.
+//!   deterministic single-threaded and supervised thread-per-block over
+//!   bounded channels (panic capture, typed block errors, stall watchdog —
+//!   see [`graph::SupervisorConfig`]),
+//! * [`faults::FaultInjectorBlock`] — seeded fault injection (corrupt /
+//!   stall / panic / typed failure) for chaos-testing the supervisor.
 
 pub mod block;
 pub mod buffer;
+pub mod faults;
 pub mod graph;
 pub mod message;
 pub mod stdblocks;
 
 pub use block::{
-    Block, BlockCtx, ChunkBlock, FanoutBlock, MapBlock, SinkHandle, VectorSink, VectorSource,
-    WorkStatus, ZipBlock,
+    Block, BlockCtx, BlockError, ChunkBlock, FanoutBlock, MapBlock, SinkHandle, VectorSink,
+    VectorSource, WorkStatus, ZipBlock,
 };
 pub use buffer::{convert, InputBuffer, Item, OutputBuffer, Tag, TagValue};
-pub use graph::{BlockId, Flowgraph, GraphError};
+pub use faults::{FaultInjectorBlock, FaultMode};
+pub use graph::{BlockId, Flowgraph, GraphError, SupervisorConfig};
 pub use message::{Message, MessageHub, Subscription};
 pub use stdblocks::{AddBlock, HeadBlock, MultiplyConstBlock, NullSink, PowerProbe};

@@ -1,0 +1,197 @@
+//! Chaos soak: the full MIMO link under many seeded fault schedules, plus
+//! the supervised scheduler under injected block misbehaviour.
+//!
+//! The contract under test (ISSUE 2 acceptance criteria):
+//!
+//! * across ≥ 32 seeded fault schedules, zero panics anywhere in the
+//!   stack and typed errors only;
+//! * the receiver recovers ≥ 90% of frames transmitted after the fault
+//!   window closes;
+//! * `run_threaded` terminates with a typed `GraphError` — never hangs —
+//!   when a block panics, stalls, or fails, demonstrated through
+//!   `FaultInjectorBlock`.
+
+use mimonet::chaos::{run_chaos_capture, ChaosConfig};
+use mimonet::link::LinkStats;
+use mimonet_channel::{ChannelConfig, FaultSpec};
+use mimonet_runtime::faults::{FaultInjectorBlock, FaultMode};
+use mimonet_runtime::{
+    Flowgraph, GraphError, Item, MessageHub, SupervisorConfig, VectorSink, VectorSource,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SOAK_SEEDS: u64 = 32;
+
+fn soak_config(mcs: u8, n_rx: usize) -> ChaosConfig {
+    ChaosConfig::new(
+        mcs,
+        6,
+        ChannelConfig::awgn(if mcs >= 8 { 2 } else { 1 }, n_rx, 30.0),
+        FaultSpec::harsh_mid_capture(),
+    )
+}
+
+#[test]
+fn soak_32_fault_schedules_mimo_recovers_after_window() {
+    let cfg = soak_config(8, 2);
+    let mut stats = LinkStats::default();
+    for seed in 0..SOAK_SEEDS {
+        run_chaos_capture(&cfg, 0xC0C0_A000 ^ (seed * 0x9E37_79B9), &mut stats);
+    }
+    assert_eq!(stats.per.sent(), SOAK_SEEDS * 6);
+    assert!(
+        stats.recovery.fault_events() >= SOAK_SEEDS,
+        "every schedule must inject something: {}",
+        stats.recovery.fault_events()
+    );
+    let (post_sent, post_ok) = stats.recovery.post_fault();
+    assert!(
+        post_sent > 0,
+        "captures must have frames after the fault window"
+    );
+    let recovery = stats.recovery.post_fault_recovery();
+    assert!(
+        recovery >= 0.9,
+        "post-fault recovery {recovery:.3} < 0.9 ({post_ok}/{post_sent})"
+    );
+}
+
+#[test]
+fn soak_siso_with_truncation_and_desync() {
+    // Truncation + desync on top of the noise faults: the capture ends
+    // mid-stream and the antennas slip; the receiver must survive (typed
+    // errors only) even though late frames are physically gone.
+    let mut cfg = soak_config(0, 1);
+    cfg.faults = FaultSpec {
+        desyncs: 1,
+        max_slip: 3,
+        truncate_frac: 0.85,
+        ..FaultSpec::harsh_mid_capture()
+    };
+    let mut stats = LinkStats::default();
+    for seed in 0..SOAK_SEEDS {
+        let report = run_chaos_capture(&cfg, 0xDEAD_0000 ^ seed, &mut stats);
+        assert!(
+            report.truncated_samples > 0,
+            "truncation must engage (seed {seed})"
+        );
+    }
+    assert_eq!(stats.per.sent(), SOAK_SEEDS * 6);
+    // Sanity: the harsh schedule can't have killed literally everything.
+    assert!(
+        stats.per.ok() > 0,
+        "some frames must survive: {:?}",
+        stats.per
+    );
+}
+
+#[test]
+fn soak_schedules_are_reproducible() {
+    let cfg = soak_config(8, 2);
+    let run = |seed: u64| {
+        let mut stats = LinkStats::default();
+        let report = run_chaos_capture(&cfg, seed, &mut stats);
+        (
+            stats.per.ok(),
+            stats.recovery.faulted(),
+            stats.recovery.post_fault(),
+            report.corrupted_samples,
+            report.zeroed_samples,
+        )
+    };
+    for seed in [1u64, 77, 0xFFFF_FFFF_0000_0001] {
+        assert_eq!(run(seed), run(seed), "seed {seed} not reproducible");
+    }
+}
+
+// --- Supervised-scheduler termination under injected block faults ---
+
+fn pipeline_with(mode: FaultMode, wrap_sink: bool) -> Flowgraph {
+    let mut fg = Flowgraph::new();
+    let source =
+        VectorSource::new((0..2000u32).map(|i| Item::Real(i as f64)).collect()).with_chunk(64);
+    let (sink, _handle) = VectorSink::new();
+    if wrap_sink {
+        let src = fg.add(source);
+        let snk = fg.add(FaultInjectorBlock::new(sink, mode, 1));
+        fg.connect(src, 0, snk, 0).unwrap();
+    } else {
+        let src = fg.add(FaultInjectorBlock::new(source, mode, 1));
+        let snk = fg.add(sink);
+        fg.connect(src, 0, snk, 0).unwrap();
+    }
+    fg
+}
+
+fn fast_supervisor() -> SupervisorConfig {
+    SupervisorConfig {
+        stall_timeout: Duration::from_millis(150),
+        ..SupervisorConfig::default()
+    }
+}
+
+#[test]
+fn threaded_scheduler_never_hangs_on_injected_faults() {
+    // Every fault mode, injected either side of the edge, must produce a
+    // typed GraphError within a bounded wall-clock time.
+    let cases: Vec<(FaultMode, bool, &str)> = vec![
+        (FaultMode::Panic { at: 5 }, false, "panic in source"),
+        (FaultMode::Fail { at: 5 }, false, "typed error in source"),
+        // Sink faults fire on the first call: a later threshold can race
+        // a fast sink that drains everything in one or two work calls.
+        (FaultMode::Panic { at: 0 }, true, "panic in sink"),
+        (FaultMode::Fail { at: 0 }, true, "typed error in sink"),
+        (FaultMode::Stall { after: 0 }, true, "stalled sink"),
+    ];
+    for (mode, wrap_sink, what) in cases {
+        let fg = pipeline_with(mode, wrap_sink);
+        let start = Instant::now();
+        let err = fg
+            .run_threaded_with(Arc::new(MessageHub::new()), fast_supervisor())
+            .expect_err(what);
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "{what}: scheduler took {:?}",
+            start.elapsed()
+        );
+        match (&err, what) {
+            (GraphError::BlockPanicked { payload, .. }, _) => {
+                assert!(
+                    payload.contains("injected fault"),
+                    "{what}: payload {payload:?}"
+                );
+            }
+            (GraphError::BlockFailed { error, .. }, _) => {
+                assert_eq!(error.kind, "injected", "{what}");
+            }
+            (GraphError::BlockStalled { idle, .. }, _) => {
+                assert!(*idle >= Duration::from_millis(150), "{what}");
+            }
+            other => panic!("{what}: unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn corrupting_injector_does_not_break_the_graph() {
+    // Sample corruption is a data-plane fault, not a control-plane one:
+    // the graph must complete normally and deliver (corrupted) items.
+    let mut fg = Flowgraph::new();
+    let clean: Vec<u8> = (0..500u16).map(|i| (i % 251) as u8).collect();
+    let src = fg.add(FaultInjectorBlock::new(
+        VectorSource::new(clean.iter().copied().map(Item::Byte).collect()).with_chunk(32),
+        FaultMode::CorruptItems {
+            after: 0,
+            rate: 0.25,
+        },
+        42,
+    ));
+    let (sink, handle) = VectorSink::new();
+    let snk = fg.add(sink);
+    fg.connect(src, 0, snk, 0).unwrap();
+    fg.run_threaded(Arc::new(MessageHub::new())).unwrap();
+    let got = handle.bytes();
+    assert_eq!(got.len(), 500, "corruption must not drop items");
+    assert_ne!(got, clean, "rate 0.25 must corrupt something");
+}

@@ -4,9 +4,10 @@
 //! cheap synthetic accumulator, and a (small) randomized link-sweep
 //! proptest.
 
+use mimonet::chaos::{run_chaos, ChaosConfig};
 use mimonet::link::LinkConfig;
 use mimonet::sweep::{run_link, run_link_until_errors, SweepSpec};
-use mimonet_channel::{ChannelConfig, Fading};
+use mimonet_channel::{ChannelConfig, Fading, FaultSpec};
 use mimonet_dsp::stats::Running;
 use proptest::prelude::*;
 use serde::{json, Serialize};
@@ -47,6 +48,44 @@ fn link_sweep_serialized_stats_identical_across_thread_counts() {
             run(threads),
             reference,
             "thread count {threads} changed the bytes"
+        );
+    }
+}
+
+#[test]
+fn chaos_fault_schedule_sweep_identical_across_thread_counts() {
+    // Fault schedules, scan re-syncs, and recovery accounting must all be
+    // pure functions of (config, seed): a chaos sweep's serialized stats —
+    // including the `recovery` block — may not change with the worker
+    // thread count.
+    let points: Vec<ChaosConfig> = [22.0, 30.0]
+        .iter()
+        .map(|&snr| {
+            ChaosConfig::new(
+                8,
+                3,
+                ChannelConfig::awgn(2, 2, snr),
+                FaultSpec::harsh_mid_capture(),
+            )
+        })
+        .collect();
+    let run = |threads: usize| {
+        let spec = SweepSpec::new("det_chaos", points.clone(), 4)
+            .seed(0xFA_0175)
+            .shard_size(2)
+            .threads(threads);
+        stats_bytes(&run_chaos(&spec).stats)
+    };
+    let reference = run(THREAD_COUNTS[0]);
+    assert!(
+        reference.contains("post_fault_recovery"),
+        "sanity: recovery stats serialized"
+    );
+    for &threads in &THREAD_COUNTS[1..] {
+        assert_eq!(
+            run(threads),
+            reference,
+            "thread count {threads} changed the chaos bytes"
         );
     }
 }

@@ -11,7 +11,7 @@ pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
     /// Sending half of a channel (unbounded or bounded).
     pub enum Sender<T> {
@@ -37,6 +37,19 @@ pub mod channel {
             match self {
                 Sender::Unbounded(s) => s.send(msg),
                 Sender::Bounded(s) => s.send(msg),
+            }
+        }
+
+        /// Non-blocking send: `Err(Full)` instead of blocking on a full
+        /// bounded channel (unbounded channels are never full),
+        /// `Err(Disconnected)` when every receiver is gone. Lets a sender
+        /// interleave backpressure waits with cancellation checks.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match self {
+                Sender::Unbounded(s) => s
+                    .send(msg)
+                    .map_err(|SendError(m)| TrySendError::Disconnected(m)),
+                Sender::Bounded(s) => s.try_send(msg),
             }
         }
     }
@@ -113,6 +126,25 @@ pub mod channel {
             drop(tx);
             let err = rx.recv_timeout(Duration::from_millis(5)).unwrap_err();
             assert_eq!(err, RecvTimeoutError::Disconnected);
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(rx.recv().unwrap(), 1);
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+            let (utx, urx) = unbounded();
+            utx.try_send(7).unwrap(); // unbounded is never Full
+            assert_eq!(urx.recv().unwrap(), 7);
+            drop(urx);
+            assert!(matches!(
+                utx.try_send(8),
+                Err(TrySendError::Disconnected(8))
+            ));
         }
 
         #[test]
