@@ -12,13 +12,16 @@
 //!
 //! With `MIMONET_DETERMINISTIC=1` the JSON report omits `wall_s` and
 //! `threads`, so `results/fig_chaos.json` is byte-identical for any
-//! `--threads` value.
+//! `--threads` value. `--telemetry` embeds the merged frame-outcome
+//! taxonomy (counts only — still deterministic) under `telemetry`.
 
 use mimonet::chaos::{run_chaos, ChaosConfig};
+use mimonet::sweep::Merge;
+use mimonet::FrameOutcomes;
 use mimonet_bench::report::FigureReport;
 use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
 use mimonet_channel::{ChannelConfig, FaultSpec};
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 fn main() {
     let opts = BenchOpts::from_args();
@@ -85,6 +88,14 @@ fn main() {
     );
     report.series("overall delivery", &snrs, &delivery);
     report.series("delivery inside fault window", &snrs, &in_fault);
+
+    if opts.telemetry {
+        let mut outcomes = FrameOutcomes::default();
+        for stats in &result.stats {
+            outcomes.merge(&stats.outcomes);
+        }
+        report.telemetry(Value::object([("outcomes", outcomes.serialize())]));
+    }
 
     println!("# expected shape: post-fault recovery saturates near 1.0 once the");
     println!("# clean-channel waterfall clears (~24 dB); delivery inside the fault");

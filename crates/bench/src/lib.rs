@@ -52,6 +52,10 @@ pub struct BenchOpts {
     pub scale: RunScale,
     /// Sweep worker threads (`--threads N`; 0 = one per CPU).
     pub threads: usize,
+    /// `--telemetry`: embed a telemetry snapshot (merged outcome
+    /// taxonomy, stage/registry counters) under `telemetry` in the JSON
+    /// report. Off by default — snapshots are bulky.
+    pub telemetry: bool,
 }
 
 impl BenchOpts {
@@ -74,6 +78,7 @@ impl BenchOpts {
         Self {
             scale: RunScale::from_arg_list(args),
             threads,
+            telemetry: args.iter().any(|a| a == "--telemetry"),
         }
     }
 
@@ -157,6 +162,9 @@ mod tests {
         assert_eq!(o.scale.scale, 0.1);
         let o = BenchOpts::from_arg_list(&args(&["bin"]));
         assert_eq!(o.threads, 0);
+        assert!(!o.telemetry);
+        let o = BenchOpts::from_arg_list(&args(&["bin", "--telemetry"]));
+        assert!(o.telemetry);
     }
 
     #[test]

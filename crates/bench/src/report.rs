@@ -77,6 +77,7 @@ pub struct FigureReport {
     deterministic: bool,
     series: Vec<Series>,
     meta: Vec<(String, Value)>,
+    telemetry: Option<Value>,
     started: Instant,
 }
 
@@ -101,8 +102,27 @@ impl FigureReport {
             deterministic: deterministic_from_env(),
             series: Vec::new(),
             meta: Vec::new(),
+            telemetry: None,
             started: Instant::now(),
         }
+    }
+
+    /// Whether the report is in deterministic mode (set by the
+    /// `MIMONET_DETERMINISTIC` environment or [`Self::deterministic`]).
+    /// Binaries use this to decide whether telemetry snapshots should
+    /// include wall-clock fields before embedding them.
+    pub fn is_deterministic(&self) -> bool {
+        self.deterministic
+    }
+
+    /// Embeds a telemetry snapshot under the top-level `telemetry` key
+    /// (the `--telemetry` flag's payload). Callers serialize snapshots
+    /// with wall-clock fields stripped in deterministic mode (e.g.
+    /// `GraphSnapshot::to_value(!report.is_deterministic())`), keeping
+    /// reports byte-comparable across thread counts.
+    pub fn telemetry(&mut self, snapshot: Value) -> &mut Self {
+        self.telemetry = Some(snapshot);
+        self
     }
 
     /// Adds a curve.
@@ -157,6 +177,9 @@ impl FigureReport {
         }
         fields.push(("scale", self.scale.serialize()));
         fields.push(("series", self.series.serialize()));
+        if let Some(t) = &self.telemetry {
+            fields.push(("telemetry", t.clone()));
+        }
         if !self.meta.is_empty() {
             fields.push((
                 "meta",
@@ -219,7 +242,18 @@ mod tests {
         BenchOpts {
             scale: RunScale { scale: 1.0 },
             threads: 2,
+            telemetry: false,
         }
+    }
+
+    #[test]
+    fn telemetry_snapshot_embedded() {
+        let mut r = FigureReport::new("fig_tel", "T", "x", 1, &opts());
+        r.series("s", &[1.0], &[2.0]);
+        assert!(!json::to_string(&r.to_value()).contains("telemetry"));
+        r.telemetry(Value::object([("outcomes", 3u64.serialize())]));
+        let s = json::to_string(&r.to_value());
+        assert!(s.contains("\"telemetry\":{\"outcomes\":3}"), "{s}");
     }
 
     #[test]

@@ -52,3 +52,5 @@ pub const ABLATION_SOFT: u64 = 8080;
 pub const DOPPLER: u64 = 2718;
 /// R1 — chaos/fault-injection recovery figure.
 pub const CHAOS: u64 = 0xFA_0175;
+/// P1 — flowgraph profiler / RX-stage timing / outcome taxonomy.
+pub const PROFILE: u64 = 0x9821;

@@ -16,6 +16,7 @@ use crate::config::{RxConfig, TxConfig};
 use crate::link::LinkStats;
 use crate::rx::Receiver;
 use crate::sweep::{mix, ShardCtx, SweepResult, SweepSpec};
+use crate::telemetry::RxCaptureProfile;
 use crate::tx::Transmitter;
 use mimonet_channel::{ChannelConfig, ChannelSim, FaultReport, FaultSchedule, FaultSpec};
 use mimonet_dsp::complex::Complex64;
@@ -73,6 +74,25 @@ impl ChaosConfig {
 /// empty schedule every frame counts as post-fault, so the recovery
 /// metric degenerates to plain delivery rate.
 pub fn run_chaos_capture(cfg: &ChaosConfig, seed: u64, stats: &mut LinkStats) -> FaultReport {
+    run_chaos_capture_profiled(cfg, seed, stats, &mut RxCaptureProfile::default())
+}
+
+/// [`run_chaos_capture`] that additionally records RX-stage telemetry
+/// into `cap` and attributes **every** lost frame to a named outcome in
+/// [`LinkStats::outcomes`] — `outcomes.total()` grows by exactly
+/// `cfg.n_frames` per capture. Attribution, per lost frame:
+///
+/// 1. an unclaimed *decoded* frame overlapping the sent span means the
+///    pipeline ran end to end but the bits were wrong → `payload_fail`;
+/// 2. else a failed decode attempt (scan error event) near the sent span
+///    names the stage that rejected it → its error class;
+/// 3. else the detector never fired on it → `sync_miss`.
+pub fn run_chaos_capture_profiled(
+    cfg: &ChaosConfig,
+    seed: u64,
+    stats: &mut LinkStats,
+    cap: &mut RxCaptureProfile,
+) -> FaultReport {
     let tx = Transmitter::new(TxConfig::new(cfg.mcs).expect("valid MCS"));
     let n_tx = tx.mcs().n_streams;
     assert_eq!(
@@ -106,10 +126,14 @@ pub fn run_chaos_capture(cfg: &ChaosConfig, seed: u64, stats: &mut LinkStats) ->
 
     // --- Scan and score ---
     let receiver = Receiver::new(cfg.rx.clone());
-    let (frames, scan) = receiver.scan(&rx_streams);
+    let ev_base = cap.events.len();
+    let (frames, scan) = receiver.scan_profiled(&rx_streams, cap);
     stats.recovery.record_events(report.events.len() as u64);
     stats.recovery.record_rescans(scan.rescans as u64);
 
+    // This capture's failed-attempt events; each may explain one frame.
+    let events = &cap.events[ev_base..];
+    let mut event_used = vec![false; events.len()];
     let mut claimed = vec![false; frames.len()];
     for ((start, end), psdu) in &sent {
         let delivered = frames
@@ -123,8 +147,35 @@ pub fn run_chaos_capture(cfg: &ChaosConfig, seed: u64, stats: &mut LinkStats) ->
         let ok = delivered.is_some();
         if ok {
             stats.per.record_ok();
+            stats.outcomes.record_ok();
         } else {
             stats.per.record_sync_failure();
+            // A decoded frame whose samples overlap the sent span but
+            // whose PSDU matched nothing: the pipeline ran end to end and
+            // produced wrong bits — a payload failure.
+            let corrupt_twin = frames.iter().enumerate().find(|(i, (off, f))| {
+                !claimed[*i] && off + f.timing < *end && off + f.frame_end > *start
+            });
+            if let Some((i, _)) = corrupt_twin {
+                claimed[i] = true;
+                stats.outcomes.record_payload_fail();
+            } else {
+                // A failed decode attempt whose window reaches the sent
+                // span names the stage that rejected this frame. Windows
+                // start up to one detection span (640 samples) early.
+                let blamed = events
+                    .iter()
+                    .enumerate()
+                    .find(|(j, (off, _))| !event_used[*j] && *off < *end && off + 640 > *start);
+                match blamed {
+                    Some((j, (_, e))) => {
+                        event_used[j] = true;
+                        stats.outcomes.record_error(e);
+                    }
+                    // Detection never fired anywhere near it.
+                    None => stats.outcomes.record_sync_miss(),
+                }
+            }
         }
         match sched.window() {
             Some((lo, hi)) if *start < hi && *end > lo => stats.recovery.record_faulted(ok),

@@ -17,7 +17,10 @@
 //! * [`sweep`] — the deterministic parallel Monte-Carlo sweep engine
 //!   every figure binary runs on,
 //! * [`chaos`] — multi-frame captures under seeded fault schedules, with
-//!   recovery accounting (the robustness test harness).
+//!   recovery accounting (the robustness test harness),
+//! * [`telemetry`] — RX-stage timing spans and the frame-outcome taxonomy
+//!   (every lost frame attributed to a named pipeline stage); pairs with
+//!   `mimonet_runtime::telemetry` for per-block scheduler counters.
 
 pub mod adapt;
 pub mod blocks;
@@ -27,6 +30,7 @@ pub mod link;
 pub mod metrics;
 pub mod rx;
 pub mod sweep;
+pub mod telemetry;
 pub mod tx;
 
 pub use adapt::{RateController, SnrThresholdTable};
@@ -37,4 +41,7 @@ pub use link::{LinkConfig, LinkSim, LinkStats};
 pub use metrics::{BerCounter, PerCounter, RecoveryCounter};
 pub use rx::{Receiver, RxError, RxFrame, ScanStats, MAX_FRAME_SPAN};
 pub use sweep::{run_link, run_link_until_errors, Merge, ShardCtx, SweepResult, SweepSpec};
+pub use telemetry::{
+    FrameOutcomes, RxCaptureProfile, RxStage, StageClock, StageProfile, STAGE_COUNT,
+};
 pub use tx::{Transmitter, TxError};

@@ -5,6 +5,7 @@
 use crate::config::{RxConfig, TxConfig};
 use crate::metrics::{BerCounter, PerCounter, RecoveryCounter};
 use crate::rx::{Receiver, RxError};
+use crate::telemetry::{FrameOutcomes, StageProfile};
 use crate::tx::Transmitter;
 use mimonet_channel::{ChannelConfig, ChannelSim};
 use mimonet_dsp::complex::Complex64;
@@ -72,6 +73,10 @@ pub struct LinkStats {
     /// Fault-injection and recovery accounting. Stays all-zero for
     /// ordinary (fault-free) links; populated by the chaos harness.
     pub recovery: RecoveryCounter,
+    /// Per-frame outcome taxonomy: every frame lands in exactly one
+    /// terminal class, so `outcomes.total() == per.sent()` and loss is
+    /// attributable to a named RX stage. Counts only — deterministic.
+    pub outcomes: FrameOutcomes,
 }
 
 impl LinkStats {
@@ -89,6 +94,7 @@ impl LinkStats {
         self.cfo_error.merge(&other.cfo_error);
         self.timing_error.merge(&other.timing_error);
         self.recovery.merge(&other.recovery);
+        crate::sweep::Merge::merge(&mut self.outcomes, &other.outcomes);
     }
 }
 
@@ -103,6 +109,7 @@ impl serde::Serialize for LinkStats {
             ("cfo_error", self.cfo_error.serialize()),
             ("timing_error", self.timing_error.serialize()),
             ("recovery", self.recovery.serialize()),
+            ("outcomes", self.outcomes.serialize()),
         ])
     }
 }
@@ -152,6 +159,12 @@ impl LinkSim {
 
     /// Runs one frame through the link, updating `stats`.
     pub fn run_frame(&mut self, stats: &mut LinkStats) {
+        self.run_frame_profiled(stats, &mut StageProfile::default());
+    }
+
+    /// [`Self::run_frame`] with RX-stage timing spans recorded into
+    /// `profile` (see [`crate::Receiver::receive_profiled`]).
+    pub fn run_frame_profiled(&mut self, stats: &mut LinkStats, profile: &mut StageProfile) {
         let payload: Vec<u8> = (0..self.cfg.payload_len).map(|_| self.rng.gen()).collect();
         let mpdu = Mpdu::data([0x02; 6], [0x04; 6], self.seq, payload.clone());
         self.seq = (self.seq + 1) & 0x0FFF;
@@ -166,7 +179,7 @@ impl LinkSim {
         }
         let (rx_streams, truth) = self.chan.apply(&streams);
 
-        match self.rx.receive(&rx_streams) {
+        match self.rx.receive_profiled(&rx_streams, profile) {
             Ok(frame) => {
                 stats.snr_est_db.push(frame.snr_db);
                 if let Some(e) = frame.evm_snr_db {
@@ -188,28 +201,40 @@ impl LinkSim {
                         stats.coded_ber.compare_bits(&reference, &frame.coded_hard);
                     }
                     match Mpdu::from_psdu(&frame.psdu) {
-                        Some(got) if got.payload == payload => stats.per.record_ok(),
-                        _ => stats.per.record_fcs_failure(),
+                        Some(got) if got.payload == payload => {
+                            stats.per.record_ok();
+                            stats.outcomes.record_ok();
+                        }
+                        _ => {
+                            stats.per.record_fcs_failure();
+                            stats.outcomes.record_payload_fail();
+                        }
                     }
                 } else {
                     // HT-SIG CRC passed but announced the wrong length —
                     // an undetected header corruption.
                     stats.per.record_header_failure();
+                    stats.outcomes.header_fail += 1;
                 }
             }
-            Err(RxError::NoPacket | RxError::SyncLost | RxError::BufferTooShort) => {
-                stats.per.record_sync_failure();
-            }
-            Err(
-                RxError::LSig(_)
-                | RxError::HtSig(_)
-                | RxError::TooManyStreams { .. }
-                | RxError::Detector,
-            ) => {
-                stats.per.record_header_failure();
-            }
-            Err(RxError::AntennaMismatch { .. }) => {
-                unreachable!("configuration bug: antenna counts were validated in new()")
+            Err(e) => {
+                stats.outcomes.record_error(&e);
+                match e {
+                    // FEC failures keep their historical sync-class PER
+                    // attribution (they used to surface as `SyncLost`);
+                    // the fine-grained split lives in `outcomes`.
+                    RxError::NoPacket
+                    | RxError::SyncLost
+                    | RxError::BufferTooShort
+                    | RxError::Fec => stats.per.record_sync_failure(),
+                    RxError::LSig(_)
+                    | RxError::HtSig(_)
+                    | RxError::TooManyStreams { .. }
+                    | RxError::Detector => stats.per.record_header_failure(),
+                    RxError::AntennaMismatch { .. } => {
+                        unreachable!("configuration bug: antenna counts were validated in new()")
+                    }
+                }
             }
         }
     }

@@ -19,16 +19,35 @@ impl BerCounter {
     /// # Panics
     ///
     /// Panics on length mismatch — comparing misaligned streams would
-    /// produce garbage statistics silently.
+    /// produce garbage statistics silently. The message carries both
+    /// lengths so a panic surfaced through the threaded scheduler's
+    /// supervisor (`GraphError::BlockPanicked`) is diagnosable.
     pub fn compare_bits(&mut self, sent: &[u8], received: &[u8]) {
-        assert_eq!(sent.len(), received.len(), "bit stream length mismatch");
+        assert_eq!(
+            sent.len(),
+            received.len(),
+            "bit stream length mismatch: sent {} bits, received {} bits",
+            sent.len(),
+            received.len()
+        );
         self.bits += sent.len() as u64;
         self.errors += sent.iter().zip(received).filter(|(a, b)| a != b).count() as u64;
     }
 
     /// Compares two equal-length byte slices bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch, with both lengths in the message (see
+    /// [`Self::compare_bits`]).
     pub fn compare_bytes(&mut self, sent: &[u8], received: &[u8]) {
-        assert_eq!(sent.len(), received.len(), "byte stream length mismatch");
+        assert_eq!(
+            sent.len(),
+            received.len(),
+            "byte stream length mismatch: sent {} bytes, received {} bytes",
+            sent.len(),
+            received.len()
+        );
         self.bits += sent.len() as u64 * 8;
         self.errors += sent
             .iter()

@@ -15,6 +15,7 @@
 //! 9. Depuncture → Viterbi (soft or hard) → descramble → PSDU.
 
 use crate::config::RxConfig;
+use crate::telemetry::{RxCaptureProfile, RxStage, StageClock, StageProfile};
 use crate::tx::{deparse_streams_soft, DATA_POLARITY_OFFSET};
 use mimonet_detect::chanest::ChannelEstimate;
 use mimonet_detect::snr::snr_from_ltf_repetitions;
@@ -84,6 +85,9 @@ pub enum RxError {
     /// The MIMO detector failed on a data carrier (singular channel under
     /// ZF).
     Detector,
+    /// FEC decode or descramble failed on the data payload (Viterbi
+    /// rejected the stream, or the descrambler found too few bits).
+    Fec,
 }
 
 impl std::fmt::Display for RxError {
@@ -101,6 +105,7 @@ impl std::fmt::Display for RxError {
                 write!(f, "{streams} spatial streams but only {antennas} antennas")
             }
             RxError::Detector => write!(f, "MIMO detection failed"),
+            RxError::Fec => write!(f, "FEC decode/descramble failed"),
         }
     }
 }
@@ -127,6 +132,8 @@ pub struct ScanStats {
     pub sync_errors: usize,
     /// Failures decoding L-SIG / HT-SIG or validating their fields.
     pub header_errors: usize,
+    /// Failures in the FEC decode / descramble stage.
+    pub fec_errors: usize,
 }
 
 /// The receiver. Reusable across frames.
@@ -178,6 +185,19 @@ impl Receiver {
     ///   [`RxError::AntennaMismatch`] (a config error, not a channel
     ///   condition) stops the scan instead of looping on it.
     pub fn scan(&self, rx: &[Vec<Complex64>]) -> (Vec<(usize, RxFrame)>, ScanStats) {
+        self.scan_profiled(rx, &mut RxCaptureProfile::default())
+    }
+
+    /// [`Self::scan`] that additionally records telemetry into `cap`:
+    /// aggregated per-stage timing spans, plus one `(offset, error)` event
+    /// per failed decode attempt (scan order, offsets absolute in the
+    /// capture) — the raw material for attributing every lost frame to a
+    /// named pipeline stage.
+    pub fn scan_profiled(
+        &self,
+        rx: &[Vec<Complex64>],
+        cap: &mut RxCaptureProfile,
+    ) -> (Vec<(usize, RxFrame)>, ScanStats) {
         const ERROR_STRIDE: usize = 400;
         let len = rx.iter().map(|a| a.len()).min().unwrap_or(0);
         let mut out = Vec::new();
@@ -186,7 +206,7 @@ impl Receiver {
         while offset + 640 < len {
             let hi = (offset + MAX_FRAME_SPAN).min(len);
             let window: Vec<Vec<Complex64>> = rx.iter().map(|a| a[offset..hi].to_vec()).collect();
-            match self.receive(&window) {
+            match self.receive_profiled(&window, &mut cap.stages) {
                 Ok(frame) => {
                     let end = frame.frame_end;
                     out.push((offset, frame));
@@ -201,15 +221,20 @@ impl Receiver {
                     // frame straddling the boundary is still found.
                     offset = hi - 640;
                 }
-                Err(RxError::AntennaMismatch { .. }) => break,
+                Err(e @ RxError::AntennaMismatch { .. }) => {
+                    cap.events.push((offset, e));
+                    break;
+                }
                 Err(e) => {
                     stats.rescans += 1;
                     match e {
                         RxError::LSig(_) | RxError::HtSig(_) | RxError::TooManyStreams { .. } => {
                             stats.header_errors += 1
                         }
+                        RxError::Fec => stats.fec_errors += 1,
                         _ => stats.sync_errors += 1,
                     }
+                    cap.events.push((offset, e));
                     offset += ERROR_STRIDE;
                 }
             }
@@ -220,6 +245,34 @@ impl Receiver {
 
     /// Attempts to detect and decode one frame from per-antenna buffers.
     pub fn receive(&self, rx: &[Vec<Complex64>]) -> Result<RxFrame, RxError> {
+        self.receive_profiled(rx, &mut StageProfile::default())
+    }
+
+    /// [`Self::receive`] with per-stage timing spans recorded into
+    /// `profile`. On failure the partial span of the stage that errored is
+    /// attributed via [`RxStage::of_error`], so a profiled capture's time
+    /// is fully accounted whether frames decode or not. The stage *call*
+    /// counts are a pure function of the input; only the nanosecond spans
+    /// are wall-clock (and stripped from deterministic renderings).
+    pub fn receive_profiled(
+        &self,
+        rx: &[Vec<Complex64>],
+        profile: &mut StageProfile,
+    ) -> Result<RxFrame, RxError> {
+        let mut clock = StageClock::start();
+        let res = self.receive_inner(rx, profile, &mut clock);
+        if let Err(e) = &res {
+            clock.lap(profile, RxStage::of_error(e));
+        }
+        res
+    }
+
+    fn receive_inner(
+        &self,
+        rx: &[Vec<Complex64>],
+        profile: &mut StageProfile,
+        clock: &mut StageClock,
+    ) -> Result<RxFrame, RxError> {
         if rx.len() != self.cfg.n_rx {
             return Err(RxError::AntennaMismatch {
                 expected: self.cfg.n_rx,
@@ -238,6 +291,7 @@ impl Receiver {
         let mut detector = PacketDetector::new(self.cfg.n_rx, DetectorConfig::default());
         let refs: Vec<&[Complex64]> = rx.iter().map(|a| a.as_slice()).collect();
         let det = detector.detect(&refs).ok_or(RxError::NoPacket)?;
+        clock.lap(profile, RxStage::Detect);
 
         // --- 2. Coarse CFO correction (whole buffer) ---
         let mut bufs: Vec<Vec<Complex64>> = rx.to_vec();
@@ -312,6 +366,7 @@ impl Receiver {
         for b in &mut bufs {
             mimonet_channel::impairments::apply_cfo(b, -fine_cfo, 0.0);
         }
+        clock.lap(profile, RxStage::Sync);
 
         // --- 5. SNR and noise variance from the corrected LTFs ---
         let scale52 = Ofdm::unit_power_scale(52);
@@ -345,6 +400,7 @@ impl Receiver {
         // 56-carrier scale, which raises the per-bin variance by 56/52.
         let noise_var_sig = (noise_bin_var / self.cfg.n_rx as f64).max(1e-12);
         let noise_var_data = noise_var_sig * 56.0 / 52.0;
+        clock.lap(profile, RxStage::SnrEst);
 
         // --- 6. L-SIG and HT-SIG ---
         let lsig_start = ltf_start + 128;
@@ -375,6 +431,7 @@ impl Receiver {
                 antennas: self.cfg.n_rx,
             });
         }
+        clock.lap(profile, RxStage::Header);
 
         // --- 7. HT-LTF channel estimation ---
         let n_ltf = num_htltf(n_ss);
@@ -395,6 +452,7 @@ impl Receiver {
         if self.cfg.smoothing > 0 && htsig.smoothing {
             chan = smooth_frequency(&chan, self.cfg.smoothing);
         }
+        clock.lap(profile, RxStage::ChanEst);
 
         // --- 8/9. Data symbols ---
         let n_sym = mcs.num_symbols(htsig.length as usize * 8);
@@ -476,12 +534,13 @@ impl Receiver {
                 .collect();
             all_llrs.extend(deparse_streams_soft(&deinterleaved, mcs.n_bpsc()));
         }
+        clock.lap(profile, RxStage::Equalize);
 
         // --- 10. FEC decode + descramble ---
         let mother_len = 2 * n_sym * mcs.n_dbps();
         let full_llrs = depuncture_soft(&all_llrs, mcs.code_rate, mother_len);
         let decoded = if self.cfg.soft_decoding {
-            decode_soft_unterminated(&full_llrs).map_err(|_| RxError::SyncLost)?
+            decode_soft_unterminated(&full_llrs).map_err(|_| RxError::Fec)?
         } else {
             let hard: Vec<Symbol> = full_llrs
                 .iter()
@@ -493,10 +552,10 @@ impl Receiver {
                     }
                 })
                 .collect();
-            mimonet_fec::decode_hard_unterminated(&hard).map_err(|_| RxError::SyncLost)?
+            mimonet_fec::decode_hard_unterminated(&hard).map_err(|_| RxError::Fec)?
         };
-        let psdu =
-            descramble_data_bits(&decoded, htsig.length as usize).ok_or(RxError::SyncLost)?;
+        let psdu = descramble_data_bits(&decoded, htsig.length as usize).ok_or(RxError::Fec)?;
+        clock.lap(profile, RxStage::Fec);
 
         Ok(RxFrame {
             psdu,

@@ -79,6 +79,12 @@ impl Merge for Running {
     }
 }
 
+impl Merge for crate::metrics::RecoveryCounter {
+    fn merge(&mut self, other: &Self) {
+        crate::metrics::RecoveryCounter::merge(self, other)
+    }
+}
+
 impl Merge for LinkStats {
     fn merge(&mut self, other: &Self) {
         LinkStats::merge(self, other)

@@ -16,6 +16,7 @@
 use crate::block::{Block, BlockCtx, BlockError, WorkStatus};
 use crate::buffer::{InputBuffer, OutputBuffer};
 use crate::message::MessageHub;
+use crate::telemetry::{BlockTelemetry, GraphTelemetry};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -166,6 +167,8 @@ pub struct Flowgraph {
     edges: HashMap<(usize, usize), (usize, usize)>,
     /// (dst, dst_port) → (src, src_port)
     redges: HashMap<(usize, usize), (usize, usize)>,
+    /// Telemetry registry both schedulers record into, when instrumented.
+    telemetry: Option<std::sync::Arc<GraphTelemetry>>,
 }
 
 impl Flowgraph {
@@ -231,6 +234,20 @@ impl Flowgraph {
         Ok(())
     }
 
+    /// Attaches a telemetry registry (one [`BlockTelemetry`] per block
+    /// already added, in block order) and returns a handle to it. Both
+    /// schedulers record into the registry from then on; snapshot it any
+    /// time — including after the graph finished — via
+    /// [`GraphTelemetry::snapshot`]. Call after the last [`Flowgraph::add`];
+    /// blocks added later run uninstrumented.
+    pub fn instrument(&mut self) -> std::sync::Arc<GraphTelemetry> {
+        let tel = std::sync::Arc::new(GraphTelemetry::new(
+            self.blocks.iter().map(|e| (e.name.clone(), e.n_in)),
+        ));
+        self.telemetry = Some(tel.clone());
+        tel
+    }
+
     fn validate(&self) -> Result<(), GraphError> {
         for (i, e) in self.blocks.iter().enumerate() {
             for p in 0..e.n_out {
@@ -278,14 +295,35 @@ impl Flowgraph {
                 if done[i] {
                     continue;
                 }
+                let tel: Option<&BlockTelemetry> = self.telemetry.as_ref().map(|t| &*t.blocks[i]);
                 let status = {
                     let mut ctx = BlockCtx { msgs: hub };
                     // Split-borrow: take this block's buffers out briefly.
                     let mut my_inputs = std::mem::take(&mut inputs[i]);
                     let mut my_outputs = std::mem::take(&mut outputs[i]);
+                    let in_before: usize = my_inputs.iter().map(|b| b.available()).sum();
+                    if let Some(t) = tel {
+                        for (g, b) in t.input_highwater.iter().zip(&my_inputs) {
+                            g.record(b.available() as u64);
+                        }
+                    }
+                    let t0 = tel.map(|_| std::time::Instant::now());
                     let st = self.blocks[i]
                         .block
                         .work(&mut my_inputs, &mut my_outputs, &mut ctx);
+                    if let (Some(t), Some(t0)) = (tel, t0) {
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        t.work_calls.incr();
+                        t.work_ns.add(ns);
+                        t.work_ns_hist.record(ns);
+                        let in_after: usize = my_inputs.iter().map(|b| b.available()).sum();
+                        t.items_in.add((in_before - in_after) as u64);
+                        t.items_out
+                            .add(my_outputs.iter().map(|o| o.pending() as u64).sum());
+                        if matches!(st, WorkStatus::Blocked) {
+                            t.blocked_calls.incr();
+                        }
+                    }
                     inputs[i] = my_inputs;
                     outputs[i] = my_outputs;
                     st
@@ -379,6 +417,7 @@ impl Flowgraph {
         if n == 0 {
             return Ok(());
         }
+        let telemetry = self.telemetry.clone();
         // Build channels per edge.
         let mut senders: Vec<Vec<Option<Sender<Chunk>>>> = self
             .blocks
@@ -421,6 +460,7 @@ impl Flowgraph {
             let cancel = cancel.clone();
             let heartbeats = heartbeats.clone();
             let report = report_tx.clone();
+            let tel: Option<Arc<BlockTelemetry>> = telemetry.as_ref().map(|t| t.blocks[i].clone());
             handles.push(Some(std::thread::spawn(move || {
                 let mut inputs: Vec<InputBuffer> = (0..n_in).map(|_| InputBuffer::new()).collect();
                 let mut outputs: Vec<OutputBuffer> =
@@ -451,6 +491,14 @@ impl Flowgraph {
                         }
                     }
                     let in_before: usize = inputs.iter().map(|b| b.available()).sum();
+                    if let Some(t) = &tel {
+                        // Queue occupancy seen by this work call — the
+                        // per-edge backpressure high-water mark.
+                        for (g, b) in t.input_highwater.iter().zip(&inputs) {
+                            g.record(b.available() as u64);
+                        }
+                    }
+                    let work_t0 = tel.as_ref().map(|_| Instant::now());
                     let status = {
                         let mut ctx = BlockCtx { msgs: &hub };
                         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -463,7 +511,19 @@ impl Flowgraph {
                         }
                     };
                     let produced: usize = outputs.iter().map(|o| o.pending()).sum();
-                    let consumed = inputs.iter().map(|b| b.available()).sum::<usize>() < in_before;
+                    let in_after: usize = inputs.iter().map(|b| b.available()).sum();
+                    let consumed = in_after < in_before;
+                    if let (Some(t), Some(t0)) = (&tel, work_t0) {
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        t.work_calls.incr();
+                        t.work_ns.add(ns);
+                        t.work_ns_hist.record(ns);
+                        t.items_in.add((in_before - in_after) as u64);
+                        t.items_out.add(produced as u64);
+                        if matches!(status, WorkStatus::Blocked) {
+                            t.blocked_calls.incr();
+                        }
+                    }
                     // Ship outputs, keeping backpressure waits cancellable.
                     for (out, tx) in outputs.iter_mut().zip(&my_senders) {
                         let (items, tags) = out.drain();
@@ -479,7 +539,14 @@ impl Flowgraph {
                                         break 'life Outcome::Cancelled;
                                     }
                                     chunk = c;
+                                    let t0 = tel.as_ref().map(|t| {
+                                        t.backpressure_events.incr();
+                                        Instant::now()
+                                    });
                                     std::thread::sleep(Duration::from_micros(200));
+                                    if let (Some(t), Some(t0)) = (&tel, t0) {
+                                        t.blocked_output_ns.add(t0.elapsed().as_nanos() as u64);
+                                    }
                                 }
                                 Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
                                     // Downstream gone; drop this port's data.
@@ -518,6 +585,7 @@ impl Flowgraph {
                             {
                                 beat(&heartbeats[i]);
                             }
+                            let t0 = tel.as_ref().map(|_| Instant::now());
                             match my_receivers[0].recv_timeout(Duration::from_millis(1)) {
                                 Ok((items, tags)) => {
                                     inputs[0].push_items(items);
@@ -529,6 +597,9 @@ impl Flowgraph {
                                 Err(RecvTimeoutError::Disconnected) => {
                                     inputs[0].upstream_done = true;
                                 }
+                            }
+                            if let (Some(t), Some(t0)) = (&tel, t0) {
+                                t.blocked_input_ns.add(t0.elapsed().as_nanos() as u64);
                             }
                         }
                     }

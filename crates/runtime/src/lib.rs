@@ -14,7 +14,11 @@
 //!   bounded channels (panic capture, typed block errors, stall watchdog —
 //!   see [`graph::SupervisorConfig`]),
 //! * [`faults::FaultInjectorBlock`] — seeded fault injection (corrupt /
-//!   stall / panic / typed failure) for chaos-testing the supervisor.
+//!   stall / panic / typed failure) for chaos-testing the supervisor,
+//! * [`telemetry`] — lock-cheap per-block counters, blocked-time spans
+//!   and buffer high-water gauges both schedulers record into (see
+//!   [`graph::Flowgraph::instrument`]); compiled to no-ops by the
+//!   `telemetry-off` feature.
 
 pub mod block;
 pub mod buffer;
@@ -22,6 +26,7 @@ pub mod faults;
 pub mod graph;
 pub mod message;
 pub mod stdblocks;
+pub mod telemetry;
 
 pub use block::{
     Block, BlockCtx, BlockError, ChunkBlock, FanoutBlock, MapBlock, SinkHandle, VectorSink,
@@ -32,3 +37,7 @@ pub use faults::{FaultInjectorBlock, FaultMode};
 pub use graph::{BlockId, Flowgraph, GraphError, SupervisorConfig};
 pub use message::{Message, MessageHub, Subscription};
 pub use stdblocks::{AddBlock, HeadBlock, MultiplyConstBlock, NullSink, PowerProbe};
+pub use telemetry::{
+    BlockSnapshot, BlockTelemetry, Counter, GraphSnapshot, GraphTelemetry, HistSnapshot,
+    LogHistogram, MaxGauge, Span,
+};

@@ -13,10 +13,12 @@
 
 use mimonet::chaos::{run_chaos_capture, ChaosConfig};
 use mimonet::link::LinkStats;
+use mimonet::BerCounter;
 use mimonet_channel::{ChannelConfig, FaultSpec};
 use mimonet_runtime::faults::{FaultInjectorBlock, FaultMode};
 use mimonet_runtime::{
-    Flowgraph, GraphError, Item, MessageHub, SupervisorConfig, VectorSink, VectorSource,
+    Block, BlockCtx, Flowgraph, GraphError, InputBuffer, Item, MessageHub, OutputBuffer,
+    SupervisorConfig, VectorSink, VectorSource, WorkStatus,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -171,6 +173,139 @@ fn threaded_scheduler_never_hangs_on_injected_faults() {
             other => panic!("{what}: unexpected {other:?}"),
         }
     }
+}
+
+/// A sink that feeds mismatched-length streams to
+/// [`BerCounter::compare_bytes`] on its first work call with data.
+struct MismatchedBerSink;
+
+impl Block for MismatchedBerSink {
+    fn name(&self) -> &str {
+        "ber_mismatch_sink"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        0
+    }
+    fn work(
+        &mut self,
+        inputs: &mut [InputBuffer],
+        _outputs: &mut [OutputBuffer],
+        _ctx: &mut BlockCtx<'_>,
+    ) -> WorkStatus {
+        if inputs[0].available() == 0 {
+            return WorkStatus::Blocked;
+        }
+        // Misaligned on purpose: 3 sent bytes against 2 received.
+        BerCounter::default().compare_bytes(&[0u8; 3], &[0u8; 2]);
+        unreachable!("compare_bytes must reject mismatched lengths");
+    }
+}
+
+#[test]
+fn ber_length_mismatch_panic_names_both_lengths_through_supervisor() {
+    // The assert inside BerCounter must carry both stream lengths, and
+    // the supervised scheduler must surface that exact message as a
+    // typed BlockPanicked — the payload is the only diagnostic a soak
+    // run gets.
+    let mut fg = Flowgraph::new();
+    let src = fg.add(VectorSource::new(
+        (0..64u32).map(|i| Item::Byte(i as u8)).collect(),
+    ));
+    let snk = fg.add(MismatchedBerSink);
+    fg.connect(src, 0, snk, 0).unwrap();
+    let err = fg
+        .run_threaded_with(Arc::new(MessageHub::new()), fast_supervisor())
+        .expect_err("mismatched BER comparison must fail the graph");
+    match err {
+        GraphError::BlockPanicked { payload, .. } => {
+            assert!(
+                payload.contains("byte stream length mismatch"),
+                "payload: {payload:?}"
+            );
+            assert!(
+                payload.contains("sent 3 bytes") && payload.contains("received 2 bytes"),
+                "panic message must name both lengths: {payload:?}"
+            );
+        }
+        other => panic!("expected BlockPanicked, got {other:?}"),
+    }
+}
+
+/// A deliberately slow sink: sleeps on every work call and drains at
+/// most `chunk` items per call, so total runtime far exceeds the stall
+/// timeout while progress never stops.
+struct SlowSink {
+    received: Arc<std::sync::atomic::AtomicUsize>,
+    chunk: usize,
+    delay: Duration,
+}
+
+impl Block for SlowSink {
+    fn name(&self) -> &str {
+        "slow_sink"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        0
+    }
+    fn work(
+        &mut self,
+        inputs: &mut [InputBuffer],
+        _outputs: &mut [OutputBuffer],
+        _ctx: &mut BlockCtx<'_>,
+    ) -> WorkStatus {
+        std::thread::sleep(self.delay);
+        let n = inputs[0].available().min(self.chunk);
+        if n > 0 {
+            inputs[0].take(n);
+            self.received
+                .fetch_add(n, std::sync::atomic::Ordering::SeqCst);
+            WorkStatus::Progress
+        } else if inputs[0].is_finished() {
+            WorkStatus::Done
+        } else {
+            WorkStatus::Blocked
+        }
+    }
+}
+
+#[test]
+fn slow_but_progressing_sink_is_not_a_stall() {
+    // Regression guard for the stall watchdog: a block that is merely
+    // slow — every work call sleeps, total runtime far beyond the stall
+    // timeout — must NOT be killed, because it heartbeats between calls.
+    // Only a block that stops progressing entirely is a stall. (The
+    // total sleep here is >= 10 x 60 ms against a 150 ms stall timeout,
+    // so a watchdog that accumulated a slow block's time across work
+    // calls would fire spuriously.)
+    let received = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let mut fg = Flowgraph::new();
+    let items: Vec<Item> = (0..400u16).map(|i| Item::Byte((i % 251) as u8)).collect();
+    let src = fg.add(VectorSource::new(items).with_chunk(50));
+    let snk = fg.add(SlowSink {
+        received: received.clone(),
+        chunk: 40,
+        delay: Duration::from_millis(60),
+    });
+    fg.connect(src, 0, snk, 0).unwrap();
+    let start = Instant::now();
+    fg.run_threaded_with(Arc::new(MessageHub::new()), fast_supervisor())
+        .expect("a slow-but-progressing sink must not trip the stall watchdog");
+    assert!(
+        start.elapsed() >= Duration::from_millis(300),
+        "sanity: the sink must actually have been slow ({:?})",
+        start.elapsed()
+    );
+    assert_eq!(
+        received.load(std::sync::atomic::Ordering::SeqCst),
+        400,
+        "every item must still arrive"
+    );
 }
 
 #[test]

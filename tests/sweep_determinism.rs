@@ -2,13 +2,18 @@
 //! worker-thread count. Checked three ways — serialized `LinkStats` from
 //! full link sweeps, a structural proptest over random spec shapes with a
 //! cheap synthetic accumulator, and a (small) randomized link-sweep
-//! proptest.
+//! proptest. A fourth section probes the `Merge` algebra directly:
+//! every accumulator the engine folds (recovery counters, chaos stats,
+//! telemetry snapshots) must merge associatively with `Default` as the
+//! identity, or shard regrouping would change the bytes.
 
-use mimonet::chaos::{run_chaos, ChaosConfig};
-use mimonet::link::LinkConfig;
-use mimonet::sweep::{run_link, run_link_until_errors, SweepSpec};
+use mimonet::chaos::{run_chaos, run_chaos_capture, ChaosConfig};
+use mimonet::link::{LinkConfig, LinkStats};
+use mimonet::sweep::{run_link, run_link_until_errors, Merge, SweepSpec};
+use mimonet::{FrameOutcomes, RecoveryCounter, StageProfile};
 use mimonet_channel::{ChannelConfig, Fading, FaultSpec};
 use mimonet_dsp::stats::Running;
+use mimonet_runtime::GraphTelemetry;
 use proptest::prelude::*;
 use serde::{json, Serialize};
 
@@ -172,6 +177,142 @@ proptest! {
         let reference = run(1);
         prop_assert_eq!(run(2), reference.clone());
         prop_assert_eq!(run(8), reference);
+    }
+}
+
+// --- Merge algebra: associativity + identity for every shard fold ---
+
+/// Checks `((a·b)·c) == (a·(b·c))` and `default·a == a` for instances
+/// produced by `gen`, compared through `ser` (the same serialized bytes
+/// the determinism suite diffs).
+fn check_merge_algebra<T: Merge>(gen: impl Fn(usize) -> T, ser: impl Fn(&T) -> String) {
+    let mut left = gen(0);
+    left.merge(&gen(1));
+    left.merge(&gen(2));
+    let mut bc = gen(1);
+    bc.merge(&gen(2));
+    let mut right = gen(0);
+    right.merge(&bc);
+    assert_eq!(ser(&left), ser(&right), "merge must be associative");
+
+    let mut with_identity = T::default();
+    with_identity.merge(&gen(0));
+    assert_eq!(
+        ser(&with_identity),
+        ser(&gen(0)),
+        "default must be the merge identity"
+    );
+}
+
+#[test]
+fn recovery_counter_merge_is_associative() {
+    check_merge_algebra(
+        |i| {
+            let mut r = RecoveryCounter::default();
+            r.record_events(3 + i as u64 * 7);
+            r.record_rescans(i as u64);
+            for k in 0..(5 + i * 3) {
+                r.record_faulted(k % 2 == 0);
+            }
+            for k in 0..(4 + i) {
+                r.record_post_fault(k % 3 != 0);
+            }
+            r
+        },
+        |r| json::to_string(&r.serialize()),
+    );
+}
+
+#[test]
+fn chaos_link_stats_merge_is_associative() {
+    // Real chaos-capture accumulators (PER + BER + recovery + outcome
+    // taxonomy), not synthetic ones: this is the exact type the chaos
+    // sweep folds across shards.
+    let cfg = ChaosConfig::new(
+        8,
+        3,
+        ChannelConfig::awgn(2, 2, 26.0),
+        FaultSpec::harsh_mid_capture(),
+    );
+    check_merge_algebra(
+        |i| {
+            let mut stats = LinkStats::default();
+            run_chaos_capture(&cfg, 0xA55A ^ (i as u64 * 0x9E37_79B9), &mut stats);
+            stats
+        },
+        |s| json::to_string(&s.serialize()),
+    );
+}
+
+proptest! {
+    #[test]
+    fn frame_outcomes_merge_associative(
+        counts in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 6), 3),
+    ) {
+        let from = |v: &[u64]| FrameOutcomes {
+            ok: v[0],
+            sync_miss: v[1],
+            header_fail: v[2],
+            detector_fail: v[3],
+            fec_fail: v[4],
+            payload_fail: v[5],
+        };
+        let sets = [from(&counts[0]), from(&counts[1]), from(&counts[2])];
+        let gen = |i: usize| sets[i];
+        check_merge_algebra(gen, |o| json::to_string(&o.serialize()));
+        // Totals are conserved: merged total == sum of part totals.
+        let mut merged = FrameOutcomes::default();
+        for s in &sets {
+            merged.merge(s);
+        }
+        prop_assert_eq!(
+            merged.total(),
+            sets.iter().map(FrameOutcomes::total).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn stage_profile_merge_associative(
+        calls in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, mimonet::STAGE_COUNT), 3),
+        ns in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, mimonet::STAGE_COUNT), 3),
+    ) {
+        let gen = |i: usize| {
+            let mut p = StageProfile::default();
+            p.calls.copy_from_slice(&calls[i]);
+            p.ns.copy_from_slice(&ns[i]);
+            p
+        };
+        check_merge_algebra(gen, |p| json::to_string(&p.to_value(true)));
+    }
+
+    #[test]
+    fn graph_snapshot_merge_associative(
+        vals in proptest::collection::vec(
+            proptest::collection::vec(0u64..100_000, 4), 3),
+    ) {
+        // Snapshots taken from a real registry shape (two blocks, one
+        // with an input port) so highwater-max and counter-add merge
+        // paths are both exercised.
+        let gen = |i: usize| {
+            let tel = GraphTelemetry::new([("src".to_string(), 0), ("sink".to_string(), 1)]);
+            let v = &vals[i];
+            tel.blocks[0].work_calls.add(v[0]);
+            tel.blocks[0].items_out.add(v[1]);
+            tel.blocks[1].work_calls.add(v[2]);
+            tel.blocks[1].items_in.add(v[1]);
+            tel.blocks[1].input_highwater[0].record(v[3]);
+            tel.blocks[1].work_ns_hist.record(v[3]);
+            tel.snapshot()
+        };
+        check_merge_algebra(gen, |s| json::to_string(&s.to_value(true)));
+        // The empty snapshot (a shard that never instrumented) adopts
+        // the other side wholesale.
+        let mut empty = mimonet_runtime::GraphSnapshot::default();
+        empty.merge(&gen(0));
+        prop_assert_eq!(empty, gen(0));
     }
 }
 
