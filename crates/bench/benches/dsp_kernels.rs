@@ -3,7 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mimonet_dsp::complex::C64;
-use mimonet_dsp::correlate::{normalized_cross_correlate, SlidingAutocorrelator};
+use mimonet_dsp::correlate::{
+    normalized_cross_correlate, normalized_cross_correlate_into,
+    normalized_cross_correlate_reference, SlidingAutocorrelator,
+};
 use mimonet_dsp::fft::Fft;
 use mimonet_dsp::resample::resample;
 
@@ -52,6 +55,21 @@ fn bench_cross_correlate(c: &mut Criterion) {
     c.bench_function("cross_correlate_2048x64", |b| {
         b.iter(|| normalized_cross_correlate(&x, &reference));
     });
+
+    // Before/after pair for the hot-path optimization: per-lag window
+    // energy recomputed from scratch vs the O(1) sliding update writing
+    // into a reused buffer.
+    let mut g = c.benchmark_group("cross_correlate_4096x64");
+    g.throughput(Throughput::Elements(4096));
+    let x = signal(4096);
+    g.bench_function("reference", |b| {
+        b.iter(|| normalized_cross_correlate_reference(&x, &reference));
+    });
+    g.bench_function("sliding_into", |b| {
+        let mut out = Vec::new();
+        b.iter(|| normalized_cross_correlate_into(&x, &reference, &mut out));
+    });
+    g.finish();
 }
 
 fn bench_resample(c: &mut Criterion) {

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mimonet_fec::interleaver::Interleaver;
 use mimonet_fec::puncture::{depuncture_soft, puncture, CodeRate};
-use mimonet_fec::viterbi::decode_soft_unterminated;
+use mimonet_fec::viterbi::{decode_soft_unterminated, reference, ViterbiDecoder};
 use mimonet_fec::{ConvEncoder, Scrambler};
 
 fn bits(n: usize) -> Vec<u8> {
@@ -34,6 +34,17 @@ fn bench_viterbi(c: &mut Criterion) {
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("soft_unterminated", n), &n, |b, _| {
             b.iter(|| decode_soft_unterminated(&llrs).unwrap());
+        });
+        // Before/after pair for the hot-path optimization: the
+        // closure-per-transition reference decoder vs the table-driven
+        // decoder reusing its metric/survivor buffers across calls.
+        g.bench_with_input(BenchmarkId::new("soft_reference", n), &n, |b, _| {
+            b.iter(|| reference::decode_soft_unterminated(&llrs).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("soft_table_into", n), &n, |b, _| {
+            let mut dec = ViterbiDecoder::new();
+            let mut out = Vec::new();
+            b.iter(|| dec.decode_soft_unterminated_into(&llrs, &mut out).unwrap());
         });
     }
     g.finish();

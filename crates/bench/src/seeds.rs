@@ -54,3 +54,5 @@ pub const DOPPLER: u64 = 2718;
 pub const CHAOS: u64 = 0xFA_0175;
 /// P1 — flowgraph profiler / RX-stage timing / outcome taxonomy.
 pub const PROFILE: u64 = 0x9821;
+/// T3b — RX hot-path before/after microbenchmarks.
+pub const HOTPATH: u64 = 0x407B;

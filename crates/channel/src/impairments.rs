@@ -18,13 +18,22 @@ use mimonet_dsp::resample::{fractional_delay, resample};
 /// Returns the phase after the last sample so multi-segment streams stay
 /// continuous.
 pub fn apply_cfo(signal: &mut [Complex64], cfo_norm: f64, phase0: f64) -> f64 {
+    apply_cfo_raw(signal, cfo_norm, phase0).rem_euclid(2.0 * std::f64::consts::PI)
+}
+
+/// [`apply_cfo`] returning the *raw* accumulated phase (no `rem_euclid`
+/// wrap). Chunked application is bit-identical to one whole-buffer call
+/// only when the raw phase is carried across chunk boundaries — wrapping
+/// perturbs the accumulator by one ulp-scale rounding and changes every
+/// subsequent sample. The lazy-correction RX path depends on this.
+pub fn apply_cfo_raw(signal: &mut [Complex64], cfo_norm: f64, phase0: f64) -> f64 {
     let step = 2.0 * std::f64::consts::PI * cfo_norm / 64.0;
     let mut phase = phase0;
     for x in signal.iter_mut() {
         *x *= Complex64::cis(phase);
         phase += step;
     }
-    phase.rem_euclid(2.0 * std::f64::consts::PI)
+    phase
 }
 
 /// Converts a CFO in parts-per-million of a carrier frequency into
@@ -128,6 +137,24 @@ mod tests {
         apply_cfo(&mut b, 0.37, mid);
         for (i, (x, y)) in whole.iter().zip(a.iter().chain(b.iter())).enumerate() {
             assert!(x.dist(*y) < 1e-9, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn cfo_raw_phase_chunking_is_bit_identical() {
+        // Raw-phase carry must reproduce the whole-buffer result exactly —
+        // not just closely — because the receiver's lazy correction splits
+        // one logical pass into many chunks.
+        let src: Vec<C64> = (0..512).map(|i| C64::cis(i as f64 * 0.31) * 0.7).collect();
+        let mut whole = src.clone();
+        apply_cfo_raw(&mut whole, 0.4371, 0.93);
+        let mut chunked = src;
+        let mut phase = 0.93;
+        for chunk in chunked.chunks_mut(37) {
+            phase = apply_cfo_raw(chunk, 0.4371, phase);
+        }
+        for (i, (a, b)) in whole.iter().zip(&chunked).enumerate() {
+            assert_eq!(a, b, "sample {i}");
         }
     }
 

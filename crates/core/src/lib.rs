@@ -29,6 +29,7 @@ pub mod config;
 pub mod link;
 pub mod metrics;
 pub mod rx;
+pub mod rx_reference;
 pub mod sweep;
 pub mod telemetry;
 pub mod tx;
@@ -39,7 +40,8 @@ pub use chaos::{chaos_shard, run_chaos, run_chaos_capture, ChaosConfig};
 pub use config::{RxConfig, TxConfig};
 pub use link::{LinkConfig, LinkSim, LinkStats};
 pub use metrics::{BerCounter, PerCounter, RecoveryCounter};
-pub use rx::{Receiver, RxError, RxFrame, ScanStats, MAX_FRAME_SPAN};
+pub use rx::{with_workspace, Receiver, RxError, RxFrame, RxWorkspace, ScanStats, MAX_FRAME_SPAN};
+pub use rx_reference::ReferenceReceiver;
 pub use sweep::{run_link, run_link_until_errors, Merge, ShardCtx, SweepResult, SweepSpec};
 pub use telemetry::{
     FrameOutcomes, RxCaptureProfile, RxStage, StageClock, StageProfile, STAGE_COUNT,

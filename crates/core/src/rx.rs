@@ -3,7 +3,8 @@
 //! Processing order (the practical pipeline the paper describes):
 //!
 //! 1. **Packet detection** — STF plateau across antennas, coarse CFO.
-//! 2. **Coarse CFO correction** over the whole buffer.
+//! 2. **Coarse CFO correction**, applied lazily as each stage extends its
+//!    reach into the capture.
 //! 3. **Fine timing** — L-LTF cross-correlation (or detection geometry
 //!    when disabled, the A2 ablation).
 //! 4. **Fine CFO** from the two L-LTF repetitions, corrected.
@@ -13,35 +14,64 @@
 //! 8. Per data symbol: FFT, **pilot phase tracking**, **ZF/MMSE/ML
 //!    detection**, per-stream deinterleave, stream deparse.
 //! 9. Depuncture → Viterbi (soft or hard) → descramble → PSDU.
+//!
+//! # Hot path & memory discipline
+//!
+//! The receiver operates on *borrowed* per-antenna sample views
+//! (`&[&[Complex64]]`) and keeps every scratch buffer in a reusable
+//! [`RxWorkspace`]. After the workspace has warmed up on one frame,
+//! [`Receiver::receive_into`] performs **zero heap allocations** (pinned
+//! by `tests/alloc_regression.rs`; the ML detector is the one documented
+//! exception — its hypothesis table scales with the constellation).
+//!
+//! Two structural changes make this possible without changing a single
+//! output bit (the reference implementation in [`crate::rx_reference`]
+//! is the oracle):
+//!
+//! * **View-based scanning.** [`Receiver::scan`] hands each decode
+//!   attempt a window of sub-slices instead of copying up to
+//!   [`MAX_FRAME_SPAN`] samples per attempt, which made back-to-back
+//!   scans O(capture²) in copied bytes.
+//! * **Lazy chunked CFO correction.** The CFO-corrected buffers are
+//!   extended only as far as the pipeline actually reads. Chunking is
+//!   bit-exact because [`apply_cfo_raw`] threads the *raw accumulated
+//!   phase* across chunk boundaries — the identical sequence of `phase +=
+//!   step` additions the old whole-buffer pass performed.
 
 use crate::config::RxConfig;
 use crate::telemetry::{RxCaptureProfile, RxStage, StageClock, StageProfile};
-use crate::tx::{deparse_streams_soft, DATA_POLARITY_OFFSET};
-use mimonet_detect::chanest::ChannelEstimate;
-use mimonet_detect::snr::snr_from_ltf_repetitions;
-use mimonet_detect::{
-    estimate_mimo_htltf, prepare as prepare_detector, smooth_frequency, Prepared,
+use crate::tx::{deparse_streams_soft_flat, DATA_POLARITY_OFFSET};
+use mimonet_channel::impairments::apply_cfo_raw;
+use mimonet_detect::chanest::{
+    estimate_mimo_htltf_into, estimate_siso_lltf_into, smooth_frequency_into, ChannelEstimate,
 };
+use mimonet_detect::snr::snr_from_ltf_repetitions;
+use mimonet_detect::{prepare as prepare_detector, CMat, EvmSnrEstimator, Prepared};
 use mimonet_dsp::complex::Complex64;
 use mimonet_dsp::stats::lin_to_db;
 use mimonet_fec::interleaver::Interleaver;
-use mimonet_fec::puncture::depuncture_soft;
-use mimonet_fec::viterbi::decode_soft_unterminated;
-use mimonet_fec::{decode_hard, Symbol};
+use mimonet_fec::puncture::depuncture_soft_into;
+use mimonet_fec::{Symbol, ViterbiDecoder};
 use mimonet_frame::carriers::{carrier_to_bin, FFT_LEN, PILOT_CARRIERS};
 use mimonet_frame::mcs::Mcs;
 use mimonet_frame::ofdm::Ofdm;
 use mimonet_frame::pilots::{ht_pilots, legacy_pilots};
 use mimonet_frame::preamble::num_htltf;
-use mimonet_frame::psdu::descramble_data_bits;
+use mimonet_frame::psdu::descramble_data_bits_into;
 use mimonet_frame::sig::{HtSig, LSig, SigError};
 use mimonet_frame::Layout;
-use mimonet_sync::{fine_timing, DetectorConfig, PacketDetector, PhaseTracker, VanDeBeek};
+use mimonet_sync::finetiming::{fine_timing_with, FineTimingScratch};
+use mimonet_sync::{DetectorConfig, PacketDetector, PhaseTracker, VanDeBeek};
+use std::cell::RefCell;
 
 /// A successfully decoded frame plus the receiver's channel measurements —
 /// the paper's "fine grained SNR estimation, BER and PER computations"
 /// hang off these fields.
-#[derive(Clone, Debug)]
+///
+/// Implements `Default` so callers can recycle one instance across
+/// [`Receiver::receive_into`] calls; every field is fully overwritten on
+/// success (on error the contents are unspecified).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RxFrame {
     /// The decoded PSDU (length from HT-SIG; FCS *not* checked here — the
     /// MAC layer / link simulator does that).
@@ -136,6 +166,215 @@ pub struct ScanStats {
     pub fec_errors: usize,
 }
 
+/// Reusable scratch memory for one receive chain.
+///
+/// Holds every buffer the pipeline needs — the lazily CFO-corrected
+/// per-antenna sample buffers, FFT bin arrays, channel estimates,
+/// prepared per-carrier detectors, flat stride-indexed LLR slabs and the
+/// Viterbi decoder's trellis state. All of it is recycled from frame to
+/// frame: once warmed, [`Receiver::receive_into`] allocates nothing.
+///
+/// Construction is cheap (empty vectors); buffers grow on first use.
+pub struct RxWorkspace {
+    detector: Option<PacketDetector>,
+    /// CFO-corrected copies of the input views, extended lazily.
+    bufs: Vec<Vec<Complex64>>,
+    /// Samples copied in and coarse-corrected so far.
+    corrected_len: usize,
+    coarse_corr: f64,
+    /// Raw accumulated coarse phase at `corrected_len` — chunk boundary
+    /// carry that keeps chunked correction bit-identical to one pass.
+    coarse_carry: f64,
+    fine_corr: f64,
+    fine_carry: f64,
+    /// Samples fine-corrected so far (fine correction starts at the LTF).
+    fine_len: usize,
+    timing: FineTimingScratch,
+    legacy_est: Vec<ChannelEstimate>,
+    bins: Vec<[Complex64; FFT_LEN]>,
+    ltf_bins: Vec<[Complex64; FFT_LEN]>,
+    chan: ChannelEstimate,
+    chan_smooth: ChannelEstimate,
+    prepared: Vec<Prepared>,
+    interleavers: Vec<Interleaver>,
+    obs: Vec<(i32, Complex64, Complex64)>,
+    /// Stream-major per-symbol LLRs: `[s * n_cbpss + ci * n_bpsc + b]`.
+    stream_llrs: Vec<f64>,
+    deinterleaved: Vec<f64>,
+    all_llrs: Vec<f64>,
+    full_llrs: Vec<f64>,
+    syms: Vec<Symbol>,
+    hard_syms: Vec<Symbol>,
+    hdr: Vec<u8>,
+    viterbi: ViterbiDecoder,
+    decoded: Vec<u8>,
+    descramble_scratch: Vec<u8>,
+}
+
+impl RxWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            detector: None,
+            bufs: Vec::new(),
+            corrected_len: 0,
+            coarse_corr: 0.0,
+            coarse_carry: 0.0,
+            fine_corr: 0.0,
+            fine_carry: 0.0,
+            fine_len: 0,
+            timing: FineTimingScratch::default(),
+            legacy_est: Vec::new(),
+            bins: Vec::new(),
+            ltf_bins: Vec::new(),
+            chan: ChannelEstimate::empty(1, 1),
+            chan_smooth: ChannelEstimate::empty(1, 1),
+            prepared: Vec::new(),
+            interleavers: Vec::new(),
+            obs: Vec::new(),
+            stream_llrs: Vec::new(),
+            deinterleaved: Vec::new(),
+            all_llrs: Vec::new(),
+            full_llrs: Vec::new(),
+            syms: Vec::new(),
+            hard_syms: Vec::new(),
+            hdr: Vec::new(),
+            viterbi: ViterbiDecoder::new(),
+            decoded: Vec::new(),
+            descramble_scratch: Vec::new(),
+        }
+    }
+
+    /// Resets per-frame state, keeping all capacity.
+    fn begin(&mut self, n_rx: usize) {
+        if self.bufs.len() < n_rx {
+            self.bufs.resize_with(n_rx, Vec::new);
+        }
+        for b in &mut self.bufs[..n_rx] {
+            b.clear();
+        }
+        self.corrected_len = 0;
+        self.coarse_corr = 0.0;
+        self.coarse_carry = 0.0;
+        self.fine_corr = 0.0;
+        self.fine_carry = 0.0;
+        self.fine_len = 0;
+    }
+
+    /// Copies input samples into the working buffers and coarse-corrects
+    /// them, up to (at least) sample `n`. Already-corrected samples are
+    /// never touched again, so repeated calls with growing `n` produce
+    /// exactly the sample values a single whole-buffer pass would.
+    fn ensure_coarse(&mut self, rx: &[&[Complex64]], n: usize) {
+        let n = n.min(rx[0].len());
+        if n <= self.corrected_len {
+            return;
+        }
+        let lo = self.corrected_len;
+        let mut carry = self.coarse_carry;
+        for (b, a) in self.bufs.iter_mut().zip(rx) {
+            b.extend_from_slice(&a[lo..n]);
+            carry = apply_cfo_raw(&mut b[lo..n], self.coarse_corr, self.coarse_carry);
+        }
+        self.coarse_carry = carry;
+        self.corrected_len = n;
+    }
+
+    /// Activates the fine CFO correction from sample `from` onward.
+    ///
+    /// The old implementation corrected the whole buffer from sample 0;
+    /// samples before the LTF are never read again, so only the *phase
+    /// accumulator* has to walk the prefix. The walk repeats the exact
+    /// `phase += step` additions of the full pass — a closed-form
+    /// `step * from` would differ in the last ulps and break bit-identity.
+    fn start_fine(&mut self, corr: f64, from: usize) {
+        self.fine_corr = corr;
+        let step = 2.0 * std::f64::consts::PI * corr / 64.0;
+        let mut carry = 0.0;
+        for _ in 0..from {
+            carry += step;
+        }
+        self.fine_carry = carry;
+        self.fine_len = from;
+    }
+
+    /// Extends both corrections (coarse then fine, per sample in that
+    /// order — matching the old two whole-buffer passes) up to sample `n`.
+    fn ensure_fine(&mut self, rx: &[&[Complex64]], n: usize) {
+        self.ensure_coarse(rx, n);
+        let n = n.min(self.corrected_len);
+        if n <= self.fine_len {
+            return;
+        }
+        let lo = self.fine_len;
+        let mut carry = self.fine_carry;
+        for b in &mut self.bufs[..rx.len()] {
+            carry = apply_cfo_raw(&mut b[lo..n], self.fine_corr, self.fine_carry);
+        }
+        self.fine_carry = carry;
+        self.fine_len = n;
+    }
+}
+
+impl Default for RxWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    static WORKSPACE: RefCell<RxWorkspace> = RefCell::new(RxWorkspace::new());
+}
+
+/// Runs `f` with this thread's shared receive workspace — the backing
+/// store for the owned-buffer convenience APIs ([`Receiver::receive`],
+/// [`Receiver::scan`], …), mirroring the FEC crate's thread-local decoder.
+pub fn with_workspace<R>(f: impl FnOnce(&mut RxWorkspace) -> R) -> R {
+    WORKSPACE.with(|w| f(&mut w.borrow_mut()))
+}
+
+/// Antennas beyond which the view helpers fall back to a heap-allocated
+/// slice-of-slices (the stack array covers every realistic MIMO order).
+const MAX_STACK_RX: usize = 8;
+
+/// Calls `f` with per-antenna sub-views `[lo..hi)`, building the
+/// slice-of-slices on the stack for realistic antenna counts.
+fn with_views<T: AsRef<[Complex64]>, R>(
+    ants: &[T],
+    lo: usize,
+    hi: usize,
+    f: impl FnOnce(&[&[Complex64]]) -> R,
+) -> R {
+    if ants.len() <= MAX_STACK_RX {
+        let mut store: [&[Complex64]; MAX_STACK_RX] = [&[]; MAX_STACK_RX];
+        for (w, a) in store.iter_mut().zip(ants) {
+            *w = &a.as_ref()[lo..hi];
+        }
+        f(&store[..ants.len()])
+    } else {
+        let v: Vec<&[Complex64]> = ants.iter().map(|a| &a.as_ref()[lo..hi]).collect();
+        f(&v)
+    }
+}
+
+/// Calls `f` with full-length per-antenna views (lengths may differ; the
+/// receiver validates them itself).
+fn with_full_views<T: AsRef<[Complex64]>, R>(
+    ants: &[T],
+    f: impl FnOnce(&[&[Complex64]]) -> R,
+) -> R {
+    if ants.len() <= MAX_STACK_RX {
+        let mut store: [&[Complex64]; MAX_STACK_RX] = [&[]; MAX_STACK_RX];
+        for (w, a) in store.iter_mut().zip(ants) {
+            *w = a.as_ref();
+        }
+        f(&store[..ants.len()])
+    } else {
+        let v: Vec<&[Complex64]> = ants.iter().map(|a| a.as_ref()).collect();
+        f(&v)
+    }
+}
+
 /// The receiver. Reusable across frames.
 #[derive(Clone, Debug)]
 pub struct Receiver {
@@ -178,14 +417,20 @@ impl Receiver {
     ///   shortest (a desynchronized or partially-truncated capture must
     ///   degrade, not index out of bounds);
     /// * each `receive` call sees a window of at most [`MAX_FRAME_SPAN`]
-    ///   samples, so the work and allocations a corrupt HT-SIG can trigger
-    ///   are bounded by the longest legal frame, not the capture length;
+    ///   samples, so the work a corrupt HT-SIG can trigger is bounded by
+    ///   the longest legal frame, not the capture length — and the window
+    ///   is a *view*, so sliding it copies nothing;
     /// * after `SyncLost` / a failed header the scan skips ahead and
     ///   re-scans instead of aborting the capture, and a persistent
     ///   [`RxError::AntennaMismatch`] (a config error, not a channel
     ///   condition) stops the scan instead of looping on it.
     pub fn scan(&self, rx: &[Vec<Complex64>]) -> (Vec<(usize, RxFrame)>, ScanStats) {
         self.scan_profiled(rx, &mut RxCaptureProfile::default())
+    }
+
+    /// [`Self::scan`] over borrowed per-antenna views.
+    pub fn scan_views(&self, rx: &[&[Complex64]]) -> (Vec<(usize, RxFrame)>, ScanStats) {
+        self.scan_views_profiled(rx, &mut RxCaptureProfile::default())
     }
 
     /// [`Self::scan`] that additionally records telemetry into `cap`:
@@ -198,18 +443,40 @@ impl Receiver {
         rx: &[Vec<Complex64>],
         cap: &mut RxCaptureProfile,
     ) -> (Vec<(usize, RxFrame)>, ScanStats) {
+        with_full_views(rx, |views| self.scan_views_profiled(views, cap))
+    }
+
+    /// [`Self::scan_profiled`] over borrowed per-antenna views, using the
+    /// thread-local workspace.
+    pub fn scan_views_profiled(
+        &self,
+        rx: &[&[Complex64]],
+        cap: &mut RxCaptureProfile,
+    ) -> (Vec<(usize, RxFrame)>, ScanStats) {
+        with_workspace(|ws| self.scan_with(rx, ws, cap))
+    }
+
+    fn scan_with(
+        &self,
+        rx: &[&[Complex64]],
+        ws: &mut RxWorkspace,
+        cap: &mut RxCaptureProfile,
+    ) -> (Vec<(usize, RxFrame)>, ScanStats) {
         const ERROR_STRIDE: usize = 400;
         let len = rx.iter().map(|a| a.len()).min().unwrap_or(0);
         let mut out = Vec::new();
         let mut stats = ScanStats::default();
+        let mut frame = RxFrame::default();
         let mut offset = 0usize;
         while offset + 640 < len {
             let hi = (offset + MAX_FRAME_SPAN).min(len);
-            let window: Vec<Vec<Complex64>> = rx.iter().map(|a| a[offset..hi].to_vec()).collect();
-            match self.receive_profiled(&window, &mut cap.stages) {
-                Ok(frame) => {
+            let res = with_views(rx, offset, hi, |window| {
+                self.receive_profiled_into(window, ws, &mut cap.stages, &mut frame)
+            });
+            match res {
+                Ok(()) => {
                     let end = frame.frame_end;
-                    out.push((offset, frame));
+                    out.push((offset, std::mem::take(&mut frame)));
                     offset += end.max(ERROR_STRIDE);
                 }
                 Err(RxError::NoPacket) => {
@@ -245,7 +512,26 @@ impl Receiver {
 
     /// Attempts to detect and decode one frame from per-antenna buffers.
     pub fn receive(&self, rx: &[Vec<Complex64>]) -> Result<RxFrame, RxError> {
-        self.receive_profiled(rx, &mut StageProfile::default())
+        with_full_views(rx, |views| self.receive_views(views))
+    }
+
+    /// [`Self::receive`] over borrowed per-antenna views, using the
+    /// thread-local workspace.
+    pub fn receive_views(&self, rx: &[&[Complex64]]) -> Result<RxFrame, RxError> {
+        self.receive_profiled_views(rx, &mut StageProfile::default())
+    }
+
+    /// The allocation-free receive path: decodes one frame from borrowed
+    /// views into a caller-owned workspace and frame. With both warmed
+    /// (one prior call of the same shape), this performs no heap
+    /// allocation. On `Err` the frame's contents are unspecified.
+    pub fn receive_into(
+        &self,
+        rx: &[&[Complex64]],
+        ws: &mut RxWorkspace,
+        frame: &mut RxFrame,
+    ) -> Result<(), RxError> {
+        self.receive_profiled_into(rx, ws, &mut StageProfile::default(), frame)
     }
 
     /// [`Self::receive`] with per-stage timing spans recorded into
@@ -259,8 +545,33 @@ impl Receiver {
         rx: &[Vec<Complex64>],
         profile: &mut StageProfile,
     ) -> Result<RxFrame, RxError> {
+        with_full_views(rx, |views| self.receive_profiled_views(views, profile))
+    }
+
+    /// [`Self::receive_profiled`] over borrowed per-antenna views.
+    pub fn receive_profiled_views(
+        &self,
+        rx: &[&[Complex64]],
+        profile: &mut StageProfile,
+    ) -> Result<RxFrame, RxError> {
+        with_workspace(|ws| {
+            let mut frame = RxFrame::default();
+            self.receive_profiled_into(rx, ws, profile, &mut frame)?;
+            Ok(frame)
+        })
+    }
+
+    /// [`Self::receive_into`] with per-stage telemetry — the primitive
+    /// every other receive/scan entry point funnels through.
+    pub fn receive_profiled_into(
+        &self,
+        rx: &[&[Complex64]],
+        ws: &mut RxWorkspace,
+        profile: &mut StageProfile,
+        frame: &mut RxFrame,
+    ) -> Result<(), RxError> {
         let mut clock = StageClock::start();
-        let res = self.receive_inner(rx, profile, &mut clock);
+        let res = self.receive_inner(rx, ws, profile, &mut clock, frame);
         if let Err(e) = &res {
             clock.lap(profile, RxStage::of_error(e));
         }
@@ -269,36 +580,40 @@ impl Receiver {
 
     fn receive_inner(
         &self,
-        rx: &[Vec<Complex64>],
+        rx: &[&[Complex64]],
+        ws: &mut RxWorkspace,
         profile: &mut StageProfile,
         clock: &mut StageClock,
-    ) -> Result<RxFrame, RxError> {
-        if rx.len() != self.cfg.n_rx {
+        frame: &mut RxFrame,
+    ) -> Result<(), RxError> {
+        let n_rx = self.cfg.n_rx;
+        if rx.len() != n_rx {
             return Err(RxError::AntennaMismatch {
-                expected: self.cfg.n_rx,
+                expected: n_rx,
                 got: rx.len(),
             });
         }
         let len = rx[0].len();
         if rx.iter().any(|a| a.len() != len) {
             return Err(RxError::AntennaMismatch {
-                expected: self.cfg.n_rx,
+                expected: n_rx,
                 got: rx.len(),
             });
         }
 
         // --- 1. Packet detection + coarse CFO ---
-        let mut detector = PacketDetector::new(self.cfg.n_rx, DetectorConfig::default());
-        let refs: Vec<&[Complex64]> = rx.iter().map(|a| a.as_slice()).collect();
-        let det = detector.detect(&refs).ok_or(RxError::NoPacket)?;
+        if ws.detector.as_ref().is_none_or(|d| d.n_antennas() != n_rx) {
+            ws.detector = Some(PacketDetector::new(n_rx, DetectorConfig::default()));
+        }
+        let detector = ws.detector.as_mut().expect("detector just ensured");
+        detector.reset();
+        let det = detector.detect(rx).ok_or(RxError::NoPacket)?;
         clock.lap(profile, RxStage::Detect);
 
-        // --- 2. Coarse CFO correction (whole buffer) ---
-        let mut bufs: Vec<Vec<Complex64>> = rx.to_vec();
+        // --- 2. Coarse CFO correction (lazily chunked from here on) ---
+        ws.begin(n_rx);
+        ws.coarse_corr = -det.coarse_cfo;
         let mut total_cfo = det.coarse_cfo;
-        for b in &mut bufs {
-            mimonet_channel::impairments::apply_cfo(b, -det.coarse_cfo, 0.0);
-        }
 
         // --- 3. Fine timing: locate the first L-LTF body ---
         // Detection confirms ~(warmup + min_run) samples into the STF; the
@@ -317,8 +632,12 @@ impl Receiver {
             if win_hi <= win_lo + 64 {
                 return Err(RxError::SyncLost);
             }
-            let windows: Vec<&[Complex64]> = bufs.iter().map(|b| &b[win_lo..win_hi]).collect();
-            let ft = fine_timing(&windows).ok_or(RxError::SyncLost)?;
+            ws.ensure_coarse(rx, win_hi);
+            let RxWorkspace { bufs, timing, .. } = &mut *ws;
+            let ft = with_views(&bufs[..n_rx], win_lo, win_hi, |w| {
+                fine_timing_with(w, timing)
+            })
+            .ok_or(RxError::SyncLost)?;
             win_lo + ft.ltf_start
         } else {
             // Fallback refinement: the paper's MIMO-extended Van de Beek.
@@ -329,9 +648,9 @@ impl Receiver {
             let win_lo = (ltf_guess + 128).min(len);
             let win_hi = (win_lo + 480).min(len);
             if win_hi >= win_lo + 160 {
-                let windows: Vec<&[Complex64]> = bufs.iter().map(|b| &b[win_lo..win_hi]).collect();
+                ws.ensure_coarse(rx, win_hi);
                 let vdb = VanDeBeek::new(64, 16, self.cfg.vdb_snr_db);
-                match vdb.estimate(&windows) {
+                match with_views(&ws.bufs[..n_rx], win_lo, win_hi, |w| vdb.estimate(w)) {
                     Some(est) => {
                         // Signed residue in (−40, 40]: how far the detected
                         // boundary sits from the guessed symbol grid.
@@ -355,50 +674,58 @@ impl Receiver {
         }
 
         // --- 4. Fine CFO from the LTF repetitions ---
+        ws.ensure_coarse(rx, ltf_start + 128);
         let mut gamma = Complex64::ZERO;
-        for b in &bufs {
+        for b in &ws.bufs[..n_rx] {
             let b1 = &b[ltf_start..ltf_start + 64];
             let b2 = &b[ltf_start + 64..ltf_start + 128];
             gamma += mimonet_dsp::complex::dot_conj(b1, b2);
         }
         let fine_cfo = -gamma.arg() / (2.0 * std::f64::consts::PI);
         total_cfo += fine_cfo;
-        for b in &mut bufs {
-            mimonet_channel::impairments::apply_cfo(b, -fine_cfo, 0.0);
-        }
+        ws.start_fine(-fine_cfo, ltf_start);
+        ws.ensure_fine(rx, ltf_start + 128);
         clock.lap(profile, RxStage::Sync);
 
         // --- 5. SNR and noise variance from the corrected LTFs ---
         let scale52 = Ofdm::unit_power_scale(52);
         let scale56 = Ofdm::unit_power_scale(56);
         let mut snr_acc = 0.0;
-        let mut legacy_est: Vec<ChannelEstimate> = Vec::with_capacity(self.cfg.n_rx);
         let mut noise_bin_var = 0.0;
-        for b in &bufs {
-            let b1 = &b[ltf_start..ltf_start + 64];
-            let b2 = &b[ltf_start + 64..ltf_start + 128];
-            snr_acc += snr_from_ltf_repetitions(b1, b2).unwrap_or(0.0);
-            let f1 = self.ofdm.demodulate_window(b1, scale52);
-            let f2 = self.ofdm.demodulate_window(b2, scale52);
-            // Frequency-domain noise variance over occupied carriers:
-            // E|F1-F2|^2 / 2 per repetition pair.
-            let mut acc = 0.0;
-            let mut n = 0.0;
-            for k in -26..=26i32 {
-                if k == 0 {
-                    continue;
-                }
-                let bin = carrier_to_bin(k);
-                acc += f1[bin].dist_sqr(f2[bin]);
-                n += 1.0;
-            }
-            noise_bin_var += acc / n / 2.0;
-            legacy_est.push(mimonet_detect::estimate_siso_lltf(&f1, &f2));
+        if ws.legacy_est.len() < n_rx {
+            ws.legacy_est
+                .resize_with(n_rx, || ChannelEstimate::empty(1, 1));
         }
-        let snr_db = lin_to_db(snr_acc / self.cfg.n_rx as f64);
+        {
+            let RxWorkspace {
+                bufs, legacy_est, ..
+            } = &mut *ws;
+            for (b, est) in bufs[..n_rx].iter().zip(&mut legacy_est[..n_rx]) {
+                let b1 = &b[ltf_start..ltf_start + 64];
+                let b2 = &b[ltf_start + 64..ltf_start + 128];
+                snr_acc += snr_from_ltf_repetitions(b1, b2).unwrap_or(0.0);
+                let f1 = self.ofdm.demodulate_window(b1, scale52);
+                let f2 = self.ofdm.demodulate_window(b2, scale52);
+                // Frequency-domain noise variance over occupied carriers:
+                // E|F1-F2|^2 / 2 per repetition pair.
+                let mut acc = 0.0;
+                let mut n = 0.0;
+                for k in -26..=26i32 {
+                    if k == 0 {
+                        continue;
+                    }
+                    let bin = carrier_to_bin(k);
+                    acc += f1[bin].dist_sqr(f2[bin]);
+                    n += 1.0;
+                }
+                noise_bin_var += acc / n / 2.0;
+                estimate_siso_lltf_into(&f1, &f2, est);
+            }
+        }
+        let snr_db = lin_to_db(snr_acc / n_rx as f64);
         // Per-antenna bin noise at LTF scaling; data symbols use the
         // 56-carrier scale, which raises the per-bin variance by 56/52.
-        let noise_var_sig = (noise_bin_var / self.cfg.n_rx as f64).max(1e-12);
+        let noise_var_sig = (noise_bin_var / n_rx as f64).max(1e-12);
         let noise_var_data = noise_var_sig * 56.0 / 52.0;
         clock.lap(profile, RxStage::SnrEst);
 
@@ -407,28 +734,48 @@ impl Receiver {
         if lsig_start + 3 * 80 > len {
             return Err(RxError::BufferTooShort);
         }
-        let lsig_bits = self.decode_legacy_symbol(&bufs, lsig_start, &legacy_est, 0, false)?;
-        let mut lsig24 = decode_hard(&to_symbols(&lsig_bits)).map_err(|_| RxError::SyncLost)?;
-        lsig24.extend_from_slice(&[0; 6]);
-        let _lsig = LSig::decode(&lsig24).map_err(RxError::LSig)?;
+        ws.ensure_fine(rx, lsig_start + 3 * 80);
+        let mut lsig_bits = [0u8; 48];
+        self.decode_legacy_symbol_into(ws, n_rx, lsig_start, 0, false, &mut lsig_bits)?;
+        {
+            let RxWorkspace {
+                syms, hdr, viterbi, ..
+            } = &mut *ws;
+            syms.clear();
+            syms.extend(lsig_bits.iter().map(|&b| Symbol::Bit(b)));
+            viterbi
+                .decode_hard_into(syms, hdr)
+                .map_err(|_| RxError::SyncLost)?;
+            hdr.extend_from_slice(&[0; 6]);
+            let _lsig = LSig::decode(hdr).map_err(RxError::LSig)?;
+        }
 
-        let ht1 = self.decode_legacy_symbol(&bufs, lsig_start + 80, &legacy_est, 1, true)?;
-        let ht2 = self.decode_legacy_symbol(&bufs, lsig_start + 160, &legacy_est, 2, true)?;
-        let mut coded = ht1;
-        coded.extend(ht2);
-        let mut htsig_bits = decode_hard(&to_symbols(&coded)).map_err(|_| RxError::SyncLost)?;
-        htsig_bits.extend_from_slice(&[0; 6]);
-        let htsig = HtSig::decode(&htsig_bits).map_err(RxError::HtSig)?;
+        let mut ht1 = [0u8; 48];
+        let mut ht2 = [0u8; 48];
+        self.decode_legacy_symbol_into(ws, n_rx, lsig_start + 80, 1, true, &mut ht1)?;
+        self.decode_legacy_symbol_into(ws, n_rx, lsig_start + 160, 2, true, &mut ht2)?;
+        let htsig = {
+            let RxWorkspace {
+                syms, hdr, viterbi, ..
+            } = &mut *ws;
+            syms.clear();
+            syms.extend(ht1.iter().chain(ht2.iter()).map(|&b| Symbol::Bit(b)));
+            viterbi
+                .decode_hard_into(syms, hdr)
+                .map_err(|_| RxError::SyncLost)?;
+            hdr.extend_from_slice(&[0; 6]);
+            HtSig::decode(hdr).map_err(RxError::HtSig)?
+        };
         // Do NOT trust the decode-time validation here: these bits came off
         // the air, and a corrupt-but-CRC-colliding HT-SIG reaching an
         // `expect` would let attacker-controlled input panic the receiver.
         let mcs =
             Mcs::from_index(htsig.mcs).map_err(|_| RxError::HtSig(SigError::BadMcs(htsig.mcs)))?;
         let n_ss = mcs.n_streams;
-        if n_ss > self.cfg.n_rx {
+        if n_ss > n_rx {
             return Err(RxError::TooManyStreams {
                 streams: n_ss,
-                antennas: self.cfg.n_rx,
+                antennas: n_rx,
             });
         }
         clock.lap(profile, RxStage::Header);
@@ -439,18 +786,29 @@ impl Receiver {
         if htltf_start + n_ltf * 80 > len {
             return Err(RxError::BufferTooShort);
         }
-        let mut ltf_bins: Vec<Vec<[Complex64; FFT_LEN]>> = Vec::with_capacity(n_ltf);
-        for i in 0..n_ltf {
-            let base = htltf_start + i * 80;
-            let per_rx: Vec<[Complex64; FFT_LEN]> = bufs
-                .iter()
-                .map(|b| self.ofdm.demodulate(&b[base..base + 80], scale56))
-                .collect();
-            ltf_bins.push(per_rx);
+        ws.ensure_fine(rx, htltf_start + n_ltf * 80);
+        {
+            let RxWorkspace {
+                bufs,
+                ltf_bins,
+                chan,
+                ..
+            } = &mut *ws;
+            ltf_bins.clear();
+            for i in 0..n_ltf {
+                let base = htltf_start + i * 80;
+                for b in &bufs[..n_rx] {
+                    ltf_bins.push(self.ofdm.demodulate(&b[base..base + 80], scale56));
+                }
+            }
+            estimate_mimo_htltf_into(ltf_bins, n_rx, n_ss, chan);
         }
-        let mut chan = estimate_mimo_htltf(&ltf_bins, n_ss);
-        if self.cfg.smoothing > 0 && htsig.smoothing {
-            chan = smooth_frequency(&chan, self.cfg.smoothing);
+        let smoothed = self.cfg.smoothing > 0 && htsig.smoothing;
+        if smoothed {
+            let RxWorkspace {
+                chan, chan_smooth, ..
+            } = &mut *ws;
+            smooth_frequency_into(chan, self.cfg.smoothing, chan_smooth);
         }
         clock.lap(profile, RxStage::ChanEst);
 
@@ -460,16 +818,39 @@ impl Receiver {
         if data_start + n_sym * 80 > len {
             return Err(RxError::BufferTooShort);
         }
+        ws.ensure_fine(rx, data_start + n_sym * 80);
 
-        let interleavers: Vec<Interleaver> = (0..n_ss)
-            .map(|s| Interleaver::ht(mcs.n_cbpss(), mcs.n_bpsc(), s, n_ss))
-            .collect();
         let data_carriers = Layout::Ht.data_carriers();
+        let n_cbpss = mcs.n_cbpss();
+        let n_bpsc = mcs.n_bpsc();
+        let RxWorkspace {
+            bufs,
+            chan,
+            chan_smooth,
+            prepared,
+            interleavers,
+            bins,
+            obs,
+            stream_llrs,
+            deinterleaved,
+            all_llrs,
+            full_llrs,
+            viterbi,
+            hard_syms,
+            decoded,
+            descramble_scratch,
+            ..
+        } = &mut *ws;
+        let chan: &ChannelEstimate = if smoothed { chan_smooth } else { chan };
+        let bufs = &bufs[..n_rx];
+
+        interleavers.clear();
+        interleavers.extend((0..n_ss).map(|s| Interleaver::ht(n_cbpss, n_bpsc, s, n_ss)));
         // The channel is block-fading: hoist the per-carrier detector
         // preparation (matrix inversions, ML hypothesis predictions) out
         // of the per-symbol loop.
-        let mut prepared: Vec<Prepared> = Vec::with_capacity(data_carriers.len());
-        for &k in &data_carriers {
+        prepared.clear();
+        for &k in data_carriers {
             let h = chan.at(k).ok_or(RxError::Detector)?;
             prepared.push(
                 prepare_detector(self.cfg.detector, h, noise_var_data, mcs.modulation)
@@ -477,22 +858,27 @@ impl Receiver {
             );
         }
         let mut tracker = PhaseTracker::new(0.5);
-        let mut evm = mimonet_detect::EvmSnrEstimator::new();
-        let mut all_llrs: Vec<f64> = Vec::with_capacity(n_sym * mcs.n_cbps());
+        let mut evm = EvmSnrEstimator::new();
+        all_llrs.clear();
+        all_llrs.reserve(n_sym * mcs.n_cbps());
+        stream_llrs.clear();
+        stream_llrs.resize(n_ss * n_cbpss, 0.0);
+        deinterleaved.clear();
+        deinterleaved.resize(n_ss * n_cbpss, 0.0);
 
         for sym in 0..n_sym {
             let base = data_start + sym * 80;
-            let mut bins: Vec<[Complex64; FFT_LEN]> = bufs
-                .iter()
-                .map(|b| self.ofdm.demodulate(&b[base..base + 80], scale56))
-                .collect();
+            bins.clear();
+            for b in bufs {
+                bins.push(self.ofdm.demodulate(&b[base..base + 80], scale56));
+            }
 
             // Pilot tracking: shared phase across antennas.
             if self.cfg.pilot_tracking {
-                let mut obs = Vec::with_capacity(4 * self.cfg.n_rx);
+                obs.clear();
                 for (i, &k) in PILOT_CARRIERS.iter().enumerate() {
                     if let Some(h) = chan.at(k) {
-                        for r in 0..self.cfg.n_rx {
+                        for r in 0..n_rx {
                             let mut expected = Complex64::ZERO;
                             for s in 0..n_ss {
                                 let p = ht_pilots(s, n_ss, sym, DATA_POLARITY_OFFSET)[i];
@@ -502,7 +888,7 @@ impl Receiver {
                         }
                     }
                 }
-                if let Some(est) = tracker.update(&obs) {
+                if let Some(est) = tracker.update(obs) {
                     for b in bins.iter_mut() {
                         for k in -28..=28i32 {
                             if k == 0 {
@@ -515,78 +901,105 @@ impl Receiver {
                 }
             }
 
-            // Detect every data carrier with the prepared per-carrier state.
-            let mut stream_llrs: Vec<Vec<f64>> = vec![Vec::with_capacity(mcs.n_cbpss()); n_ss];
-            for (det, &k) in prepared.iter().zip(&data_carriers) {
-                let y: Vec<Complex64> = bins.iter().map(|b| b[carrier_to_bin(k)]).collect();
-                let decisions = det.apply(&y);
-                for (s, d) in decisions.iter().enumerate() {
-                    stream_llrs[s].extend(&d.llrs);
-                    evm.push_decided(d.symbol, mcs.modulation);
+            // Detect every data carrier with the prepared per-carrier
+            // state, writing LLRs straight into the stream-major slab.
+            for (ci, (det, &k)) in prepared.iter().zip(data_carriers).enumerate() {
+                let mut y = [Complex64::ZERO; CMat::MAX_DIM];
+                for (slot, b) in y.iter_mut().zip(bins.iter()) {
+                    *slot = b[carrier_to_bin(k)];
+                }
+                let mut sym_tmp = [Complex64::ZERO; CMat::MAX_DIM];
+                let mut llr_tmp = [0.0f64; CMat::MAX_DIM * 6];
+                det.apply_into(
+                    &y[..n_rx],
+                    &mut sym_tmp[..n_ss],
+                    &mut llr_tmp[..n_ss * n_bpsc],
+                );
+                for s in 0..n_ss {
+                    let dst = s * n_cbpss + ci * n_bpsc;
+                    stream_llrs[dst..dst + n_bpsc]
+                        .copy_from_slice(&llr_tmp[s * n_bpsc..(s + 1) * n_bpsc]);
+                    evm.push_decided(sym_tmp[s], mcs.modulation);
                 }
             }
 
             // Per-stream deinterleave, then merge via the stream deparser.
-            let deinterleaved: Vec<Vec<f64>> = stream_llrs
-                .iter()
-                .enumerate()
-                .map(|(s, l)| interleavers[s].deinterleave_soft(l))
-                .collect();
-            all_llrs.extend(deparse_streams_soft(&deinterleaved, mcs.n_bpsc()));
+            for (s, il) in interleavers.iter().enumerate() {
+                il.deinterleave_soft_into(
+                    &stream_llrs[s * n_cbpss..(s + 1) * n_cbpss],
+                    &mut deinterleaved[s * n_cbpss..(s + 1) * n_cbpss],
+                );
+            }
+            deparse_streams_soft_flat(deinterleaved, n_ss, n_bpsc, all_llrs);
         }
         clock.lap(profile, RxStage::Equalize);
 
         // --- 10. FEC decode + descramble ---
         let mother_len = 2 * n_sym * mcs.n_dbps();
-        let full_llrs = depuncture_soft(&all_llrs, mcs.code_rate, mother_len);
-        let decoded = if self.cfg.soft_decoding {
-            decode_soft_unterminated(&full_llrs).map_err(|_| RxError::Fec)?
+        depuncture_soft_into(all_llrs, mcs.code_rate, mother_len, full_llrs);
+        if self.cfg.soft_decoding {
+            viterbi
+                .decode_soft_unterminated_into(full_llrs, decoded)
+                .map_err(|_| RxError::Fec)?;
         } else {
-            let hard: Vec<Symbol> = full_llrs
-                .iter()
-                .map(|&l| {
-                    if l == 0.0 {
-                        Symbol::Erased
-                    } else {
-                        Symbol::Bit(if l > 0.0 { 0 } else { 1 })
-                    }
-                })
-                .collect();
-            mimonet_fec::decode_hard_unterminated(&hard).map_err(|_| RxError::Fec)?
-        };
-        let psdu = descramble_data_bits(&decoded, htsig.length as usize).ok_or(RxError::Fec)?;
+            hard_syms.clear();
+            hard_syms.extend(full_llrs.iter().map(|&l| {
+                if l == 0.0 {
+                    Symbol::Erased
+                } else {
+                    Symbol::Bit(if l > 0.0 { 0 } else { 1 })
+                }
+            }));
+            viterbi
+                .decode_hard_unterminated_into(hard_syms, decoded)
+                .map_err(|_| RxError::Fec)?;
+        }
+        if !descramble_data_bits_into(
+            decoded,
+            htsig.length as usize,
+            descramble_scratch,
+            &mut frame.psdu,
+        ) {
+            return Err(RxError::Fec);
+        }
         clock.lap(profile, RxStage::Fec);
 
-        Ok(RxFrame {
-            psdu,
-            mcs: htsig.mcs,
-            snr_db,
-            cfo: total_cfo,
-            timing: ltf_start,
-            evm_snr_db: evm.snr_db(),
-            frame_end: data_start + n_sym * 80,
-            coded_hard: all_llrs
-                .iter()
-                .map(|&l| if l > 0.0 { 0 } else { 1 })
-                .collect(),
-        })
+        frame.mcs = htsig.mcs;
+        frame.snr_db = snr_db;
+        frame.cfo = total_cfo;
+        frame.timing = ltf_start;
+        frame.evm_snr_db = evm.snr_db();
+        frame.frame_end = data_start + n_sym * 80;
+        frame.coded_hard.clear();
+        frame
+            .coded_hard
+            .extend(all_llrs.iter().map(|&l| if l > 0.0 { 0 } else { 1 }));
+        Ok(())
     }
 
-    /// Demodulates and MRC-equalizes one legacy symbol, returning the 48
-    /// deinterleaved coded bits.
-    fn decode_legacy_symbol(
+    /// Demodulates and MRC-equalizes one legacy symbol, writing the 48
+    /// deinterleaved coded bits into `out`.
+    fn decode_legacy_symbol_into(
         &self,
-        bufs: &[Vec<Complex64>],
+        ws: &mut RxWorkspace,
+        n_rx: usize,
         start: usize,
-        legacy_est: &[ChannelEstimate],
         sym_index: usize,
         quadrature: bool,
-    ) -> Result<Vec<u8>, RxError> {
+        out: &mut [u8; 48],
+    ) -> Result<(), RxError> {
         let scale52 = Ofdm::unit_power_scale(52);
-        let bins: Vec<[Complex64; FFT_LEN]> = bufs
-            .iter()
-            .map(|b| self.ofdm.demodulate(&b[start..start + 80], scale52))
-            .collect();
+        let RxWorkspace {
+            bufs,
+            bins,
+            legacy_est,
+            ..
+        } = &mut *ws;
+        bins.clear();
+        for b in &bufs[..n_rx] {
+            bins.push(self.ofdm.demodulate(&b[start..start + 80], scale52));
+        }
+        let legacy_est = &legacy_est[..n_rx];
 
         // Common phase correction from the four legacy pilots (MRC over
         // antennas).
@@ -612,8 +1025,8 @@ impl Receiver {
         } else {
             Complex64::ONE
         };
-        let mut hard = Vec::with_capacity(48);
-        for &k in &Layout::Legacy.data_carriers() {
+        let mut hard = [0u8; 48];
+        for (slot, &k) in hard.iter_mut().zip(Layout::Legacy.data_carriers()) {
             let bin = carrier_to_bin(k);
             let mut num = Complex64::ZERO;
             let mut den = 0.0;
@@ -628,15 +1041,11 @@ impl Receiver {
                 return Err(RxError::SyncLost);
             }
             let eq = num.scale(1.0 / den) * derot * rot;
-            hard.push(if eq.re > 0.0 { 1 } else { 0 });
+            *slot = if eq.re > 0.0 { 1 } else { 0 };
         }
-        let il = Interleaver::legacy(48, 1);
-        Ok(il.deinterleave(&hard))
+        Interleaver::legacy(48, 1).deinterleave_into(&hard, out);
+        Ok(())
     }
-}
-
-fn to_symbols(bits: &[u8]) -> Vec<Symbol> {
-    bits.iter().map(|&b| Symbol::Bit(b)).collect()
 }
 
 #[cfg(test)]
@@ -826,5 +1235,31 @@ mod tests {
             .filter(|(a, b)| a != b)
             .count();
         assert_eq!(errs, 0, "clean channel must have zero pre-FEC errors");
+    }
+
+    #[test]
+    fn receive_into_reuses_frame_and_workspace() {
+        // Two different frames through the same workspace + RxFrame must
+        // decode as if each had a fresh receiver (no state bleed).
+        let tx = Transmitter::new(TxConfig::new(9).unwrap());
+        let rx = Receiver::new(RxConfig::new(2));
+        let mut ws = RxWorkspace::new();
+        let mut frame = RxFrame::default();
+        for (seed, len) in [(11u64, 120usize), (12, 40)] {
+            let psdu: Vec<u8> = (0..len as u8).collect();
+            let mut streams = tx.transmit(&psdu).unwrap();
+            for s in &mut streams {
+                let mut padded = vec![Complex64::ZERO; 120];
+                padded.extend_from_slice(s);
+                padded.extend(vec![Complex64::ZERO; 80]);
+                *s = padded;
+            }
+            let mut sim = ChannelSim::new(ChannelConfig::awgn(2, 2, 32.0), seed);
+            let (noisy, _) = sim.apply(&streams);
+            let views: Vec<&[Complex64]> = noisy.iter().map(|a| a.as_slice()).collect();
+            rx.receive_into(&views, &mut ws, &mut frame)
+                .expect("decode");
+            assert_eq!(frame.psdu, psdu, "seed {seed}");
+        }
     }
 }

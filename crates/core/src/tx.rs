@@ -293,6 +293,33 @@ pub fn deparse_streams_soft(streams: &[Vec<f64>], n_bpsc: usize) -> Vec<f64> {
     out
 }
 
+/// [`deparse_streams_soft`] over a flat stream-major slab
+/// (`streams[st * per_stream + i]`, `per_stream = streams.len() /
+/// n_streams`), *appending* to `out` — the allocation-free path for the
+/// per-symbol RX loop, which accumulates every symbol's deparsed LLRs into
+/// one frame-long vector. Emits the same values in the same order as the
+/// nested variant.
+pub fn deparse_streams_soft_flat(
+    streams: &[f64],
+    n_streams: usize,
+    n_bpsc: usize,
+    out: &mut Vec<f64>,
+) {
+    let s = (n_bpsc / 2).max(1);
+    assert!(n_streams > 0, "need at least one stream");
+    assert_eq!(streams.len() % n_streams, 0, "ragged streams");
+    let per_stream = streams.len() / n_streams;
+    assert_eq!(per_stream % s, 0, "stream length not a multiple of s");
+    out.reserve(streams.len());
+    let groups_per_stream = per_stream / s;
+    for g in 0..groups_per_stream {
+        for st in 0..n_streams {
+            let base = st * per_stream + g * s;
+            out.extend_from_slice(&streams[base..base + s]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +328,26 @@ mod tests {
 
     fn tx(mcs: u8) -> Transmitter {
         Transmitter::new(TxConfig::new(mcs).unwrap())
+    }
+
+    #[test]
+    fn deparse_flat_matches_nested() {
+        for (n_streams, n_bpsc, per_stream) in [(1usize, 1usize, 52usize), (2, 2, 104), (2, 6, 312)]
+        {
+            let nested: Vec<Vec<f64>> = (0..n_streams)
+                .map(|st| {
+                    (0..per_stream)
+                        .map(|i| (st * per_stream + i) as f64 * 0.25 - 7.0)
+                        .collect()
+                })
+                .collect();
+            let flat: Vec<f64> = nested.iter().flatten().copied().collect();
+            let want = deparse_streams_soft(&nested, n_bpsc);
+            let mut got = vec![-1.0; 3]; // pre-existing content must be kept
+            deparse_streams_soft_flat(&flat, n_streams, n_bpsc, &mut got);
+            assert_eq!(got[..3], [-1.0, -1.0, -1.0]);
+            assert_eq!(got[3..], want[..], "ns={n_streams} bpsc={n_bpsc}");
+        }
     }
 
     #[test]

@@ -36,12 +36,24 @@ pub struct ChannelEstimate {
 }
 
 impl ChannelEstimate {
-    fn empty(n_rx: usize, n_ss: usize) -> Self {
+    /// An estimate with no trained carriers — the starting point for the
+    /// estimators, and the state a workspace-owned estimate holds between
+    /// frames.
+    pub fn empty(n_rx: usize, n_ss: usize) -> Self {
         Self {
             n_rx,
             n_ss,
             h: vec![None; FFT_LEN],
         }
+    }
+
+    /// Clears all carriers and re-dimensions the estimate without
+    /// reallocating — lets a receiver reuse one `ChannelEstimate` across
+    /// frames.
+    pub fn reset(&mut self, n_rx: usize, n_ss: usize) {
+        self.n_rx = n_rx;
+        self.n_ss = n_ss;
+        self.h.fill(None);
     }
 
     /// Receive antenna count.
@@ -106,6 +118,19 @@ pub fn estimate_siso_lltf(
     rep2: &[Complex64; FFT_LEN],
 ) -> ChannelEstimate {
     let mut est = ChannelEstimate::empty(1, 1);
+    estimate_siso_lltf_into(rep1, rep2, &mut est);
+    est
+}
+
+/// [`estimate_siso_lltf`] into a caller-owned estimate (reset first) — the
+/// allocation-free path for a receiver that reuses its estimates across
+/// frames.
+pub fn estimate_siso_lltf_into(
+    rep1: &[Complex64; FFT_LEN],
+    rep2: &[Complex64; FFT_LEN],
+    est: &mut ChannelEstimate,
+) {
+    est.reset(1, 1);
     for k in -26..=26i32 {
         let l = lltf_at(k);
         if l == 0.0 {
@@ -113,9 +138,8 @@ pub fn estimate_siso_lltf(
         }
         let bin = mimonet_frame::carriers::carrier_to_bin(k);
         let avg = (rep1[bin] + rep2[bin]).scale(0.5);
-        est.set(k, CMat::new(1, 1, vec![avg / l]));
+        est.set(k, CMat::scalar(avg / l));
     }
-    est
 }
 
 /// HT-LTF MIMO estimation.
@@ -126,10 +150,6 @@ pub fn estimate_siso_lltf(
 pub fn estimate_mimo_htltf(ltf_bins: &[Vec<[Complex64; FFT_LEN]>], n_ss: usize) -> ChannelEstimate {
     let n_ltf = ltf_bins.len();
     assert!(
-        (1..=4).contains(&n_ss),
-        "this transceiver supports 1-4 streams"
-    );
-    assert!(
         n_ltf >= n_ss,
         "need at least {n_ss} HT-LTF symbols, got {n_ltf}"
     );
@@ -138,8 +158,53 @@ pub fn estimate_mimo_htltf(ltf_bins: &[Vec<[Complex64; FFT_LEN]>], n_ss: usize) 
         ltf_bins.iter().all(|s| s.len() == n_rx),
         "ragged antenna data"
     );
-
     let mut est = ChannelEstimate::empty(n_rx, n_ss);
+    mimo_htltf_core(n_ltf, n_rx, n_ss, &mut est, |n, r, bin| ltf_bins[n][r][bin]);
+    est
+}
+
+/// [`estimate_mimo_htltf`] over a flat, symbol-major slab of demodulated
+/// LTF bins: `ltf_bins[n * n_rx + r]` holds HT-LTF symbol `n` at antenna
+/// `r`. Writes into a caller-owned estimate (reset first) — the
+/// allocation-free path for the RX channel-estimation stage.
+pub fn estimate_mimo_htltf_into(
+    ltf_bins: &[[Complex64; FFT_LEN]],
+    n_rx: usize,
+    n_ss: usize,
+    est: &mut ChannelEstimate,
+) {
+    assert!(n_rx > 0, "need at least one RX antenna");
+    assert!(
+        ltf_bins.len().is_multiple_of(n_rx),
+        "LTF slab length {} not a multiple of n_rx {}",
+        ltf_bins.len(),
+        n_rx
+    );
+    let n_ltf = ltf_bins.len() / n_rx;
+    assert!(
+        n_ltf >= n_ss,
+        "need at least {n_ss} HT-LTF symbols, got {n_ltf}"
+    );
+    mimo_htltf_core(n_ltf, n_rx, n_ss, est, |n, r, bin| {
+        ltf_bins[n * n_rx + r][bin]
+    });
+}
+
+/// Shared LS solve for both HT-LTF entry points. `get(n, r, bin)` reads
+/// the demodulated bin of LTF symbol `n` at antenna `r`; the floating-point
+/// operation order is identical regardless of the backing layout.
+fn mimo_htltf_core(
+    n_ltf: usize,
+    n_rx: usize,
+    n_ss: usize,
+    est: &mut ChannelEstimate,
+    get: impl Fn(usize, usize, usize) -> Complex64,
+) {
+    assert!(
+        (1..=4).contains(&n_ss),
+        "this transceiver supports 1-4 streams"
+    );
+    est.reset(n_rx, n_ss);
     for k in -28..=28i32 {
         let l = htltf_at(k);
         if l == 0.0 {
@@ -148,9 +213,9 @@ pub fn estimate_mimo_htltf(ltf_bins: &[Vec<[Complex64; FFT_LEN]>], n_ss: usize) 
         let bin = mimonet_frame::carriers::carrier_to_bin(k);
         // Y: n_rx × n_ltf
         let mut y = CMat::zeros(n_rx, n_ltf);
-        for (n, sym) in ltf_bins.iter().enumerate() {
-            for (r, ant) in sym.iter().enumerate() {
-                y[(r, n)] = ant[bin];
+        for n in 0..n_ltf {
+            for r in 0..n_rx {
+                y[(r, n)] = get(n, r, bin);
             }
         }
         // P block: n_ss × n_ltf.
@@ -170,7 +235,6 @@ pub fn estimate_mimo_htltf(ltf_bins: &[Vec<[Complex64; FFT_LEN]>], n_ss: usize) 
         }
         est.set(k, h);
     }
-    est
 }
 
 /// Smooths an estimate across frequency with a centered moving average of
@@ -178,8 +242,24 @@ pub fn estimate_mimo_htltf(ltf_bins: &[Vec<[Complex64; FFT_LEN]>], n_ss: usize) 
 /// noise ~(2·half+1)× on flat channels at the cost of bias on selective
 /// ones — experiment A-class territory.
 pub fn smooth_frequency(est: &ChannelEstimate, half: usize) -> ChannelEstimate {
-    let carriers = est.carriers();
     let mut out = ChannelEstimate::empty(est.n_rx, est.n_ss);
+    smooth_frequency_into(est, half, &mut out);
+    out
+}
+
+/// [`smooth_frequency`] into a caller-owned estimate (reset first) — the
+/// allocation-free path. The trained-carrier list is gathered on the stack.
+pub fn smooth_frequency_into(est: &ChannelEstimate, half: usize, out: &mut ChannelEstimate) {
+    out.reset(est.n_rx, est.n_ss);
+    let mut carr = [0i32; FFT_LEN];
+    let mut nc = 0usize;
+    for i in 0..FFT_LEN {
+        if est.h[i].is_some() {
+            carr[nc] = i as i32 - FFT_LEN as i32 / 2;
+            nc += 1;
+        }
+    }
+    let carriers = &carr[..nc];
     for (idx, &k) in carriers.iter().enumerate() {
         let lo = idx.saturating_sub(half);
         let hi = (idx + half).min(carriers.len() - 1);
@@ -201,7 +281,6 @@ pub fn smooth_frequency(est: &ChannelEstimate, half: usize) -> ChannelEstimate {
         }
         out.set(k, acc);
     }
-    out
 }
 
 #[cfg(test)]
@@ -391,5 +470,64 @@ mod tests {
     fn insufficient_ltfs_rejected() {
         let bins = vec![vec![[C64::ZERO; FFT_LEN]; 2]];
         estimate_mimo_htltf(&bins, 2);
+    }
+
+    #[test]
+    fn flat_into_variant_matches_nested() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let h = [
+            [C64::new(0.4, 0.3), C64::new(-0.7, 0.2)],
+            [C64::new(0.2, -0.5), C64::new(0.9, 0.1)],
+        ];
+        let obs = mimo_ltf_through(&h, 0.05, &mut rng);
+        let nested = estimate_mimo_htltf(&obs, 2);
+
+        // Flatten symbol-major: slab[n * n_rx + r].
+        let mut slab = Vec::new();
+        for sym in &obs {
+            for ant in sym {
+                slab.push(*ant);
+            }
+        }
+        // Deliberately mis-dimensioned workspace: reset must fix it.
+        let mut est = ChannelEstimate::empty(1, 1);
+        estimate_mimo_htltf_into(&slab, 2, 2, &mut est);
+
+        assert_eq!(est.n_rx(), nested.n_rx());
+        assert_eq!(est.n_ss(), nested.n_ss());
+        assert_eq!(est.carriers(), nested.carriers());
+        for k in nested.carriers() {
+            assert_eq!(est.at(k).unwrap(), nested.at(k).unwrap(), "carrier {k}");
+        }
+    }
+
+    #[test]
+    fn siso_into_variant_matches_and_reuses() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let h = |k: i32| C64::from_polar(1.0, 0.03 * k as f64);
+        let (r1, r2) = siso_ltf_through(h, 0.1, &mut rng);
+        let fresh = estimate_siso_lltf(&r1, &r2);
+        // Reuse a previously-populated estimate of different dimensions.
+        let mut est = estimate_siso_lltf(&r2, &r1);
+        estimate_siso_lltf_into(&r1, &r2, &mut est);
+        assert_eq!(est.carriers(), fresh.carriers());
+        for k in fresh.carriers() {
+            assert_eq!(est.at(k).unwrap(), fresh.at(k).unwrap());
+        }
+    }
+
+    #[test]
+    fn smooth_into_variant_matches() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let h = |k: i32| C64::cis(0.2 * k as f64);
+        let (r1, r2) = siso_ltf_through(h, 0.05, &mut rng);
+        let est = estimate_siso_lltf(&r1, &r2);
+        let fresh = smooth_frequency(&est, 2);
+        let mut out = ChannelEstimate::empty(4, 4);
+        smooth_frequency_into(&est, 2, &mut out);
+        assert_eq!(out.carriers(), fresh.carriers());
+        for k in fresh.carriers() {
+            assert_eq!(out.at(k).unwrap(), fresh.at(k).unwrap());
+        }
     }
 }

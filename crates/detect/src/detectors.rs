@@ -220,22 +220,36 @@ fn ml(h: &CMat, y: &[Complex64], noise_var: f64, modulation: Modulation) -> Vec<
 /// predictions `H s` only need computing once per carrier; [`Prepared::apply`]
 /// then runs per received symbol. Results are identical to [`detect`] —
 /// the equivalence test below enforces it.
+// The inline stack matrices intentionally make the Linear variant big:
+// boxing them would put a heap allocation back into the per-carrier
+// prepare path the zero-alloc contract forbids.
+#[allow(clippy::large_enum_variant)]
 pub enum Prepared {
     /// Linear combiner: `x = W y`, unbias by `mu`, demap at `nv_eff`.
+    /// Fully inline (no heap) — preparing and applying a ZF/MMSE detector
+    /// never allocates.
     Linear {
         /// Combining matrix, `n_ss × n_rx`.
         w: CMat,
-        /// Per-stream unbiasing factor (`1` for ZF).
-        mu: Vec<Complex64>,
-        /// Per-stream effective noise variance.
-        nv_eff: Vec<f64>,
+        /// Per-stream unbiasing factor (`1` for ZF); first `n_ss` entries
+        /// are meaningful.
+        mu: [Complex64; CMat::MAX_DIM],
+        /// Per-stream effective noise variance; first `n_ss` entries are
+        /// meaningful.
+        nv_eff: [f64; CMat::MAX_DIM],
         /// Modulation for demapping.
         modulation: Modulation,
     },
-    /// Exhaustive ML with precomputed `H s` per joint hypothesis.
+    /// Exhaustive ML with precomputed `H s` per joint hypothesis. The
+    /// hypothesis table is heap-allocated once per carrier at prepare time
+    /// (up to `M^n_ss * n_rx` entries — too large for the stack at 64-QAM);
+    /// applying it is allocation-free.
     Ml {
-        /// `pred[hyp][rx]` = received sample predicted by hypothesis `hyp`.
-        pred: Vec<Vec<Complex64>>,
+        /// Flat hypothesis predictions, stride `n_rx`:
+        /// `pred[hyp * n_rx + r]` = sample predicted at antenna `r`.
+        pred: Vec<Complex64>,
+        /// Receive antennas (the stride of `pred`).
+        n_rx: usize,
         /// Constellation points (for symbol output).
         points: Vec<Complex64>,
         /// Streams.
@@ -262,10 +276,13 @@ pub fn prepare(
             let hh = h.hermitian();
             let ginv = hh.mul(h).inverse().ok_or(DetectError::SingularChannel)?;
             let w = ginv.mul(&hh);
-            let nv_eff = (0..n_ss).map(|s| nv * ginv[(s, s)].re.max(1e-15)).collect();
+            let mut nv_eff = [0.0; CMat::MAX_DIM];
+            for s in 0..n_ss {
+                nv_eff[s] = nv * ginv[(s, s)].re.max(1e-15);
+            }
             Ok(Prepared::Linear {
                 w,
-                mu: vec![Complex64::ONE; n_ss],
+                mu: [Complex64::ONE; CMat::MAX_DIM],
                 nv_eff,
                 modulation,
             })
@@ -276,8 +293,8 @@ pub fn prepare(
             gram.add_diag(nv);
             let w = gram.inverse().ok_or(DetectError::SingularChannel)?.mul(&hh);
             let wh = w.mul(h);
-            let mut mu = Vec::with_capacity(n_ss);
-            let mut nv_eff = Vec::with_capacity(n_ss);
+            let mut mu = [Complex64::ZERO; CMat::MAX_DIM];
+            let mut nv_eff = [0.0; CMat::MAX_DIM];
             for s in 0..n_ss {
                 let m = wh[(s, s)];
                 let m_mag = m.abs().max(1e-15);
@@ -291,8 +308,8 @@ pub fn prepare(
                 for r in 0..n_rx {
                     wnorm += w[(s, r)].norm_sqr();
                 }
-                mu.push(m);
-                nv_eff.push(((interf + nv * wnorm) / (m_mag * m_mag)).max(1e-15));
+                mu[s] = m;
+                nv_eff[s] = ((interf + nv * wnorm) / (m_mag * m_mag)).max(1e-15);
             }
             Ok(Prepared::Linear {
                 w,
@@ -305,26 +322,25 @@ pub fn prepare(
             let points = modulation.constellation();
             let m = points.len();
             let n_hyp = m.pow(n_ss as u32);
-            let mut pred = Vec::with_capacity(n_hyp);
-            let mut idx = vec![0usize; n_ss];
+            let mut pred = Vec::with_capacity(n_hyp * n_rx);
+            let mut idx = [0usize; CMat::MAX_DIM];
             for hyp in 0..n_hyp {
                 let mut rem = hyp;
-                for slot in idx.iter_mut() {
+                for slot in idx[..n_ss].iter_mut() {
                     *slot = rem % m;
                     rem /= m;
                 }
-                let mut row = Vec::with_capacity(n_rx);
                 for r in 0..n_rx {
                     let mut p = Complex64::ZERO;
-                    for (s, &pi) in idx.iter().enumerate() {
+                    for (s, &pi) in idx[..n_ss].iter().enumerate() {
                         p += h[(r, s)] * points[pi];
                     }
-                    row.push(p);
+                    pred.push(p);
                 }
-                pred.push(row);
             }
             Ok(Prepared::Ml {
                 pred,
+                n_rx,
                 points,
                 n_ss,
                 noise_var: nv,
@@ -334,9 +350,59 @@ pub fn prepare(
     }
 }
 
+/// Maximum coded bits per subcarrier (64-QAM) — sizes the stack scratch in
+/// [`Prepared::apply_into`].
+const MAX_BITS: usize = 6;
+
 impl Prepared {
+    /// Spatial streams this detector outputs.
+    pub fn n_ss(&self) -> usize {
+        match self {
+            Prepared::Linear { w, .. } => w.rows(),
+            Prepared::Ml { n_ss, .. } => *n_ss,
+        }
+    }
+
+    /// Modulation this detector demaps.
+    pub fn modulation(&self) -> Modulation {
+        match self {
+            Prepared::Linear { modulation, .. } | Prepared::Ml { modulation, .. } => *modulation,
+        }
+    }
+
     /// Detects one received vector (one symbol's samples on this carrier).
     pub fn apply(&self, y: &[Complex64]) -> Vec<StreamDecision> {
+        let n_ss = self.n_ss();
+        let bp = self.modulation().bits_per_symbol();
+        let mut syms = [Complex64::ZERO; CMat::MAX_DIM];
+        let mut llrs = vec![0.0; n_ss * bp];
+        self.apply_into(y, &mut syms[..n_ss], &mut llrs);
+        (0..n_ss)
+            .map(|s| StreamDecision {
+                symbol: syms[s],
+                llrs: llrs[s * bp..(s + 1) * bp].to_vec(),
+            })
+            .collect()
+    }
+
+    /// [`Prepared::apply`] into caller-owned storage — the allocation-free
+    /// path for the per-symbol RX loop. `symbols` receives one equalized
+    /// symbol per stream; `llrs` receives the per-bit LLRs stream-major
+    /// (`llrs[s * bits_per + b]`). Results are bit-identical to `apply`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbols.len() != n_ss` or
+    /// `llrs.len() != n_ss * bits_per_symbol`, or on an observation-count
+    /// mismatch.
+    pub fn apply_into(&self, y: &[Complex64], symbols: &mut [Complex64], llrs: &mut [f64]) {
+        let bits_per = self.modulation().bits_per_symbol();
+        assert_eq!(symbols.len(), self.n_ss(), "one symbol slot per stream");
+        assert_eq!(
+            llrs.len(),
+            self.n_ss() * bits_per,
+            "stream-major LLR slab of n_ss * bits_per"
+        );
         match self {
             Prepared::Linear {
                 w,
@@ -345,32 +411,33 @@ impl Prepared {
                 modulation,
             } => {
                 assert_eq!(y.len(), w.cols(), "one observation per RX antenna");
-                let x = w.mul_vec(y);
-                x.iter()
-                    .zip(mu.iter().zip(nv_eff))
-                    .map(|(&xs, (&m, &nv))| {
-                        let sym = xs / m;
-                        StreamDecision {
-                            symbol: sym,
-                            llrs: modulation.demap_soft(sym, nv),
-                        }
-                    })
-                    .collect()
+                let n_ss = w.rows();
+                let mut x = [Complex64::ZERO; CMat::MAX_DIM];
+                w.mul_vec_into(y, &mut x[..n_ss]);
+                for s in 0..n_ss {
+                    let sym = x[s] / mu[s];
+                    symbols[s] = sym;
+                    modulation.demap_soft_into(
+                        sym,
+                        nv_eff[s],
+                        &mut llrs[s * bits_per..][..bits_per],
+                    );
+                }
             }
             Prepared::Ml {
                 pred,
+                n_rx,
                 points,
                 n_ss,
                 noise_var,
-                modulation,
+                modulation: _,
             } => {
                 let m = points.len();
-                let bits_per = modulation.bits_per_symbol();
                 let mut best = f64::INFINITY;
                 let mut best_hyp = 0usize;
-                let mut min0 = vec![vec![f64::INFINITY; bits_per]; *n_ss];
-                let mut min1 = vec![vec![f64::INFINITY; bits_per]; *n_ss];
-                for (hyp, row) in pred.iter().enumerate() {
+                let mut min0 = [[f64::INFINITY; MAX_BITS]; CMat::MAX_DIM];
+                let mut min1 = [[f64::INFINITY; MAX_BITS]; CMat::MAX_DIM];
+                for (hyp, row) in pred.chunks_exact(*n_rx).enumerate() {
                     let mut d = 0.0;
                     for (yr, pr) in y.iter().zip(row) {
                         d += yr.dist_sqr(*pr);
@@ -394,17 +461,13 @@ impl Prepared {
                         }
                     }
                 }
-                (0..*n_ss)
-                    .map(|s| {
-                        let pi = best_hyp / m.pow(s as u32) % m;
-                        StreamDecision {
-                            symbol: points[pi],
-                            llrs: (0..bits_per)
-                                .map(|b| (min1[s][b] - min0[s][b]) / noise_var)
-                                .collect(),
-                        }
-                    })
-                    .collect()
+                for s in 0..*n_ss {
+                    let pi = best_hyp / m.pow(s as u32) % m;
+                    symbols[s] = points[pi];
+                    for b in 0..bits_per {
+                        llrs[s * bits_per + b] = (min1[s][b] - min0[s][b]) / noise_var;
+                    }
+                }
             }
         }
     }
@@ -619,6 +682,37 @@ mod tests {
                                 "{kind} {m}: {la} vs {lb}"
                             );
                         }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_into_matches_apply() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let h = well_conditioned_h();
+        let mut syms = [C64::ZERO; CMat::MAX_DIM];
+        let mut llrs = [0.0; CMat::MAX_DIM * 6];
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam64] {
+            let bp = m.bits_per_symbol();
+            for kind in KINDS {
+                let prepared = prepare(kind, &h, 0.09, m).unwrap();
+                for _ in 0..20 {
+                    let (_, tx) = random_symbols(&mut rng, m, 2);
+                    let mut y = h.mul_vec(&tx);
+                    for v in &mut y {
+                        *v += crandn(&mut rng).scale(0.09f64.sqrt());
+                    }
+                    let a = prepared.apply(&y);
+                    prepared.apply_into(&y, &mut syms[..2], &mut llrs[..2 * bp]);
+                    for s in 0..2 {
+                        assert_eq!(syms[s], a[s].symbol, "{kind} {m} stream {s}");
+                        assert_eq!(
+                            &llrs[s * bp..(s + 1) * bp],
+                            a[s].llrs.as_slice(),
+                            "{kind} {m} stream {s}"
+                        );
                     }
                 }
             }

@@ -1,34 +1,74 @@
 //! Small dense complex matrices for MIMO detection.
 //!
-//! MIMO dimensions here are 1–4, so a simple heap-backed row-major matrix
-//! with Gauss–Jordan inversion (partial pivoting) is both adequate and easy
-//! to audit. No external linear-algebra crate is used.
+//! MIMO dimensions here are 1–4, so a simple row-major matrix with inline
+//! (stack) storage and Gauss–Jordan inversion (partial pivoting) is both
+//! adequate and easy to audit. Inline storage keeps every matrix operation
+//! heap-free — constructing, multiplying, and inverting channel matrices in
+//! the per-frame RX path allocates nothing. No external linear-algebra
+//! crate is used.
 
 use mimonet_dsp::complex::Complex64;
 
-/// A dense complex matrix, row-major.
-#[derive(Clone, Debug, PartialEq)]
+/// Largest supported dimension (rows or columns).
+pub const MAX_DIM: usize = 4;
+
+/// A dense complex matrix, row-major, with inline storage for up to
+/// [`MAX_DIM`]² entries. Cheap to copy; unused slots are kept at zero so
+/// equality can compare storage directly.
+#[derive(Clone, Copy, Debug)]
 pub struct CMat {
     rows: usize,
     cols: usize,
-    data: Vec<Complex64>,
+    data: [Complex64; MAX_DIM * MAX_DIM],
+}
+
+impl PartialEq for CMat {
+    fn eq(&self, other: &Self) -> bool {
+        // Unused slots are zero by construction, so whole-storage
+        // comparison equals element-wise comparison of the used region.
+        self.rows == other.rows && self.cols == other.cols && self.data == other.data
+    }
 }
 
 impl CMat {
-    /// Creates a matrix from row-major data.
+    /// Largest supported dimension, re-exported for sizing stack scratch
+    /// at call sites.
+    pub const MAX_DIM: usize = MAX_DIM;
+
+    /// Creates a matrix from row-major data (a slice, array, or `Vec`).
     ///
     /// # Panics
     ///
-    /// Panics if `data.len() != rows * cols` or either dimension is zero.
-    pub fn new(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
-        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+    /// Panics if `data.len() != rows * cols`, either dimension is zero, or
+    /// a dimension exceeds [`MAX_DIM`].
+    pub fn new(rows: usize, cols: usize, data: impl AsRef<[Complex64]>) -> Self {
+        let data = data.as_ref();
         assert_eq!(data.len(), rows * cols, "data length mismatch");
-        Self { rows, cols, data }
+        let mut m = Self::zeros(rows, cols);
+        m.data[..data.len()].copy_from_slice(data);
+        m
     }
 
-    /// The `n × n` zero matrix.
+    /// The `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self::new(rows, cols, vec![Complex64::ZERO; rows * cols])
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        assert!(
+            rows <= MAX_DIM && cols <= MAX_DIM,
+            "matrix dimensions {rows}x{cols} exceed the {MAX_DIM}x{MAX_DIM} MIMO maximum"
+        );
+        Self {
+            rows,
+            cols,
+            data: [Complex64::ZERO; MAX_DIM * MAX_DIM],
+        }
+    }
+
+    /// The `1 × 1` matrix holding `v` — the SISO channel-estimate case,
+    /// built without touching the heap.
+    pub fn scalar(v: Complex64) -> Self {
+        let mut m = Self::zeros(1, 1);
+        m.data[0] = v;
+        m
     }
 
     /// The identity.
@@ -80,6 +120,17 @@ impl CMat {
             .collect()
     }
 
+    /// Matrix–vector product into a caller-owned slice of length
+    /// `self.rows()` — the allocation-free path. Uses the same summation
+    /// order as [`Self::mul_vec`], so results are bit-identical.
+    pub fn mul_vec_into(&self, v: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(self.cols, v.len(), "vector length must equal cols");
+        assert_eq!(out.len(), self.rows, "output length must equal rows");
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = (0..self.cols).map(|j| self[(i, j)] * v[j]).sum();
+        }
+    }
+
     /// Conjugate transpose.
     pub fn hermitian(&self) -> CMat {
         let mut out = CMat::zeros(self.cols, self.rows);
@@ -109,7 +160,7 @@ impl CMat {
     pub fn inverse(&self) -> Option<CMat> {
         assert_eq!(self.rows, self.cols, "inverse requires a square matrix");
         let n = self.rows;
-        let mut a = self.clone();
+        let mut a = *self;
         let mut inv = CMat::identity(n);
         for col in 0..n {
             // Pivot: largest magnitude in this column at or below the
@@ -161,7 +212,10 @@ impl CMat {
 
     /// Frobenius norm squared.
     pub fn frobenius_sqr(&self) -> f64 {
-        self.data.iter().map(|c| c.norm_sqr()).sum()
+        self.data[..self.rows * self.cols]
+            .iter()
+            .map(|c| c.norm_sqr())
+            .sum()
     }
 }
 
@@ -230,7 +284,9 @@ mod tests {
         let m = CMat::new(
             2,
             3,
-            (0..6).map(|i| c(i as f64, -(i as f64) * 0.5)).collect(),
+            (0..6)
+                .map(|i| c(i as f64, -(i as f64) * 0.5))
+                .collect::<Vec<_>>(),
         );
         let h = m.hermitian();
         assert_eq!(h.rows(), 3);
@@ -303,7 +359,9 @@ mod tests {
         let m = CMat::new(
             2,
             3,
-            (0..6).map(|i| c(i as f64 * 0.3, 1.0 - i as f64)).collect(),
+            (0..6)
+                .map(|i| c(i as f64 * 0.3, 1.0 - i as f64))
+                .collect::<Vec<_>>(),
         );
         let v = vec![c(1.0, 0.0), c(0.0, 1.0), c(-1.0, 2.0)];
         let as_mat = CMat::new(3, 1, v.clone());
@@ -321,6 +379,48 @@ mod tests {
         assert!(m[(0, 0)].dist(c(0.5, 0.0)) < 1e-12);
         assert!(m[(1, 1)].dist(c(0.5, 0.0)) < 1e-12);
         assert!(m.inverse().is_some());
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec() {
+        let m = CMat::new(
+            3,
+            2,
+            (0..6)
+                .map(|i| c(i as f64 * 0.7, 2.0 - i as f64))
+                .collect::<Vec<_>>(),
+        );
+        let v = vec![c(1.0, -1.0), c(0.5, 2.0)];
+        let want = m.mul_vec(&v);
+        let mut got = [C64::ZERO; 3];
+        m.mul_vec_into(&v, &mut got);
+        assert_eq!(&got[..], &want[..]);
+    }
+
+    #[test]
+    fn scalar_constructor() {
+        let m = CMat::scalar(c(2.0, -3.0));
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.cols(), 1);
+        assert_eq!(m, CMat::new(1, 1, vec![c(2.0, -3.0)]));
+    }
+
+    #[test]
+    fn equality_ignores_storage_beyond_dims() {
+        // Two paths to the same logical matrix must compare equal.
+        let a = CMat::new(2, 2, vec![C64::ONE, C64::I, C64::ZERO, C64::ONE]);
+        let mut b = CMat::zeros(2, 2);
+        b[(0, 0)] = C64::ONE;
+        b[(0, 1)] = C64::I;
+        b[(1, 1)] = C64::ONE;
+        assert_eq!(a, b);
+        assert_ne!(a, CMat::identity(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn oversized_dimensions_panic() {
+        CMat::zeros(5, 1);
     }
 
     #[test]

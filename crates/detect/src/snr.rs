@@ -86,9 +86,7 @@ impl EvmSnrEstimator {
     /// Adds one equalized observation, slicing it to the nearest
     /// constellation point (decision-directed mode).
     pub fn push_decided(&mut self, observed: Complex64, modulation: Modulation) {
-        let bits = modulation.demap_hard(observed);
-        let decision = modulation.map_bits(&bits);
-        self.push_known(observed, decision);
+        self.push_known(observed, modulation.decide(observed));
     }
 
     /// Number of accumulated observations.

@@ -31,7 +31,64 @@ pub fn cross_correlate(signal: &[Complex64], reference: &[Complex64]) -> Vec<Com
 /// Normalized cross-correlation magnitude in `[0, 1]`:
 /// `|<s_d, r>| / (||s_d|| * ||r||)`, where `s_d` is the signal window at
 /// offset `d`. Windows with (near-)zero energy produce 0.
+///
+/// The window energy `||s_d||²` is maintained as a running sum — O(1) per
+/// lag, mirroring [`SlidingAutocorrelator`] — instead of being recomputed
+/// from scratch at every offset. The running update reassociates the
+/// floating-point summation, so individual values can differ from the
+/// per-window reference ([`normalized_cross_correlate_reference`]) by
+/// rounding noise; peak positions and threshold decisions are unaffected.
 pub fn normalized_cross_correlate(signal: &[Complex64], reference: &[Complex64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    normalized_cross_correlate_into(signal, reference, &mut out);
+    out
+}
+
+/// [`normalized_cross_correlate`] writing into a caller-owned vector
+/// (cleared first; capacity is reused) so warmed-up callers allocate
+/// nothing.
+pub fn normalized_cross_correlate_into(
+    signal: &[Complex64],
+    reference: &[Complex64],
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    if reference.is_empty() || reference.len() > signal.len() {
+        return;
+    }
+    let l = reference.len();
+    let n = signal.len() - l + 1;
+    let r_energy: f64 = reference.iter().map(|x| x.norm_sqr()).sum();
+    if r_energy <= f64::EPSILON {
+        out.resize(n, 0.0);
+        return;
+    }
+    // Prime the window energy, then slide: add the entering sample, drop
+    // the leaving one. Clamp at zero — the running difference can dip to a
+    // tiny negative value once the true energy is ~0.
+    let mut s_energy: f64 = signal[..l].iter().map(|x| x.norm_sqr()).sum();
+    for d in 0..n {
+        let win = &signal[d..d + l];
+        let e = s_energy.max(0.0);
+        out.push(if e <= f64::EPSILON {
+            0.0
+        } else {
+            dot_conj(win, reference).abs() / (e * r_energy).sqrt()
+        });
+        if d + 1 < n {
+            s_energy += signal[d + l].norm_sqr() - signal[d].norm_sqr();
+        }
+    }
+}
+
+/// Reference implementation of [`normalized_cross_correlate`] that
+/// recomputes the window energy from scratch at every lag — O(len(r)) per
+/// lag. Kept as the equivalence oracle for tests and as the "before" side
+/// of the hot-path benchmark.
+pub fn normalized_cross_correlate_reference(
+    signal: &[Complex64],
+    reference: &[Complex64],
+) -> Vec<f64> {
     if reference.is_empty() || reference.len() > signal.len() {
         return Vec::new();
     }
@@ -239,6 +296,36 @@ mod tests {
         assert!(cross_correlate(&sig, &[]).is_empty());
         assert!(cross_correlate(&sig, &[C64::ONE; 5]).is_empty());
         assert!(normalized_cross_correlate(&[], &sig).is_empty());
+    }
+
+    #[test]
+    fn sliding_energy_matches_reference() {
+        // Mixed signal: silence, a tone, impulses — exercises both the
+        // zero-energy clamp and the running update.
+        let mut signal = vec![C64::ZERO; 30];
+        signal.extend((0..80).map(|i| C64::cis(i as f64 * 0.4) * (0.5 + (i % 7) as f64)));
+        signal.extend(vec![C64::ZERO; 20]);
+        signal.push(C64::new(3.0, -2.0));
+        signal.extend(vec![C64::ZERO; 30]);
+        let reference: Vec<C64> = (0..16).map(|i| C64::cis(i as f64 * 1.3)).collect();
+        let fast = normalized_cross_correlate(&signal, &reference);
+        let slow = normalized_cross_correlate_reference(&signal, &reference);
+        assert_eq!(fast.len(), slow.len());
+        for (d, (f, s)) in fast.iter().zip(&slow).enumerate() {
+            assert!((f - s).abs() < 1e-9, "lag {d}: {f} vs {s}");
+        }
+    }
+
+    #[test]
+    fn into_variant_reuses_buffer_and_clears() {
+        let signal: Vec<C64> = (0..40).map(|i| C64::cis(i as f64 * 0.2)).collect();
+        let reference: Vec<C64> = (0..8).map(|i| C64::cis(i as f64)).collect();
+        let mut out = vec![99.0; 7];
+        normalized_cross_correlate_into(&signal, &reference, &mut out);
+        assert_eq!(out, normalized_cross_correlate(&signal, &reference));
+        // Degenerate input leaves the buffer empty, not stale.
+        normalized_cross_correlate_into(&[], &reference, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

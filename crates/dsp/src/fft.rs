@@ -94,9 +94,12 @@ impl Fft {
         self.n
     }
 
-    /// `true` when planned for size 1 (degenerate identity transform).
+    /// `true` when the planned size is zero. [`Fft::new`] rejects `n == 0`,
+    /// so this is always `false` for a constructed plan; it exists (honestly
+    /// computed, not hardcoded) because clippy expects `is_empty` alongside
+    /// `len`.
     pub fn is_empty(&self) -> bool {
-        false
+        self.n == 0
     }
 
     fn run(&self, buf: &mut [Complex64], dir: Direction) {
@@ -160,18 +163,36 @@ impl Fft {
     }
 }
 
+/// Runs `f` with a cached plan of size `n`, planning (and memoizing, per
+/// thread) on first use. One-shot callers hit the planner exactly once per
+/// (thread, size) instead of rebuilding twiddle tables on every call.
+fn with_cached_plan<R>(n: usize, f: impl FnOnce(&Fft) -> R) -> R {
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    thread_local! {
+        static PLANS: RefCell<BTreeMap<usize, Fft>> = const { RefCell::new(BTreeMap::new()) };
+    }
+    PLANS.with(|plans| {
+        let mut plans = plans.borrow_mut();
+        let plan = plans.entry(n).or_insert_with(|| Fft::new(n));
+        f(plan)
+    })
+}
+
 /// One-shot forward FFT of a slice, returning a new vector.
-/// Plans internally; for repeated transforms of the same size prefer [`Fft`].
+/// Plans are cached per thread and size; for tight loops that can hold a
+/// planner across calls, prefer [`Fft`] directly.
 pub fn fft(x: &[Complex64]) -> Vec<Complex64> {
     let mut buf = x.to_vec();
-    Fft::new(x.len()).forward(&mut buf);
+    with_cached_plan(x.len(), |plan| plan.forward(&mut buf));
     buf
 }
 
 /// One-shot inverse FFT of a slice, returning a new vector.
+/// Plans are cached per thread and size, like [`fft`].
 pub fn ifft(x: &[Complex64]) -> Vec<Complex64> {
     let mut buf = x.to_vec();
-    Fft::new(x.len()).inverse(&mut buf);
+    with_cached_plan(x.len(), |plan| plan.inverse(&mut buf));
     buf
 }
 

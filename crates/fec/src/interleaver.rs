@@ -130,30 +130,60 @@ impl Interleaver {
 
     /// Inverse permutation.
     pub fn deinterleave(&self, bits: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; self.n_cbpss];
+        self.deinterleave_into(bits, &mut out);
+        out
+    }
+
+    /// Inverse permutation written into a caller-owned slice — the
+    /// allocation-free path for the legacy-symbol header decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from `self.len()`.
+    pub fn deinterleave_into(&self, bits: &[u8], out: &mut [u8]) {
         assert_eq!(
             bits.len(),
             self.n_cbpss,
             "deinterleaver expects exactly one symbol"
         );
-        let mut out = vec![0u8; self.n_cbpss];
+        assert_eq!(
+            out.len(),
+            self.n_cbpss,
+            "deinterleaver output must be exactly one symbol"
+        );
         for (k, slot) in out.iter_mut().enumerate() {
             *slot = bits[self.map_index(k)];
         }
-        out
     }
 
     /// Inverse permutation over soft values (LLRs).
     pub fn deinterleave_soft(&self, llrs: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_cbpss];
+        self.deinterleave_soft_into(llrs, &mut out);
+        out
+    }
+
+    /// Inverse permutation over soft values written into a caller-owned
+    /// slice — the allocation-free path for the per-symbol RX loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from `self.len()`.
+    pub fn deinterleave_soft_into(&self, llrs: &[f64], out: &mut [f64]) {
         assert_eq!(
             llrs.len(),
             self.n_cbpss,
             "deinterleaver expects exactly one symbol"
         );
-        let mut out = vec![0.0; self.n_cbpss];
+        assert_eq!(
+            out.len(),
+            self.n_cbpss,
+            "deinterleaver output must be exactly one symbol"
+        );
         for (k, slot) in out.iter_mut().enumerate() {
             *slot = llrs[self.map_index(k)];
         }
-        out
     }
 }
 

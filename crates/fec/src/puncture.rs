@@ -132,6 +132,23 @@ pub fn depuncture_hard(punctured: &[u8], rate: CodeRate, mother_len: usize) -> V
 /// Soft-decision counterpart of [`depuncture_hard`]: re-inserts LLR `0.0`
 /// (no information) at punctured positions.
 pub fn depuncture_soft(punctured: &[f64], rate: CodeRate, mother_len: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    depuncture_soft_into(punctured, rate, mother_len, &mut out);
+    out
+}
+
+/// [`depuncture_soft`] writing into a caller-owned vector (cleared first;
+/// capacity is reused) — the allocation-free path for the RX FEC stage.
+///
+/// # Panics
+///
+/// Panics on the same length mismatch as [`depuncture_soft`].
+pub fn depuncture_soft_into(
+    punctured: &[f64],
+    rate: CodeRate,
+    mother_len: usize,
+    out: &mut Vec<f64>,
+) {
     let expect = rate.coded_len(mother_len);
     assert_eq!(
         punctured.len(),
@@ -142,17 +159,17 @@ pub fn depuncture_soft(punctured: &[f64], rate: CodeRate, mother_len: usize) -> 
         rate,
         mother_len
     );
+    out.clear();
+    out.reserve(mother_len);
     let p = rate.pattern();
     let mut it = punctured.iter();
-    (0..mother_len)
-        .map(|i| {
-            if p[i % p.len()] {
-                *it.next().unwrap()
-            } else {
-                0.0
-            }
-        })
-        .collect()
+    out.extend((0..mother_len).map(|i| {
+        if p[i % p.len()] {
+            *it.next().unwrap()
+        } else {
+            0.0
+        }
+    }));
 }
 
 #[cfg(test)]

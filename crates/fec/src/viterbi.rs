@@ -62,22 +62,28 @@ impl std::fmt::Display for ViterbiError {
 
 impl std::error::Error for ViterbiError {}
 
-/// Precomputed trellis: for each (state, input bit) the output pair and next
-/// state. Built once lazily; 64 states is tiny.
+/// Precomputed trellis: for each (state, input bit) the next state and the
+/// index of the output pair `(a << 1) | b` into a per-step reward table.
+/// Built once lazily; 64 states is tiny.
 struct Trellis {
-    // [state][input] -> (a, b, next)
-    step: [[(u8, u8, u8); 2]; NUM_STATES],
+    // [state][input] -> index of the output pair (a, b) as (a << 1) | b.
+    pair_idx: [[usize; 2]; NUM_STATES],
+    // [state][input] -> next state.
+    next: [[u8; 2]; NUM_STATES],
 }
 
 impl Trellis {
     fn new() -> Self {
-        let mut step = [[(0u8, 0u8, 0u8); 2]; NUM_STATES];
-        for (s, row) in step.iter_mut().enumerate() {
-            for (bit, slot) in row.iter_mut().enumerate() {
-                *slot = encode_step(s as u8, bit as u8);
+        let mut pair_idx = [[0usize; 2]; NUM_STATES];
+        let mut next = [[0u8; 2]; NUM_STATES];
+        for s in 0..NUM_STATES {
+            for bit in 0..2usize {
+                let (a, b, ns) = encode_step(s as u8, bit as u8);
+                pair_idx[s][bit] = ((a as usize) << 1) | b as usize;
+                next[s][bit] = ns;
             }
         }
-        Self { step }
+        Self { pair_idx, next }
     }
 }
 
@@ -87,84 +93,103 @@ fn trellis() -> &'static Trellis {
     T.get_or_init(Trellis::new)
 }
 
-/// Core Viterbi search maximizing a per-branch *reward*.
+const NEG: f64 = f64::NEG_INFINITY;
+
+/// A reusable Viterbi decoder holding the metric and survivor buffers.
 ///
-/// `rewards(t)` must return, for trellis step `t`, a closure-computable pair
-/// reward for hypothesized output bits `(a, b)`. We pass the per-position
-/// bit rewards and combine inside.
-fn search(
-    num_steps: usize,
-    bit_reward: impl Fn(usize, u8) -> f64, // (coded bit index, hypothesized bit) -> reward
-    terminated: bool,
-) -> Vec<u8> {
-    let tr = trellis();
-    const NEG: f64 = f64::NEG_INFINITY;
-
-    let mut metric = vec![NEG; NUM_STATES];
-    metric[0] = 0.0; // encoder starts in the zero state
-                     // survivor[t][next_state] = (prev_state, input bit)
-    let mut survivor: Vec<[(u8, u8); NUM_STATES]> = Vec::with_capacity(num_steps);
-
-    let mut next_metric = vec![NEG; NUM_STATES];
-    for t in 0..num_steps {
-        next_metric.fill(NEG);
-        let mut surv = [(0u8, 0u8); NUM_STATES];
-        for s in 0..NUM_STATES {
-            let m = metric[s];
-            if m == NEG {
-                continue;
-            }
-            for bit in 0..2u8 {
-                let (a, b, ns) = tr.step[s][bit as usize];
-                let r = bit_reward(2 * t, a) + bit_reward(2 * t + 1, b);
-                let cand = m + r;
-                if cand > next_metric[ns as usize] {
-                    next_metric[ns as usize] = cand;
-                    surv[ns as usize] = (s as u8, bit);
-                }
-            }
-        }
-        survivor.push(surv);
-        std::mem::swap(&mut metric, &mut next_metric);
-    }
-
-    // Final state: zero for terminated blocks, otherwise best metric.
-    let mut state = if terminated {
-        0usize
-    } else {
-        metric
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap_or(0)
-    };
-
-    let mut bits = vec![0u8; num_steps];
-    for t in (0..num_steps).rev() {
-        let (prev, bit) = survivor[t][state];
-        bits[t] = bit;
-        state = prev as usize;
-    }
-    bits
+/// The search is *table-driven*: each trellis step first computes the four
+/// possible output-pair rewards `r(a) + r(b)` once, then every
+/// (state, input) branch is a single table lookup plus add — instead of the
+/// 256 reward-closure invocations per step of the naive formulation (the
+/// "before" side, kept in [`reference`]). The per-pair sums use the same
+/// operands in the same order as the naive code, so decoded outputs are
+/// bit-identical.
+///
+/// Buffers grow to the largest block seen and are then reused; decoding a
+/// warmed decoder into a warmed output vector performs no heap allocation.
+#[derive(Clone, Debug, Default)]
+pub struct ViterbiDecoder {
+    metric: Vec<f64>,
+    next_metric: Vec<f64>,
+    // survivor[t][next_state] = (prev_state, input bit)
+    survivor: Vec<[(u8, u8); NUM_STATES]>,
 }
 
-/// Hard-decision decoding of a terminated block.
-///
-/// `coded` holds the (possibly depunctured) coded stream as
-/// `[a0, b0, a1, b1, ...]` with erasures at punctured positions. Returns the
-/// decoded data bits with the six tail bits stripped.
-pub fn decode_hard(coded: &[Symbol]) -> Result<Vec<u8>, ViterbiError> {
-    if !coded.len().is_multiple_of(2) {
-        return Err(ViterbiError::OddLength(coded.len()));
+impl ViterbiDecoder {
+    /// Creates a decoder with empty scratch buffers (they grow on first
+    /// use).
+    pub fn new() -> Self {
+        Self::default()
     }
-    let steps = coded.len() / 2;
-    if steps < TAIL_BITS {
-        return Err(ViterbiError::TooShort(coded.len()));
+
+    /// Core search over `num_steps` trellis steps. `pair_rewards(t)` returns
+    /// the four branch rewards for hypothesized output pairs, indexed by
+    /// `(a << 1) | b`. Decoded input bits are appended to `out`.
+    fn search_into(
+        &mut self,
+        num_steps: usize,
+        pair_rewards: impl Fn(usize) -> [f64; 4],
+        terminated: bool,
+        out: &mut Vec<u8>,
+    ) {
+        let tr = trellis();
+        self.metric.clear();
+        self.metric.resize(NUM_STATES, NEG);
+        self.metric[0] = 0.0; // encoder starts in the zero state
+        self.next_metric.clear();
+        self.next_metric.resize(NUM_STATES, NEG);
+        self.survivor.clear();
+        self.survivor.reserve(num_steps);
+
+        for t in 0..num_steps {
+            let pair = pair_rewards(t);
+            self.next_metric.fill(NEG);
+            let mut surv = [(0u8, 0u8); NUM_STATES];
+            for s in 0..NUM_STATES {
+                let m = self.metric[s];
+                if m == NEG {
+                    continue;
+                }
+                for bit in 0..2usize {
+                    let ns = tr.next[s][bit] as usize;
+                    let cand = m + pair[tr.pair_idx[s][bit]];
+                    if cand > self.next_metric[ns] {
+                        self.next_metric[ns] = cand;
+                        surv[ns] = (s as u8, bit as u8);
+                    }
+                }
+            }
+            self.survivor.push(surv);
+            std::mem::swap(&mut self.metric, &mut self.next_metric);
+        }
+
+        // Final state: zero for terminated blocks, otherwise best metric.
+        let mut state = if terminated {
+            0usize
+        } else {
+            self.metric
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        };
+
+        let base = out.len();
+        out.resize(base + num_steps, 0);
+        for t in (0..num_steps).rev() {
+            let (prev, bit) = self.survivor[t][state];
+            out[base + t] = bit;
+            state = prev as usize;
+        }
     }
-    let bits = search(
-        steps,
-        |idx, hyp| match coded[idx] {
+
+    /// Per-step reward table for hard symbols: reward 1 for matching a
+    /// received bit, 0 for a mismatch or an erasure — exactly the naive
+    /// `bit_reward` summed over the (a, b) pair.
+    #[inline]
+    fn hard_pair(coded: &[Symbol], t: usize) -> [f64; 4] {
+        let bit = |idx: usize, hyp: u8| match coded[idx] {
             Symbol::Erased => 0.0,
             Symbol::Bit(rx) => {
                 if rx == hyp {
@@ -173,10 +198,121 @@ pub fn decode_hard(coded: &[Symbol]) -> Result<Vec<u8>, ViterbiError> {
                     0.0
                 }
             }
-        },
-        true,
-    );
-    Ok(bits[..steps - TAIL_BITS].to_vec())
+        };
+        let (a0, a1) = (bit(2 * t, 0), bit(2 * t, 1));
+        let (b0, b1) = (bit(2 * t + 1, 0), bit(2 * t + 1, 1));
+        [a0 + b0, a0 + b1, a1 + b0, a1 + b1]
+    }
+
+    /// Per-step reward table for soft LLRs: `+llr/2` for hypothesis 0,
+    /// `-llr/2` for 1 (erasures carry LLR 0 and contribute nothing).
+    #[inline]
+    fn soft_pair(llrs: &[f64], t: usize) -> [f64; 4] {
+        let a0 = 0.5 * llrs[2 * t];
+        let a1 = -0.5 * llrs[2 * t];
+        let b0 = 0.5 * llrs[2 * t + 1];
+        let b1 = -0.5 * llrs[2 * t + 1];
+        [a0 + b0, a0 + b1, a1 + b0, a1 + b1]
+    }
+
+    /// [`decode_hard`] into a caller-owned vector (cleared first; capacity
+    /// is reused).
+    pub fn decode_hard_into(
+        &mut self,
+        coded: &[Symbol],
+        out: &mut Vec<u8>,
+    ) -> Result<(), ViterbiError> {
+        out.clear();
+        if !coded.len().is_multiple_of(2) {
+            return Err(ViterbiError::OddLength(coded.len()));
+        }
+        let steps = coded.len() / 2;
+        if steps < TAIL_BITS {
+            return Err(ViterbiError::TooShort(coded.len()));
+        }
+        self.search_into(steps, |t| Self::hard_pair(coded, t), true, out);
+        out.truncate(steps - TAIL_BITS);
+        Ok(())
+    }
+
+    /// [`decode_hard_unterminated`] into a caller-owned vector (cleared
+    /// first; capacity is reused).
+    pub fn decode_hard_unterminated_into(
+        &mut self,
+        coded: &[Symbol],
+        out: &mut Vec<u8>,
+    ) -> Result<(), ViterbiError> {
+        out.clear();
+        if !coded.len().is_multiple_of(2) {
+            return Err(ViterbiError::OddLength(coded.len()));
+        }
+        let steps = coded.len() / 2;
+        if steps == 0 {
+            return Ok(());
+        }
+        self.search_into(steps, |t| Self::hard_pair(coded, t), false, out);
+        Ok(())
+    }
+
+    /// [`decode_soft`] into a caller-owned vector (cleared first; capacity
+    /// is reused).
+    pub fn decode_soft_into(
+        &mut self,
+        llrs: &[f64],
+        out: &mut Vec<u8>,
+    ) -> Result<(), ViterbiError> {
+        out.clear();
+        if !llrs.len().is_multiple_of(2) {
+            return Err(ViterbiError::OddLength(llrs.len()));
+        }
+        let steps = llrs.len() / 2;
+        if steps < TAIL_BITS {
+            return Err(ViterbiError::TooShort(llrs.len()));
+        }
+        self.search_into(steps, |t| Self::soft_pair(llrs, t), true, out);
+        out.truncate(steps - TAIL_BITS);
+        Ok(())
+    }
+
+    /// [`decode_soft_unterminated`] into a caller-owned vector (cleared
+    /// first; capacity is reused).
+    pub fn decode_soft_unterminated_into(
+        &mut self,
+        llrs: &[f64],
+        out: &mut Vec<u8>,
+    ) -> Result<(), ViterbiError> {
+        out.clear();
+        if !llrs.len().is_multiple_of(2) {
+            return Err(ViterbiError::OddLength(llrs.len()));
+        }
+        let steps = llrs.len() / 2;
+        if steps == 0 {
+            return Ok(());
+        }
+        self.search_into(steps, |t| Self::soft_pair(llrs, t), false, out);
+        Ok(())
+    }
+}
+
+/// Runs `f` with a per-thread shared [`ViterbiDecoder`], so the free
+/// `decode_*` functions reuse metric/survivor buffers across calls.
+fn with_decoder<R>(f: impl FnOnce(&mut ViterbiDecoder) -> R) -> R {
+    use std::cell::RefCell;
+    thread_local! {
+        static DECODER: RefCell<ViterbiDecoder> = RefCell::new(ViterbiDecoder::new());
+    }
+    DECODER.with(|d| f(&mut d.borrow_mut()))
+}
+
+/// Hard-decision decoding of a terminated block.
+///
+/// `coded` holds the (possibly depunctured) coded stream as
+/// `[a0, b0, a1, b1, ...]` with erasures at punctured positions. Returns the
+/// decoded data bits with the six tail bits stripped.
+pub fn decode_hard(coded: &[Symbol]) -> Result<Vec<u8>, ViterbiError> {
+    let mut out = Vec::new();
+    with_decoder(|d| d.decode_hard_into(coded, &mut out))?;
+    Ok(out)
 }
 
 /// Hard-decision decoding of an *unterminated* stream: the trellis may end
@@ -187,15 +323,94 @@ pub fn decode_hard(coded: &[Symbol]) -> Result<Vec<u8>, ViterbiError> {
 /// between the PSDU and the scrambled pad bits, so the encoder does not
 /// finish in the zero state.
 pub fn decode_hard_unterminated(coded: &[Symbol]) -> Result<Vec<u8>, ViterbiError> {
-    if !coded.len().is_multiple_of(2) {
-        return Err(ViterbiError::OddLength(coded.len()));
+    let mut out = Vec::new();
+    with_decoder(|d| d.decode_hard_unterminated_into(coded, &mut out))?;
+    Ok(out)
+}
+
+/// Soft-decision decoding of an unterminated stream; see
+/// [`decode_hard_unterminated`].
+pub fn decode_soft_unterminated(llrs: &[f64]) -> Result<Vec<u8>, ViterbiError> {
+    let mut out = Vec::new();
+    with_decoder(|d| d.decode_soft_unterminated_into(llrs, &mut out))?;
+    Ok(out)
+}
+
+/// Soft-decision decoding of a terminated block.
+///
+/// `llrs[i]` is the log-likelihood ratio of coded bit `i`:
+/// `log P(bit=0) - log P(bit=1)` (positive ⇒ 0 more likely). Punctured
+/// positions must carry LLR `0.0`. Returns data bits without the tail.
+pub fn decode_soft(llrs: &[f64]) -> Result<Vec<u8>, ViterbiError> {
+    let mut out = Vec::new();
+    with_decoder(|d| d.decode_soft_into(llrs, &mut out))?;
+    Ok(out)
+}
+
+/// The pre-optimization closure-driven search, kept as the equivalence
+/// oracle for the table-driven decoder (proptests in `tests/`) and as the
+/// "before" side of the hot-path benchmark. Allocates fresh metric and
+/// survivor buffers and invokes the reward closure twice per branch —
+/// 256 calls per trellis step.
+pub mod reference {
+    use super::*;
+
+    fn search(
+        num_steps: usize,
+        bit_reward: impl Fn(usize, u8) -> f64,
+        terminated: bool,
+    ) -> Vec<u8> {
+        let tr = trellis();
+        let mut metric = vec![NEG; NUM_STATES];
+        metric[0] = 0.0;
+        let mut survivor: Vec<[(u8, u8); NUM_STATES]> = Vec::with_capacity(num_steps);
+
+        let mut next_metric = vec![NEG; NUM_STATES];
+        for t in 0..num_steps {
+            next_metric.fill(NEG);
+            let mut surv = [(0u8, 0u8); NUM_STATES];
+            for s in 0..NUM_STATES {
+                let m = metric[s];
+                if m == NEG {
+                    continue;
+                }
+                for bit in 0..2usize {
+                    let pair = tr.pair_idx[s][bit];
+                    let (a, b) = ((pair >> 1) as u8, (pair & 1) as u8);
+                    let ns = tr.next[s][bit] as usize;
+                    let r = bit_reward(2 * t, a) + bit_reward(2 * t + 1, b);
+                    let cand = m + r;
+                    if cand > next_metric[ns] {
+                        next_metric[ns] = cand;
+                        surv[ns] = (s as u8, bit as u8);
+                    }
+                }
+            }
+            survivor.push(surv);
+            std::mem::swap(&mut metric, &mut next_metric);
+        }
+
+        let mut state = if terminated {
+            0usize
+        } else {
+            metric
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        };
+
+        let mut bits = vec![0u8; num_steps];
+        for t in (0..num_steps).rev() {
+            let (prev, bit) = survivor[t][state];
+            bits[t] = bit;
+            state = prev as usize;
+        }
+        bits
     }
-    let steps = coded.len() / 2;
-    if steps == 0 {
-        return Ok(Vec::new());
-    }
-    Ok(search(
-        steps,
+
+    fn hard_reward(coded: &[Symbol]) -> impl Fn(usize, u8) -> f64 + '_ {
         |idx, hyp| match coded[idx] {
             Symbol::Erased => 0.0,
             Symbol::Bit(rx) => {
@@ -205,23 +420,10 @@ pub fn decode_hard_unterminated(coded: &[Symbol]) -> Result<Vec<u8>, ViterbiErro
                     0.0
                 }
             }
-        },
-        false,
-    ))
-}
+        }
+    }
 
-/// Soft-decision decoding of an unterminated stream; see
-/// [`decode_hard_unterminated`].
-pub fn decode_soft_unterminated(llrs: &[f64]) -> Result<Vec<u8>, ViterbiError> {
-    if !llrs.len().is_multiple_of(2) {
-        return Err(ViterbiError::OddLength(llrs.len()));
-    }
-    let steps = llrs.len() / 2;
-    if steps == 0 {
-        return Ok(Vec::new());
-    }
-    Ok(search(
-        steps,
+    fn soft_reward(llrs: &[f64]) -> impl Fn(usize, u8) -> f64 + '_ {
         |idx, hyp| {
             let l = llrs[idx];
             if hyp == 0 {
@@ -229,39 +431,58 @@ pub fn decode_soft_unterminated(llrs: &[f64]) -> Result<Vec<u8>, ViterbiError> {
             } else {
                 -0.5 * l
             }
-        },
-        false,
-    ))
-}
+        }
+    }
 
-/// Soft-decision decoding of a terminated block.
-///
-/// `llrs[i]` is the log-likelihood ratio of coded bit `i`:
-/// `log P(bit=0) - log P(bit=1)` (positive ⇒ 0 more likely). Punctured
-/// positions must carry LLR `0.0`. Returns data bits without the tail.
-pub fn decode_soft(llrs: &[f64]) -> Result<Vec<u8>, ViterbiError> {
-    if !llrs.len().is_multiple_of(2) {
-        return Err(ViterbiError::OddLength(llrs.len()));
+    /// Reference counterpart of [`super::decode_hard`].
+    pub fn decode_hard(coded: &[Symbol]) -> Result<Vec<u8>, ViterbiError> {
+        if !coded.len().is_multiple_of(2) {
+            return Err(ViterbiError::OddLength(coded.len()));
+        }
+        let steps = coded.len() / 2;
+        if steps < TAIL_BITS {
+            return Err(ViterbiError::TooShort(coded.len()));
+        }
+        let bits = search(steps, hard_reward(coded), true);
+        Ok(bits[..steps - TAIL_BITS].to_vec())
     }
-    let steps = llrs.len() / 2;
-    if steps < TAIL_BITS {
-        return Err(ViterbiError::TooShort(llrs.len()));
+
+    /// Reference counterpart of [`super::decode_hard_unterminated`].
+    pub fn decode_hard_unterminated(coded: &[Symbol]) -> Result<Vec<u8>, ViterbiError> {
+        if !coded.len().is_multiple_of(2) {
+            return Err(ViterbiError::OddLength(coded.len()));
+        }
+        let steps = coded.len() / 2;
+        if steps == 0 {
+            return Ok(Vec::new());
+        }
+        Ok(search(steps, hard_reward(coded), false))
     }
-    let bits = search(
-        steps,
-        // Reward of hypothesizing bit value `hyp` at position `idx`:
-        // +llr/2 for 0, -llr/2 for 1 (constant offsets cancel).
-        |idx, hyp| {
-            let l = llrs[idx];
-            if hyp == 0 {
-                0.5 * l
-            } else {
-                -0.5 * l
-            }
-        },
-        true,
-    );
-    Ok(bits[..steps - TAIL_BITS].to_vec())
+
+    /// Reference counterpart of [`super::decode_soft_unterminated`].
+    pub fn decode_soft_unterminated(llrs: &[f64]) -> Result<Vec<u8>, ViterbiError> {
+        if !llrs.len().is_multiple_of(2) {
+            return Err(ViterbiError::OddLength(llrs.len()));
+        }
+        let steps = llrs.len() / 2;
+        if steps == 0 {
+            return Ok(Vec::new());
+        }
+        Ok(search(steps, soft_reward(llrs), false))
+    }
+
+    /// Reference counterpart of [`super::decode_soft`].
+    pub fn decode_soft(llrs: &[f64]) -> Result<Vec<u8>, ViterbiError> {
+        if !llrs.len().is_multiple_of(2) {
+            return Err(ViterbiError::OddLength(llrs.len()));
+        }
+        let steps = llrs.len() / 2;
+        if steps < TAIL_BITS {
+            return Err(ViterbiError::TooShort(llrs.len()));
+        }
+        let bits = search(steps, soft_reward(llrs), true);
+        Ok(bits[..steps - TAIL_BITS].to_vec())
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +505,64 @@ mod tests {
                 (x & 1) as u8
             })
             .collect()
+    }
+
+    /// Deterministic f64 in [-4, 4] for LLR fuzzing.
+    fn llr_pattern(len: usize, seed: u64) -> Vec<f64> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ((x & 0xFFFF) as f64 / 65535.0 - 0.5) * 8.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table_driven_matches_reference_hard_random_with_erasures() {
+        for seed in 0..20u64 {
+            let len = 2 * (TAIL_BITS + 4 + (seed as usize * 7) % 90);
+            let bits = pattern(len, seed.wrapping_mul(0x9E37).wrapping_add(1));
+            let mut syms = to_symbols(&bits);
+            // Scatter erasures (including adjacent pairs) over the stream.
+            for i in (seed as usize % 5..len).step_by(5 + (seed as usize % 3)) {
+                syms[i] = Symbol::Erased;
+            }
+            assert_eq!(
+                decode_hard(&syms).unwrap(),
+                reference::decode_hard(&syms).unwrap(),
+                "terminated hard, seed {seed}"
+            );
+            assert_eq!(
+                decode_hard_unterminated(&syms).unwrap(),
+                reference::decode_hard_unterminated(&syms).unwrap(),
+                "unterminated hard, seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_driven_matches_reference_soft_random() {
+        for seed in 0..20u64 {
+            let len = 2 * (TAIL_BITS + 2 + (seed as usize * 11) % 120);
+            let mut llrs = llr_pattern(len, seed.wrapping_mul(0xC2B2).wrapping_add(3));
+            // Zero LLRs model depunctured erasures.
+            for i in (seed as usize % 4..len).step_by(6) {
+                llrs[i] = 0.0;
+            }
+            assert_eq!(
+                decode_soft(&llrs).unwrap(),
+                reference::decode_soft(&llrs).unwrap(),
+                "terminated soft, seed {seed}"
+            );
+            assert_eq!(
+                decode_soft_unterminated(&llrs).unwrap(),
+                reference::decode_soft_unterminated(&llrs).unwrap(),
+                "unterminated soft, seed {seed}"
+            );
+        }
     }
 
     #[test]

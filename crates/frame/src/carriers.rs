@@ -51,12 +51,12 @@ impl Layout {
     }
 
     /// Data subcarrier logical indices in increasing frequency order
-    /// (pilots and DC excluded).
-    pub fn data_carriers(self) -> Vec<i32> {
-        let edge = self.edge();
-        (-edge..=edge)
-            .filter(|&k| k != 0 && !PILOT_CARRIERS.contains(&k))
-            .collect()
+    /// (pilots and DC excluded). Static — call sites never allocate.
+    pub fn data_carriers(self) -> &'static [i32] {
+        match self {
+            Layout::Legacy => &LEGACY_DATA_TABLE,
+            Layout::Ht => &HT_DATA_TABLE,
+        }
     }
 
     /// `true` if logical index `k` is a pilot.
@@ -69,6 +69,28 @@ impl Layout {
         k != 0 && k >= -self.edge() && k <= self.edge()
     }
 }
+
+/// Builds a data-carrier table at compile time: every index in
+/// `-edge..=edge` except DC and the four pilots. `PILOT_CARRIERS` is
+/// restated inline because slice `contains` is not const; the test
+/// `data_carriers_match_filter_formula` pins the two definitions together.
+const fn build_data_carriers<const N: usize>(edge: i32) -> [i32; N] {
+    let mut out = [0i32; N];
+    let mut k = -edge;
+    let mut i = 0;
+    while k <= edge {
+        if k != 0 && k != -21 && k != -7 && k != 7 && k != 21 {
+            out[i] = k;
+            i += 1;
+        }
+        k += 1;
+    }
+    assert!(i == N, "carrier count mismatch");
+    out
+}
+
+static LEGACY_DATA_TABLE: [i32; LEGACY_DATA_CARRIERS] = build_data_carriers(26);
+static HT_DATA_TABLE: [i32; HT_DATA_CARRIERS] = build_data_carriers(28);
 
 /// Maps a logical subcarrier index (−32..=31) to its FFT bin (0..=63).
 /// Negative frequencies occupy the upper half of the FFT input.
@@ -106,6 +128,17 @@ mod tests {
                 assert!(!dc.contains(&p));
             }
             assert!(dc.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
+        }
+    }
+
+    #[test]
+    fn data_carriers_match_filter_formula() {
+        for layout in [Layout::Legacy, Layout::Ht] {
+            let edge = layout.edge();
+            let want: Vec<i32> = (-edge..=edge)
+                .filter(|&k| k != 0 && !PILOT_CARRIERS.contains(&k))
+                .collect();
+            assert_eq!(layout.data_carriers(), want.as_slice());
         }
     }
 

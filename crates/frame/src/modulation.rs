@@ -152,15 +152,16 @@ impl Modulation {
 
     /// All levels on one axis of width `w` bits, indexed by the axis bit
     /// pattern (bit i of the index = i-th transmitted bit of that axis),
-    /// scaled by K_MOD.
-    fn axis_table(self, w: usize) -> Vec<f64> {
-        let k = self.kmod();
-        (0..(1usize << w))
-            .map(|idx| {
-                let bits: Vec<u8> = (0..w).map(|i| ((idx >> i) & 1) as u8).collect();
-                Self::axis_level(&bits) * k
-            })
-            .collect()
+    /// *unscaled* — multiply by [`Self::kmod`] at the point of use. Static
+    /// so the demappers never allocate; the entries are exactly what
+    /// [`Self::axis_level`] produces for each index's bit pattern.
+    fn axis_levels(w: usize) -> &'static [f64] {
+        match w {
+            1 => &[-1.0, 1.0],
+            2 => &[-3.0, 3.0, -1.0, 1.0],
+            3 => &[-7.0, 7.0, -1.0, 1.0, -5.0, 5.0, -3.0, 3.0],
+            n => panic!("unsupported axis width {n}"),
+        }
     }
 
     /// Hard-decision demapping of one symbol (minimum distance).
@@ -170,11 +171,13 @@ impl Modulation {
     pub fn demap_hard(self, y: Complex64) -> Vec<u8> {
         let wi = self.i_axis_bits();
         let wq = self.bits_per_symbol() - wi;
+        let k = self.kmod();
         let mut out = Vec::with_capacity(self.bits_per_symbol());
-        let nearest = |v: f64, table: &[f64]| -> usize {
+        let nearest = |v: f64, w: usize| -> usize {
             let mut best = 0usize;
             let mut bd = f64::INFINITY;
-            for (idx, &lvl) in table.iter().enumerate() {
+            for (idx, &lvl0) in Self::axis_levels(w).iter().enumerate() {
+                let lvl = lvl0 * k;
                 let d = (v - lvl) * (v - lvl);
                 if d < bd {
                     bd = d;
@@ -183,17 +186,44 @@ impl Modulation {
             }
             best
         };
-        let bi = nearest(y.re, &self.axis_table(wi));
+        let bi = nearest(y.re, wi);
         for i in 0..wi {
             out.push(((bi >> i) & 1) as u8);
         }
         if wq > 0 {
-            let bq = nearest(y.im, &self.axis_table(wq));
+            let bq = nearest(y.im, wq);
             for i in 0..wq {
                 out.push(((bq >> i) & 1) as u8);
             }
         }
         out
+    }
+
+    /// Hard decision as a constellation point: the nearest transmit symbol
+    /// to `y`. Exactly `map_bits(&demap_hard(y))` — the per-axis searches
+    /// share [`Self::axis_levels`], whose entries match [`Self::axis_level`]
+    /// bit for bit — but without materializing the bit vector, so the
+    /// per-symbol EVM accumulation in the RX hot loop never allocates.
+    pub fn decide(self, y: Complex64) -> Complex64 {
+        let wi = self.i_axis_bits();
+        let wq = self.bits_per_symbol() - wi;
+        let k = self.kmod();
+        let nearest_level = |v: f64, w: usize| -> f64 {
+            let mut best = 0.0;
+            let mut bd = f64::INFINITY;
+            for &lvl0 in Self::axis_levels(w) {
+                let lvl = lvl0 * k;
+                let d = (v - lvl) * (v - lvl);
+                if d < bd {
+                    bd = d;
+                    best = lvl;
+                }
+            }
+            best
+        };
+        let re = nearest_level(y.re, wi);
+        let im = if wq > 0 { nearest_level(y.im, wq) } else { 0.0 };
+        Complex64::new(re, im)
     }
 
     /// Max-log LLR demapping of one symbol.
@@ -210,16 +240,35 @@ impl Modulation {
     /// leaving two O(sqrt(M)) scans. (Exactly equal to the full 2-D
     /// max-log — the tests enforce it.)
     pub fn demap_soft(self, y: Complex64, noise_var: f64) -> Vec<f64> {
+        let mut out = vec![0.0; self.bits_per_symbol()];
+        self.demap_soft_into(y, noise_var, &mut out);
+        out
+    }
+
+    /// [`Self::demap_soft`] into a caller-owned slice — the allocation-free
+    /// path for the per-carrier RX loop. Produces bit-identical LLRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.bits_per_symbol()`.
+    pub fn demap_soft_into(self, y: Complex64, noise_var: f64, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.bits_per_symbol(),
+            "{self:?} demaps {} LLRs at a time",
+            self.bits_per_symbol()
+        );
         let nv = noise_var.max(1e-12);
         let wi = self.i_axis_bits();
         let wq = self.bits_per_symbol() - wi;
-        let mut out = Vec::with_capacity(self.bits_per_symbol());
-        let axis_llrs = |v: f64, w: usize, out: &mut Vec<f64>| {
-            let table = self.axis_table(w);
-            for bit in 0..w {
+        let k = self.kmod();
+        let axis_llrs = |v: f64, w: usize, out: &mut [f64]| {
+            let levels = Self::axis_levels(w);
+            for (bit, llr) in out.iter_mut().enumerate().take(w) {
                 let mut d0 = f64::INFINITY;
                 let mut d1 = f64::INFINITY;
-                for (idx, &lvl) in table.iter().enumerate() {
+                for (idx, &lvl0) in levels.iter().enumerate() {
+                    let lvl = lvl0 * k;
                     let d = (v - lvl) * (v - lvl);
                     if (idx >> bit) & 1 == 0 {
                         d0 = d0.min(d);
@@ -227,14 +276,13 @@ impl Modulation {
                         d1 = d1.min(d);
                     }
                 }
-                out.push((d1 - d0) / nv);
+                *llr = (d1 - d0) / nv;
             }
         };
-        axis_llrs(y.re, wi, &mut out);
+        axis_llrs(y.re, wi, &mut out[..wi]);
         if wq > 0 {
-            axis_llrs(y.im, wq, &mut out);
+            axis_llrs(y.im, wq, &mut out[wi..]);
         }
-        out
     }
 }
 
@@ -260,6 +308,23 @@ mod tests {
         Modulation::Qam16,
         Modulation::Qam64,
     ];
+
+    #[test]
+    fn decide_matches_demap_then_map() {
+        for m in ALL {
+            let mut x = 0x1234_5678_9ABC_DEF0u64;
+            for _ in 0..500 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let re = ((x & 0xFFFF) as f64 / 65535.0 - 0.5) * 4.0;
+                let im = (((x >> 16) & 0xFFFF) as f64 / 65535.0 - 0.5) * 4.0;
+                let y = C64::new(re, im);
+                let via_bits = m.map_bits(&m.demap_hard(y));
+                assert_eq!(m.decide(y), via_bits, "{m:?} at {y:?}");
+            }
+        }
+    }
 
     fn prbs(len: usize, mut x: u64) -> Vec<u8> {
         x |= 1;
@@ -439,6 +504,41 @@ mod tests {
                 assert_eq!(hard, want_bits, "{m} at {y:?}");
             }
         }
+    }
+
+    #[test]
+    fn static_axis_levels_match_gray_map() {
+        for w in 1..=3usize {
+            let levels = Modulation::axis_levels(w);
+            assert_eq!(levels.len(), 1 << w);
+            for (idx, &lvl) in levels.iter().enumerate() {
+                let bits: Vec<u8> = (0..w).map(|i| ((idx >> i) & 1) as u8).collect();
+                assert_eq!(lvl, Modulation::axis_level(&bits), "w={w} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn demap_soft_into_matches_and_reuses() {
+        let mut buf = [0.0; 6];
+        for m in ALL {
+            let nb = m.bits_per_symbol();
+            for t in 0..50 {
+                let y = C64::new(
+                    ((t * 31) % 23) as f64 / 8.0 - 1.5,
+                    ((t * 17) % 29) as f64 / 9.0 - 1.5,
+                );
+                let fresh = m.demap_soft(y, 0.21);
+                m.demap_soft_into(y, 0.21, &mut buf[..nb]);
+                assert_eq!(&buf[..nb], fresh.as_slice(), "{m} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "demaps")]
+    fn demap_soft_into_wrong_length_panics() {
+        Modulation::Qpsk.demap_soft_into(C64::ZERO, 0.1, &mut [0.0; 3]);
     }
 
     #[test]

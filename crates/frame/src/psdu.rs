@@ -7,7 +7,7 @@
 //! can attribute packet errors exactly, and the DATA field framing follows
 //! IEEE 802.11-2012 §18.3.5.2–18.3.5.4.
 
-use mimonet_fec::bits::{bits_to_bytes, bytes_to_bits};
+use mimonet_fec::bits::bytes_to_bits;
 use mimonet_fec::crc::{append_fcs, check_fcs};
 use mimonet_fec::scrambler::Scrambler;
 
@@ -174,15 +174,46 @@ pub fn scramble_data_bits(bits: &mut [u8], psdu_len_octets: usize, seed: u8) {
 /// bits, which descramble the all-zero SERVICE prefix) and extracts the
 /// PSDU octets. Returns `None` when the seed is unrecoverable.
 pub fn descramble_data_bits(bits: &[u8], psdu_len_octets: usize) -> Option<Vec<u8>> {
-    if bits.len() < SERVICE_BITS + psdu_len_octets * 8 {
-        return None;
+    let mut scratch = Vec::new();
+    let mut psdu = Vec::new();
+    descramble_data_bits_into(bits, psdu_len_octets, &mut scratch, &mut psdu).then_some(psdu)
+}
+
+/// [`descramble_data_bits`] into caller-owned vectors (cleared first;
+/// capacity is reused) — the allocation-free path for the RX FEC stage.
+/// `scratch` holds the descrambled bit prefix; `psdu` receives the
+/// extracted octets. Returns `false` (leaving `psdu` empty) when the seed
+/// is unrecoverable or the input is too short.
+pub fn descramble_data_bits_into(
+    bits: &[u8],
+    psdu_len_octets: usize,
+    scratch: &mut Vec<u8>,
+    psdu: &mut Vec<u8>,
+) -> bool {
+    psdu.clear();
+    let used = SERVICE_BITS + psdu_len_octets * 8;
+    if bits.len() < used {
+        return false;
     }
     let first7: [u8; 7] = bits[..7].try_into().unwrap();
-    let seed = mimonet_fec::scrambler::recover_seed(&first7)?;
+    let Some(seed) = mimonet_fec::scrambler::recover_seed(&first7) else {
+        return false;
+    };
+    // The keystream XOR is per-bit, so descrambling only the prefix the
+    // PSDU occupies yields the same octets as descrambling everything.
+    scratch.clear();
+    scratch.extend_from_slice(&bits[..used]);
     let mut s = Scrambler::new(seed);
-    let clear = s.scramble(bits);
-    let psdu_bits = &clear[SERVICE_BITS..SERVICE_BITS + psdu_len_octets * 8];
-    Some(bits_to_bytes(psdu_bits))
+    s.scramble_in_place(scratch);
+    psdu.reserve(psdu_len_octets);
+    for chunk in scratch[SERVICE_BITS..used].chunks_exact(8) {
+        let mut b = 0u8;
+        for (k, &bit) in chunk.iter().enumerate() {
+            b |= bit << k;
+        }
+        psdu.push(b);
+    }
+    true
 }
 
 #[cfg(test)]
@@ -286,5 +317,33 @@ mod tests {
     #[test]
     fn descramble_rejects_short_input() {
         assert_eq!(descramble_data_bits(&[0u8; 10], 10), None);
+    }
+
+    #[test]
+    fn descramble_into_matches_and_reuses() {
+        let mcs = Mcs::from_index(3).unwrap();
+        let mut scratch = Vec::new();
+        let mut psdu = Vec::new();
+        for seed in [0x11u8, 0x35, 0x7F] {
+            let want: Vec<u8> = (0..80u8).map(|b| b.wrapping_mul(seed)).collect();
+            let mut bits = assemble_data_bits(&want, &mcs);
+            scramble_data_bits(&mut bits, want.len(), seed);
+            assert!(descramble_data_bits_into(
+                &bits,
+                want.len(),
+                &mut scratch,
+                &mut psdu
+            ));
+            assert_eq!(psdu, want, "seed {seed:#x}");
+            assert_eq!(descramble_data_bits(&bits, want.len()), Some(want));
+        }
+        // Short input clears the output and reports failure.
+        assert!(!descramble_data_bits_into(
+            &[0u8; 10],
+            10,
+            &mut scratch,
+            &mut psdu
+        ));
+        assert!(psdu.is_empty());
     }
 }

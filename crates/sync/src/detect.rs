@@ -59,6 +59,9 @@ pub struct PacketDetector {
     corr: Vec<SlidingAutocorrelator>,
     run: usize,
     sample_idx: usize,
+    /// Reused by [`Self::detect`] to gather one sample per antenna, so
+    /// batch detection allocates nothing after construction.
+    sample_buf: Vec<Complex64>,
 }
 
 impl PacketDetector {
@@ -76,6 +79,7 @@ impl PacketDetector {
                 .collect(),
             run: 0,
             sample_idx: 0,
+            sample_buf: vec![Complex64::ZERO; n_rx],
         }
     }
 
@@ -128,16 +132,25 @@ impl PacketDetector {
             rx.iter().all(|a| a.len() == len),
             "antenna buffers must be equal length"
         );
-        let mut sample = vec![Complex64::ZERO; rx.len()];
+        let mut sample = std::mem::take(&mut self.sample_buf);
+        sample.clear();
+        sample.resize(rx.len(), Complex64::ZERO);
         for i in 0..len {
             for (s, a) in sample.iter_mut().zip(rx) {
                 *s = a[i];
             }
             if let Some(d) = self.push(&sample) {
+                self.sample_buf = sample;
                 return Some(d);
             }
         }
+        self.sample_buf = sample;
         None
+    }
+
+    /// Number of antennas this detector was built for.
+    pub fn n_antennas(&self) -> usize {
+        self.corr.len()
     }
 
     /// Resets all streaming state.

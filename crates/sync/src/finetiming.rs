@@ -19,14 +19,23 @@ use mimonet_frame::preamble::lltf_at;
 /// The 64-sample time-domain L-LTF base symbol (no CP, antenna 0, unit
 /// power) used as the matched-filter reference.
 pub fn lltf_reference() -> Vec<Complex64> {
-    let mut bins = vec![Complex64::ZERO; FFT_LEN];
-    for k in -26..=26 {
-        bins[carrier_to_bin(k)] = Complex64::from_re(lltf_at(k));
-    }
-    let fft = Fft::new(FFT_LEN);
-    fft.inverse(&mut bins);
-    let scale = Ofdm::unit_power_scale(52);
-    bins.iter().map(|x| x.scale(scale)).collect()
+    lltf_reference_static().to_vec()
+}
+
+/// [`lltf_reference`] computed once per process — the IFFT and its plan run
+/// on first use only, so the per-frame timing search never replans.
+pub fn lltf_reference_static() -> &'static [Complex64] {
+    static REF: std::sync::OnceLock<Vec<Complex64>> = std::sync::OnceLock::new();
+    REF.get_or_init(|| {
+        let mut bins = vec![Complex64::ZERO; FFT_LEN];
+        for k in -26..=26 {
+            bins[carrier_to_bin(k)] = Complex64::from_re(lltf_at(k));
+        }
+        let fft = Fft::new(FFT_LEN);
+        fft.inverse(&mut bins);
+        let scale = Ofdm::unit_power_scale(52);
+        bins.iter().map(|x| x.scale(scale)).collect()
+    })
 }
 
 /// Result of fine timing.
@@ -48,38 +57,59 @@ pub struct FineTiming {
 /// produce two equal peaks 64 samples apart — picks the *earlier* peak of
 /// the best pair.
 pub fn fine_timing(rx: &[&[Complex64]]) -> Option<FineTiming> {
+    let mut scratch = FineTimingScratch::default();
+    fine_timing_with(rx, &mut scratch)
+}
+
+/// Reusable buffers for [`fine_timing_with`] — one per receiver, so the
+/// per-frame timing search allocates nothing after the first frame.
+#[derive(Clone, Debug, Default)]
+pub struct FineTimingScratch {
+    corr: Vec<f64>,
+    acc: Vec<f64>,
+    combined: Vec<f64>,
+}
+
+/// [`fine_timing`] with caller-owned scratch buffers — identical results,
+/// allocation-free after warm-up.
+pub fn fine_timing_with(
+    rx: &[&[Complex64]],
+    scratch: &mut FineTimingScratch,
+) -> Option<FineTiming> {
     assert!(!rx.is_empty(), "need at least one antenna");
     let len = rx[0].len();
     assert!(
         rx.iter().all(|a| a.len() == len),
         "antenna buffers must be equal length"
     );
-    let reference = lltf_reference();
+    let reference = lltf_reference_static();
     if len < reference.len() {
         return None;
     }
-    let mut acc = vec![0.0f64; len - reference.len() + 1];
+    let out_len = len - reference.len() + 1;
+    scratch.acc.clear();
+    scratch.acc.resize(out_len, 0.0);
     for ant in rx {
-        let c = mimonet_dsp::correlate::normalized_cross_correlate(ant, &reference);
-        for (a, v) in acc.iter_mut().zip(c) {
+        mimonet_dsp::correlate::normalized_cross_correlate_into(ant, reference, &mut scratch.corr);
+        for (a, &v) in scratch.acc.iter_mut().zip(&scratch.corr) {
             *a += v;
         }
     }
     // Combine the two repetitions: score(d) = acc[d] + acc[d+64] where
     // possible, which suppresses single spurious peaks.
-    let combined: Vec<f64> = (0..acc.len())
-        .map(|d| {
-            if d + FFT_LEN < acc.len() {
-                acc[d] + acc[d + FFT_LEN]
-            } else {
-                acc[d]
-            }
-        })
-        .collect();
-    let best = argmax(&combined)?;
+    let acc = &scratch.acc;
+    scratch.combined.clear();
+    scratch.combined.extend((0..out_len).map(|d| {
+        if d + FFT_LEN < out_len {
+            acc[d] + acc[d + FFT_LEN]
+        } else {
+            acc[d]
+        }
+    }));
+    let best = argmax(&scratch.combined)?;
     Some(FineTiming {
         ltf_start: best,
-        peak: acc[best] / rx.len() as f64,
+        peak: scratch.acc[best] / rx.len() as f64,
     })
 }
 

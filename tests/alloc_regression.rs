@@ -1,0 +1,102 @@
+//! Allocation-regression pin for the RX hot path.
+//!
+//! A counting global allocator wraps `System`; after one warm-up decode
+//! through a given `RxWorkspace`/`RxFrame` pair, a second decode of the
+//! same capture must perform **zero** heap allocations. Any future change
+//! that sneaks a `Vec`, `to_vec` or `collect` back into the per-frame
+//! path fails here with the allocation count, not in a profiler weeks
+//! later.
+//!
+//! The ML detector is deliberately *not* pinned: its hypothesis table
+//! (`Prepared::Ml::pred`) scales with `points^n_ss` and is rebuilt per
+//! frame by design. The default MMSE path — what every benchmark and
+//! sweep runs — is the one held to zero.
+//!
+//! This file must contain exactly one `#[test]`: the libtest harness runs
+//! tests on multiple threads, and a concurrent test's allocations would
+//! be charged to the counter.
+
+use mimonet::config::TxConfig;
+use mimonet::tx::Transmitter;
+use mimonet::{Receiver, RxConfig, RxFrame, RxWorkspace};
+use mimonet_channel::{ChannelConfig, ChannelSim};
+use mimonet_dsp::complex::Complex64;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static REALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warmed_receive_into_allocates_nothing() {
+    // One 2x2 MCS9 frame through a mild AWGN channel — the standard
+    // bench link. Built *before* arming the counter.
+    let psdu: Vec<u8> = (0..200u8).collect();
+    let tx = Transmitter::new(TxConfig::new(9).unwrap());
+    let mut streams = tx.transmit(&psdu).unwrap();
+    for s in &mut streams {
+        let mut padded = vec![Complex64::ZERO; 160];
+        padded.extend_from_slice(s);
+        padded.extend(vec![Complex64::ZERO; 80]);
+        *s = padded;
+    }
+    let mut sim = ChannelSim::new(ChannelConfig::awgn(2, 2, 30.0), 42);
+    let (noisy, _) = sim.apply(&streams);
+    let views: Vec<&[Complex64]> = noisy.iter().map(|a| a.as_slice()).collect();
+
+    let rx = Receiver::new(RxConfig::new(2));
+    let mut ws = RxWorkspace::new();
+    let mut frame = RxFrame::default();
+
+    // Warm up: every scratch buffer grows to its working size, and the
+    // decode must actually succeed (a failed decode exercises less of
+    // the pipeline and would make the zero-alloc claim vacuous).
+    for _ in 0..2 {
+        rx.receive_into(&views, &mut ws, &mut frame)
+            .expect("warm-up decode");
+        assert_eq!(frame.psdu, psdu);
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    REALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let res = rx.receive_into(&views, &mut ws, &mut frame);
+    ARMED.store(false, Ordering::SeqCst);
+
+    res.expect("measured decode");
+    assert_eq!(frame.psdu, psdu);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    let reallocs = REALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        (allocs, reallocs),
+        (0, 0),
+        "warmed Receiver::receive_into must not touch the heap \
+         ({allocs} allocations, {reallocs} reallocations)"
+    );
+}
