@@ -56,3 +56,5 @@ pub const CHAOS: u64 = 0xFA_0175;
 pub const PROFILE: u64 = 0x9821;
 /// T3b — RX hot-path before/after microbenchmarks.
 pub const HOTPATH: u64 = 0x407B;
+/// T4 — I/O subsystem: wire codec, loopback link service, queue policy.
+pub const IO: u64 = 0x10C4;

@@ -1,0 +1,172 @@
+//! `mimonet-linkd` — MIMO-OFDM link service daemon and test client.
+//!
+//! ```text
+//! mimonet-linkd serve  [--addr HOST:PORT]        run the daemon (Ctrl-C to stop)
+//! mimonet-linkd client [--addr HOST:PORT] [session knobs] [--assert-local]
+//! mimonet-linkd selftest                          loopback smoke: serve + 4 clients
+//! ```
+//!
+//! Session knobs: `--mcs N --frames N --payload BYTES --snr DB --seed N`.
+//! `--assert-local` reruns the same session in-process and exits nonzero
+//! unless the served PSDUs and `LinkStats` JSON match byte-for-byte —
+//! the CI smoke test's check.
+
+use mimonet_io::client::LinkClient;
+use mimonet_io::linkd::LinkServer;
+use mimonet_io::session::{run_session, Scheduler};
+use mimonet_io::wire::SessionConfig;
+use serde::Serialize;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mimonet-linkd serve [--addr HOST:PORT]\n\
+         \x20      mimonet-linkd client [--addr HOST:PORT] [--mcs N] [--frames N]\n\
+         \x20                           [--payload BYTES] [--snr DB] [--seed N] [--assert-local]\n\
+         \x20      mimonet-linkd selftest"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    let v = args.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        usage()
+    });
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("bad value for {flag}: {v}");
+        usage()
+    })
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mode = argv.first().map(String::as_str).unwrap_or("");
+    let mut addr = "127.0.0.1:7700".to_string();
+    let mut cfg = SessionConfig::default();
+    let mut assert_local = false;
+
+    let rest: Vec<String> = argv.iter().skip(1).cloned().collect();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse(&mut it, "--addr"),
+            "--mcs" => cfg.mcs = parse(&mut it, "--mcs"),
+            "--frames" => cfg.n_frames = parse(&mut it, "--frames"),
+            "--payload" => cfg.payload_len = parse(&mut it, "--payload"),
+            "--snr" => cfg.snr_db = parse(&mut it, "--snr"),
+            "--seed" => cfg.seed = parse(&mut it, "--seed"),
+            "--assert-local" => assert_local = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    match mode {
+        "serve" => serve(&addr),
+        "client" => client(&addr, &cfg, assert_local),
+        "selftest" => selftest(&cfg),
+        _ => usage(),
+    }
+}
+
+fn serve(addr: &str) {
+    let server = match LinkServer::bind(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mimonet-linkd: bind {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("mimonet-linkd: serving on {}", server.local_addr());
+    // No signal handling by design: the daemon parks here and dies with
+    // the process (CI backgrounds it and kills it).
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn client(addr: &str, cfg: &SessionConfig, assert_local: bool) {
+    let mut c = LinkClient::connect(addr).unwrap_or_else(|e| {
+        eprintln!("mimonet-linkd: connect {addr} failed: {e}");
+        std::process::exit(1);
+    });
+    let served = c.run_session(cfg).unwrap_or_else(|e| {
+        eprintln!("mimonet-linkd: session failed: {e}");
+        std::process::exit(1);
+    });
+    c.close().ok();
+    println!(
+        "served session: {} frames decoded, stats {}",
+        served.frames.len(),
+        served.stats_json
+    );
+    if assert_local {
+        let local = run_session(cfg, Scheduler::Threaded).unwrap_or_else(|e| {
+            eprintln!("mimonet-linkd: local reference run failed: {e}");
+            std::process::exit(1);
+        });
+        let local_stats = serde::json::to_string(&local.stats.serialize());
+        if served.frames != local.decoded || served.stats_json != local_stats {
+            eprintln!("mimonet-linkd: served session DIVERGES from local run");
+            eprintln!("  served frames: {}", served.frames.len());
+            eprintln!("  local  frames: {}", local.decoded.len());
+            eprintln!("  served stats: {}", served.stats_json);
+            eprintln!("  local  stats: {local_stats}");
+            std::process::exit(1);
+        }
+        println!("assert-local: served == local (frames + LinkStats byte-identical)");
+    }
+}
+
+fn selftest(cfg: &SessionConfig) {
+    let server = LinkServer::bind("127.0.0.1:0").unwrap_or_else(|e| {
+        eprintln!("mimonet-linkd: selftest bind failed: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.local_addr();
+    let reference = run_session(cfg, Scheduler::Threaded).unwrap_or_else(|e| {
+        eprintln!("mimonet-linkd: selftest local run failed: {e}");
+        std::process::exit(1);
+    });
+    let ref_stats = serde::json::to_string(&reference.stats.serialize());
+
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let cfg = cfg.clone();
+            std::thread::spawn(move || -> Result<_, String> {
+                let mut c = LinkClient::connect(addr).map_err(|e| format!("client {i}: {e}"))?;
+                let r = c
+                    .run_session(&cfg)
+                    .map_err(|e| format!("client {i}: {e}"))?;
+                c.close().ok();
+                Ok(r)
+            })
+        })
+        .collect();
+    let mut failures = 0;
+    for h in handles {
+        match h.join().expect("client thread") {
+            Ok(r) => {
+                if r.frames != reference.decoded || r.stats_json != ref_stats {
+                    eprintln!("selftest: concurrent session diverged from reference");
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("selftest: {e}");
+                failures += 1;
+            }
+        }
+    }
+    let stats = server.shutdown();
+    println!(
+        "selftest: 4 concurrent sessions, {} ok / {} failed on the daemon, {failures} divergent",
+        stats.sessions_ok(),
+        stats.sessions_failed()
+    );
+    if failures > 0 || stats.sessions_ok() != 4 {
+        std::process::exit(1);
+    }
+}

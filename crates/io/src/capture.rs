@@ -1,0 +1,312 @@
+//! SigMF-style capture files (`.iqcap`): record multi-antenna IQ once,
+//! replay it bit-exactly forever.
+//!
+//! A capture is an ordinary wire-format stream —
+//! [`WireMsg::CaptureHeader`] (the metadata "global segment"), a run of
+//! [`WireMsg::IqChunk`]s with contiguous sequence numbers, then
+//! [`WireMsg::Bye`] as the explicit terminator. Because it *is* the wire
+//! format, the same reader/writer pair records to a file, replays from a
+//! file, or streams over a TCP socket unchanged; samples travel as
+//! `f64::to_bits`, so a replayed capture drives `Receiver::scan` to
+//! bit-identical decodes (the replay-determinism acceptance test).
+//!
+//! A capture that ends without `Bye` — a torn copy, a killed recorder —
+//! is reported as [`WireError::Truncated`], never silently shortened.
+
+use crate::wire::{read_msg_opt, write_msg, CaptureMeta, IqChunk, WireError, WireMsg};
+use mimonet::config::RxConfig;
+use mimonet::rx::{Receiver, RxFrame, ScanStats};
+use mimonet_dsp::complex::Complex64;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Default samples-per-antenna per chunk when splitting a stream.
+pub const DEFAULT_CHUNK_LEN: usize = 4096;
+/// Nominal capture sample rate (20 Msps, the 802.11n chains' rate).
+pub const CAPTURE_SAMPLE_RATE_HZ: f64 = 20e6;
+
+/// Writes a capture to any byte sink (file, socket, `Vec<u8>`).
+pub struct CaptureWriter<W: Write> {
+    w: W,
+    n_ant: usize,
+    seq: u64,
+}
+
+impl CaptureWriter<BufWriter<File>> {
+    /// Creates a capture file, writing the header immediately.
+    pub fn create(path: impl AsRef<Path>, meta: &CaptureMeta) -> Result<Self, WireError> {
+        let file = File::create(path).map_err(WireError::from)?;
+        Self::new(BufWriter::new(file), meta)
+    }
+}
+
+impl<W: Write> CaptureWriter<W> {
+    /// Wraps a sink, writing the capture header immediately.
+    pub fn new(mut w: W, meta: &CaptureMeta) -> Result<Self, WireError> {
+        write_msg(&mut w, &WireMsg::CaptureHeader(meta.clone()))?;
+        Ok(Self {
+            w,
+            n_ant: meta.n_ant as usize,
+            seq: 0,
+        })
+    }
+
+    /// Writes one chunk (all antennas, equal lengths).
+    pub fn write_chunk(&mut self, streams: &[&[Complex64]]) -> Result<(), WireError> {
+        assert_eq!(streams.len(), self.n_ant, "antenna count mismatch");
+        let len = streams[0].len();
+        assert!(
+            streams.iter().all(|s| s.len() == len),
+            "ragged antenna streams"
+        );
+        let chunk = IqChunk {
+            seq: self.seq,
+            samples: streams.iter().map(|s| s.to_vec()).collect(),
+        };
+        write_msg(&mut self.w, &WireMsg::IqChunk(chunk))?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Splits full per-antenna streams into `chunk_len`-sample chunks and
+    /// writes them all.
+    pub fn write_streams(
+        &mut self,
+        streams: &[Vec<Complex64>],
+        chunk_len: usize,
+    ) -> Result<(), WireError> {
+        assert!(chunk_len > 0, "chunk length must be nonzero");
+        let len = streams.iter().map(|s| s.len()).min().unwrap_or(0);
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk_len).min(len);
+            let views: Vec<&[Complex64]> = streams.iter().map(|s| &s[start..end]).collect();
+            self.write_chunk(&views)?;
+            start = end;
+        }
+        Ok(())
+    }
+
+    /// Chunks written so far.
+    pub fn chunks_written(&self) -> u64 {
+        self.seq
+    }
+
+    /// Writes the `Bye` terminator, flushes, and returns the inner sink.
+    pub fn finish(mut self) -> Result<W, WireError> {
+        write_msg(&mut self.w, &WireMsg::Bye)?;
+        self.w.flush().map_err(WireError::from)?;
+        Ok(self.w)
+    }
+}
+
+/// Reads a capture from any byte source.
+pub struct CaptureReader<R: Read> {
+    r: R,
+    meta: CaptureMeta,
+    next_seq: u64,
+    done: bool,
+}
+
+impl CaptureReader<BufReader<File>> {
+    /// Opens a capture file and reads its header.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, WireError> {
+        let file = File::open(path).map_err(WireError::from)?;
+        Self::new(BufReader::new(file))
+    }
+}
+
+impl<R: Read> CaptureReader<R> {
+    /// Wraps a source, reading the capture header immediately.
+    pub fn new(mut r: R) -> Result<Self, WireError> {
+        match read_msg_opt(&mut r)? {
+            Some(WireMsg::CaptureHeader(meta)) => Ok(Self {
+                r,
+                meta,
+                next_seq: 0,
+                done: false,
+            }),
+            Some(_) => Err(WireError::BadPayload("capture must start with a header")),
+            None => Err(WireError::Truncated {
+                context: "capture header",
+            }),
+        }
+    }
+
+    /// The capture's metadata.
+    pub fn meta(&self) -> &CaptureMeta {
+        &self.meta
+    }
+
+    /// Next chunk, or `None` after the `Bye` terminator. Sequence gaps
+    /// and a missing terminator are typed errors.
+    pub fn next_chunk(&mut self) -> Result<Option<IqChunk>, WireError> {
+        if self.done {
+            return Ok(None);
+        }
+        match read_msg_opt(&mut self.r)? {
+            Some(WireMsg::IqChunk(chunk)) => {
+                if chunk.samples.len() != self.meta.n_ant as usize {
+                    return Err(WireError::BadPayload("chunk antenna count"));
+                }
+                if chunk.seq != self.next_seq {
+                    return Err(WireError::BadPayload("chunk sequence gap"));
+                }
+                self.next_seq += 1;
+                Ok(Some(chunk))
+            }
+            Some(WireMsg::Bye) => {
+                self.done = true;
+                Ok(None)
+            }
+            Some(_) => Err(WireError::BadPayload("unexpected message in capture")),
+            // EOF without Bye: the capture was cut short. CRCs cannot see
+            // a loss of whole trailing frames, so the terminator must.
+            None => Err(WireError::Truncated {
+                context: "capture body",
+            }),
+        }
+    }
+
+    /// Reads every remaining chunk into contiguous per-antenna streams.
+    pub fn read_streams(&mut self) -> Result<Vec<Vec<Complex64>>, WireError> {
+        let mut streams: Vec<Vec<Complex64>> = vec![Vec::new(); self.meta.n_ant as usize];
+        while let Some(chunk) = self.next_chunk()? {
+            for (s, ant) in streams.iter_mut().zip(&chunk.samples) {
+                s.extend_from_slice(ant);
+            }
+        }
+        Ok(streams)
+    }
+}
+
+/// Records full per-antenna streams into a capture file in one call.
+pub fn write_capture(
+    path: impl AsRef<Path>,
+    meta: &CaptureMeta,
+    streams: &[Vec<Complex64>],
+) -> Result<(), WireError> {
+    let mut w = CaptureWriter::create(path, meta)?;
+    w.write_streams(streams, DEFAULT_CHUNK_LEN)?;
+    w.finish()?;
+    Ok(())
+}
+
+/// Reads a capture file back into contiguous per-antenna streams.
+pub fn read_capture(
+    path: impl AsRef<Path>,
+) -> Result<(CaptureMeta, Vec<Vec<Complex64>>), WireError> {
+    let mut r = CaptureReader::open(path)?;
+    let streams = r.read_streams()?;
+    Ok((r.meta.clone(), streams))
+}
+
+/// What a replayed capture decodes to: the capture metadata, the
+/// `(offset, frame)` pairs `Receiver::scan` found, and its scan stats.
+pub type ReplayOutcome = (CaptureMeta, Vec<(usize, RxFrame)>, ScanStats);
+
+/// Replays a capture file through `Receiver::scan` — the offline decode
+/// path. Bit-identical samples in, bit-identical frames out.
+pub fn replay_scan(path: impl AsRef<Path>, rx_cfg: RxConfig) -> Result<ReplayOutcome, WireError> {
+    let (meta, streams) = read_capture(path)?;
+    let receiver = Receiver::new(rx_cfg);
+    let (frames, stats) = receiver.scan(&streams);
+    Ok((meta, frames, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(n_ant: u16) -> CaptureMeta {
+        CaptureMeta {
+            n_ant,
+            sample_rate_hz: CAPTURE_SAMPLE_RATE_HZ,
+            seed: 5,
+            description: "test capture".into(),
+        }
+    }
+
+    fn ramp(n: usize, scale: f64) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new(i as f64 * scale, -(i as f64) / 3.0))
+            .collect()
+    }
+
+    #[test]
+    fn in_memory_round_trip_is_bit_exact() {
+        let streams = vec![ramp(1000, 1.0), ramp(1000, -0.25)];
+        let mut buf = Vec::new();
+        let mut w = CaptureWriter::new(&mut buf, &meta(2)).unwrap();
+        w.write_streams(&streams, 300).unwrap(); // uneven split on purpose
+        assert_eq!(w.chunks_written(), 4);
+        w.finish().unwrap();
+
+        let mut r = CaptureReader::new(&buf[..]).unwrap();
+        assert_eq!(r.meta(), &meta(2));
+        let back = r.read_streams().unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in streams.iter().zip(&back) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits());
+                assert_eq!(x.im.to_bits(), y.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn missing_terminator_is_truncation() {
+        let mut buf = Vec::new();
+        let mut w = CaptureWriter::new(&mut buf, &meta(1)).unwrap();
+        w.write_streams(&[ramp(64, 1.0)], 64).unwrap();
+        // No finish(): simulate a torn capture.
+        let mut r = CaptureReader::new(&buf[..]).unwrap();
+        assert!(r.next_chunk().unwrap().is_some());
+        assert!(matches!(r.next_chunk(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn sequence_gap_is_detected() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &WireMsg::CaptureHeader(meta(1))).unwrap();
+        write_msg(
+            &mut buf,
+            &WireMsg::IqChunk(IqChunk {
+                seq: 3, // should be 0
+                samples: vec![ramp(8, 1.0)],
+            }),
+        )
+        .unwrap();
+        let mut r = CaptureReader::new(&buf[..]).unwrap();
+        assert!(matches!(r.next_chunk(), Err(WireError::BadPayload(_))));
+    }
+
+    #[test]
+    fn header_is_mandatory() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &WireMsg::Bye).unwrap();
+        assert!(matches!(
+            CaptureReader::new(&buf[..]),
+            Err(WireError::BadPayload(_))
+        ));
+        assert!(matches!(
+            CaptureReader::new(&[][..]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("mimonet_io_capture_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.iqcap");
+        let streams = vec![ramp(500, 0.5)];
+        write_capture(&path, &meta(1), &streams).unwrap();
+        let (m, back) = read_capture(&path).unwrap();
+        assert_eq!(m.n_ant, 1);
+        assert_eq!(back, streams);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,143 @@
+//! Client library for `mimonet-linkd`.
+//!
+//! Speaks the wire protocol from the client side: `Hello` handshake,
+//! then any number of [`LinkClient::run_session`] calls, each of which
+//! collects the daemon's `FrameDecoded`* → `SessionStats` → `Telemetry`
+//! reply into a [`SessionResult`]. Server-side refusals arrive as
+//! [`ClientError::Server`] with the daemon's typed kind; wire faults as
+//! [`ClientError::Wire`]. Used by the loopback integration tests, the
+//! `--client`/`--selftest` modes of the `mimonet-linkd` binary, and
+//! `bench_io`.
+
+use crate::wire::{
+    read_msg, write_msg, DecodedFrame, SessionConfig, WireError, WireMsg, WIRE_VERSION,
+};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A failed client operation, typed.
+#[derive(Clone, Debug)]
+pub enum ClientError {
+    /// The wire itself failed (truncation, CRC, disconnect, ...).
+    Wire(WireError),
+    /// The server refused or aborted the request with a typed report.
+    Server {
+        /// Machine-matchable kind (`"bad-config"`, `"session-graph"`,
+        /// `"transport-*"`).
+        kind: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The server broke the reply sequence.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server { kind, detail } => {
+                write!(f, "server error [{kind}]: {detail}")
+            }
+            ClientError::Protocol(d) => write!(f, "protocol error: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One served session's complete reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionResult {
+    /// Decoded frames, in the order the daemon's receiver produced them.
+    pub frames: Vec<DecodedFrame>,
+    /// The session's `LinkStats`, JSON-rendered by the server.
+    pub stats_json: String,
+    /// The session flowgraph's `GraphSnapshot`, JSON-rendered.
+    pub telemetry_json: String,
+}
+
+/// A connected `mimonet-linkd` client.
+pub struct LinkClient {
+    stream: TcpStream,
+}
+
+impl LinkClient {
+    /// Connects and completes the `Hello` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let mut stream = TcpStream::connect(addr).map_err(WireError::from)?;
+        stream.set_nodelay(true).ok();
+        write_msg(
+            &mut stream,
+            &WireMsg::Hello {
+                version: WIRE_VERSION,
+            },
+        )?;
+        match read_msg(&mut stream)? {
+            WireMsg::Hello { version } if version == WIRE_VERSION => Ok(Self { stream }),
+            WireMsg::Hello { version } => Err(ClientError::Protocol(format!(
+                "server speaks wire version {version}, client speaks {WIRE_VERSION}"
+            ))),
+            WireMsg::ErrorReport { kind, detail } => Err(ClientError::Server { kind, detail }),
+            other => Err(ClientError::Protocol(format!(
+                "expected Hello, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Runs one link session on the daemon and collects the full reply.
+    pub fn run_session(&mut self, cfg: &SessionConfig) -> Result<SessionResult, ClientError> {
+        write_msg(&mut self.stream, &WireMsg::SessionRequest(cfg.clone()))?;
+        let mut frames = Vec::new();
+        let mut stats_json: Option<String> = None;
+        loop {
+            match read_msg(&mut self.stream)? {
+                WireMsg::FrameDecoded(f) => frames.push(f),
+                WireMsg::SessionStats { stats_json: s } => {
+                    if stats_json.replace(s).is_some() {
+                        return Err(ClientError::Protocol("duplicate SessionStats".into()));
+                    }
+                }
+                // Telemetry terminates the session reply.
+                WireMsg::Telemetry { telemetry_json } => {
+                    let stats_json = stats_json.ok_or_else(|| {
+                        ClientError::Protocol("Telemetry before SessionStats".into())
+                    })?;
+                    return Ok(SessionResult {
+                        frames,
+                        stats_json,
+                        telemetry_json,
+                    });
+                }
+                WireMsg::ErrorReport { kind, detail } => {
+                    return Err(ClientError::Server { kind, detail })
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected reply: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Says goodbye and closes the connection.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        write_msg(&mut self.stream, &WireMsg::Bye)?;
+        // The server answers Bye best-effort; EOF is just as final.
+        match crate::wire::read_msg_opt(&mut self.stream) {
+            Ok(_) | Err(_) => Ok(()),
+        }
+    }
+
+    /// The underlying stream — the fault-injection tests use this to
+    /// write raw bytes and cut the connection mid-message.
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,54 @@
+//! # mimonet-io
+//!
+//! Streaming sample transport and link services for MIMONet-rs — the
+//! boundary where the in-process flowgraph meets files, sockets, and
+//! other processes:
+//!
+//! * [`wire`] — versioned, length-prefixed, CRC-checked wire codec for
+//!   IQ chunks, decoded frames, and link-service control messages; every
+//!   malformation decodes to a typed [`wire::WireError`], never a panic.
+//! * [`capture`] — SigMF-style `.iqcap` capture files on top of the wire
+//!   codec: record a multi-antenna receive once, replay it bit-exactly
+//!   through `Receiver::scan` forever.
+//! * [`queue`] — bounded MPMC queue with explicit overflow policy and
+//!   always-on drop accounting, the backpressure primitive under the
+//!   network sources.
+//! * [`net`] — TCP/UDP source and sink blocks for `mimonet-runtime`
+//!   flowgraphs, with reconnect-with-backoff on the TCP client side and
+//!   transport faults mapped onto the PR-2 fault taxonomy
+//!   (`transport-truncation` / `transport-crc` / `transport-desync` /
+//!   `transport-disconnect`).
+//! * [`session`] — seeded, scoreable link sessions: the shared substrate
+//!   that makes in-process runs, daemon-served runs, and capture replays
+//!   comparable field-for-field.
+//! * [`linkd`] / [`client`] — the `mimonet-linkd` multi-client daemon
+//!   (one supervised flowgraph session per request, concurrent clients
+//!   fully isolated) and its client library.
+
+pub mod capture;
+pub mod client;
+pub mod linkd;
+pub mod net;
+pub mod queue;
+pub mod session;
+pub mod wire;
+
+pub use capture::{
+    read_capture, replay_scan, write_capture, CaptureReader, CaptureWriter, ReplayOutcome,
+    DEFAULT_CHUNK_LEN,
+};
+pub use client::{ClientError, LinkClient, SessionResult};
+pub use linkd::{LinkServer, ServerStats};
+pub use net::{
+    transport_error, TcpChunkSink, TcpChunkSource, TransportConfig, TransportStats, UdpChunkSink,
+    UdpChunkSource,
+};
+pub use queue::{BoundedQueue, OverflowPolicy, PushOutcome, QueueStats};
+pub use session::{
+    build_link_capture, run_session, score_decoded, score_scan, session_psdus, validate_config,
+    LinkCapture, Scheduler, SessionError, SessionOutcome,
+};
+pub use wire::{
+    decode, encode, read_msg, read_msg_opt, write_msg, CaptureMeta, DecodedFrame, IqChunk,
+    SessionConfig, WireError, WireMsg, WIRE_VERSION,
+};

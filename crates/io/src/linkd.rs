@@ -1,0 +1,308 @@
+//! `mimonet-linkd` — the concurrent link-service daemon.
+//!
+//! One TCP connection is one client; each [`WireMsg::SessionRequest`] on
+//! a connection runs one supervised TX→channel→RX flowgraph session on
+//! the threaded scheduler ([`run_session`] with [`Scheduler::Threaded`])
+//! and streams back every decoded frame, the scored `LinkStats`, and the
+//! session flowgraph's per-block telemetry. Sessions are fully isolated:
+//! each gets its own flowgraph, message hub, and telemetry, so
+//! concurrent clients cannot corrupt each other (the loopback test
+//! checks byte-for-byte agreement with local runs under ≥4 concurrent
+//! sessions).
+//!
+//! Per-session reply sequence:
+//! `FrameDecoded`* → `SessionStats` → `Telemetry` (the session
+//! terminator). Invalid requests or graph failures answer with a single
+//! [`WireMsg::ErrorReport`] instead; wire-level faults (truncation, bad
+//! CRC, disconnect) end the connection with a typed report where the
+//! socket still allows one — the daemon itself never panics and keeps
+//! serving other clients.
+
+use crate::session::{run_session, Scheduler, SessionError};
+use crate::wire::{read_msg_opt, write_msg, WireMsg, WIRE_VERSION};
+use serde::Serialize;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Daemon-wide counters, shared with monitors via `Arc`.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    connections: AtomicU64,
+    sessions_started: AtomicU64,
+    sessions_ok: AtomicU64,
+    sessions_failed: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl ServerStats {
+    /// Connections accepted.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+    /// Session requests received.
+    pub fn sessions_started(&self) -> u64 {
+        self.sessions_started.load(Ordering::Relaxed)
+    }
+    /// Sessions that ran and streamed results.
+    pub fn sessions_ok(&self) -> u64 {
+        self.sessions_ok.load(Ordering::Relaxed)
+    }
+    /// Sessions refused (bad config) or failed (graph error).
+    pub fn sessions_failed(&self) -> u64 {
+        self.sessions_failed.load(Ordering::Relaxed)
+    }
+    /// Connections that died on a wire fault or protocol violation.
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+}
+
+/// A running daemon: accept loop plus one thread per connection. Bind
+/// with port 0 for tests; [`LinkServer::shutdown`] (or drop) stops the
+/// accept loop and joins every session thread.
+pub struct LinkServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LinkServer {
+    /// Binds `addr` and starts serving in background threads.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let accept = {
+            let stop = stop.clone();
+            let stats = stats.clone();
+            std::thread::spawn(move || accept_loop(listener, &stop, &stats))
+        };
+        Ok(Self {
+            local,
+            stop,
+            stats,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Daemon-wide counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        self.stats.clone()
+    }
+
+    /// Stops accepting, waits for in-flight sessions, and returns the
+    /// final counters.
+    pub fn shutdown(mut self) -> Arc<ServerStats> {
+        self.stop_now();
+        self.stats.clone()
+    }
+
+    fn stop_now(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LinkServer {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: &Arc<AtomicBool>, stats: &Arc<ServerStats>) {
+    let workers: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let stats = stats.clone();
+                let stop = stop.clone();
+                let h = std::thread::spawn(move || {
+                    // A panicking session must never take the daemon
+                    // down; the supervisor already converts block panics
+                    // to typed errors, this is the last-resort fence.
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        serve_connection(stream, &stats, &stop)
+                    }));
+                    if r.is_err() {
+                        stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                workers.lock().unwrap().push(h);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    for h in workers.into_inner().unwrap() {
+        let _ = h.join();
+    }
+}
+
+/// `Read` adapter over a timeout-equipped socket: retries timeouts until
+/// the daemon stops, then reports EOF so the connection winds down.
+struct ServerRead<'a> {
+    inner: &'a TcpStream,
+    stop: &'a AtomicBool,
+}
+
+impl Read for ServerRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return Ok(0);
+            }
+            match (&mut self.inner).read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                r => return r,
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, stats: &ServerStats, stop: &AtomicBool) {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = ServerRead {
+        inner: &stream,
+        stop,
+    };
+
+    // Handshake: client speaks first; versions must match.
+    match read_msg_opt(&mut reader) {
+        Ok(Some(WireMsg::Hello { version })) if version == WIRE_VERSION => {}
+        Ok(Some(WireMsg::Hello { version })) => {
+            stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_msg(
+                &mut writer,
+                &WireMsg::ErrorReport {
+                    kind: "transport-desync".into(),
+                    detail: format!("wire version {version}, server speaks {WIRE_VERSION}"),
+                },
+            );
+            return;
+        }
+        _ => {
+            stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+    if write_msg(
+        &mut writer,
+        &WireMsg::Hello {
+            version: WIRE_VERSION,
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+
+    loop {
+        match read_msg_opt(&mut reader) {
+            // Clean goodbye (answered best-effort) or EOF.
+            Ok(Some(WireMsg::Bye)) => {
+                let _ = write_msg(&mut writer, &WireMsg::Bye);
+                return;
+            }
+            Ok(None) => return,
+            Ok(Some(WireMsg::SessionRequest(cfg))) => {
+                stats.sessions_started.fetch_add(1, Ordering::Relaxed);
+                match run_session(&cfg, Scheduler::Threaded) {
+                    Ok(out) => {
+                        for frame in &out.decoded {
+                            if write_msg(&mut writer, &WireMsg::FrameDecoded(frame.clone()))
+                                .is_err()
+                            {
+                                // Mid-session disconnect: count and stop;
+                                // nothing left to report to.
+                                stats.sessions_failed.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                        let stats_json = serde::json::to_string(&out.stats.serialize());
+                        let telemetry_json = serde::json::to_string(&out.telemetry.to_value(false));
+                        let tail = [
+                            WireMsg::SessionStats { stats_json },
+                            WireMsg::Telemetry { telemetry_json },
+                        ];
+                        for msg in &tail {
+                            if write_msg(&mut writer, msg).is_err() {
+                                stats.sessions_failed.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                        stats.sessions_ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        stats.sessions_failed.fetch_add(1, Ordering::Relaxed);
+                        let kind = match &e {
+                            SessionError::BadConfig(_) => "bad-config",
+                            SessionError::Graph(_) => "session-graph",
+                        };
+                        if write_msg(
+                            &mut writer,
+                            &WireMsg::ErrorReport {
+                                kind: kind.into(),
+                                detail: e.to_string(),
+                            },
+                        )
+                        .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+            }
+            Ok(Some(other)) => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_msg(
+                    &mut writer,
+                    &WireMsg::ErrorReport {
+                        kind: "transport-desync".into(),
+                        detail: format!("unexpected message: {other:?}"),
+                    },
+                );
+                return;
+            }
+            Err(e) => {
+                // Truncated request, bad CRC, dead socket: typed close.
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let report = crate::net::transport_error(&e);
+                let _ = write_msg(
+                    &mut writer,
+                    &WireMsg::ErrorReport {
+                        kind: report.kind,
+                        detail: report.detail,
+                    },
+                );
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Link-service sessions: seeded PSDU generation, the TX→channel→RX
+//! flowgraph run, capture building for record/replay, and the scoring
+//! that folds decode results into `LinkStats`.
+//!
+//! Everything here is a pure function of a [`SessionConfig`], so a
+//! session run in-process, behind `mimonet-linkd`, or replayed from a
+//! capture file can be compared field-for-field. Scoring claims decoded
+//! frames against the sent PSDUs by exact byte equality (one claim per
+//! frame — duplicates don't double count), the same discipline as the
+//! chaos harness.
+
+use crate::wire::{DecodedFrame, SessionConfig};
+use mimonet::blocks::build_link_flowgraph;
+use mimonet::config::{RxConfig, TxConfig};
+use mimonet::link::LinkStats;
+use mimonet::rx::{RxFrame, ScanStats};
+use mimonet::tx::Transmitter;
+use mimonet_channel::{ChannelConfig, ChannelSim};
+use mimonet_dsp::complex::Complex64;
+use mimonet_runtime::{GraphSnapshot, Message, MessageHub};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Hard ceiling on per-frame payload a session may request.
+pub const MAX_SESSION_PAYLOAD: u32 = 2048;
+/// Hard ceiling on frames per session.
+pub const MAX_SESSION_FRAMES: u32 = 4096;
+
+/// Salt between the master seed and the payload RNG, so payload bytes
+/// and channel noise never share a stream.
+const PSDU_SEED_SALT: u64 = 0x5053_4455_1057_3A1D;
+/// Salt for the capture-path channel simulator (mirrors `LinkSim`).
+const CHANNEL_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Which scheduler executes the session flowgraph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Deterministic single-threaded scheduler (`Flowgraph::run`).
+    SingleThread,
+    /// Supervised thread-per-block scheduler (`Flowgraph::run_threaded`)
+    /// — what `mimonet-linkd` uses, one graph per client session.
+    Threaded,
+}
+
+/// A failed session, typed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionError {
+    /// The request was invalid (bad MCS, oversized payload, ...).
+    BadConfig(String),
+    /// The flowgraph failed (block error, panic, stall).
+    Graph(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::BadConfig(d) => write!(f, "bad session config: {d}"),
+            SessionError::Graph(d) => write!(f, "session flowgraph failed: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Everything a completed session produced.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// Decoded frames in decode order.
+    pub decoded: Vec<DecodedFrame>,
+    /// Delivery statistics scored against the sent PSDUs.
+    pub stats: LinkStats,
+    /// Per-block scheduler telemetry for the session's flowgraph.
+    pub telemetry: GraphSnapshot,
+}
+
+/// Validates the knobs a remote client controls.
+pub fn validate_config(cfg: &SessionConfig) -> Result<TxConfig, SessionError> {
+    let tx_cfg = TxConfig::new(cfg.mcs)
+        .map_err(|_| SessionError::BadConfig(format!("invalid MCS index {}", cfg.mcs)))?;
+    if cfg.payload_len == 0 || cfg.payload_len > MAX_SESSION_PAYLOAD {
+        return Err(SessionError::BadConfig(format!(
+            "payload_len {} outside 1..={MAX_SESSION_PAYLOAD}",
+            cfg.payload_len
+        )));
+    }
+    if cfg.n_frames == 0 || cfg.n_frames > MAX_SESSION_FRAMES {
+        return Err(SessionError::BadConfig(format!(
+            "n_frames {} outside 1..={MAX_SESSION_FRAMES}",
+            cfg.n_frames
+        )));
+    }
+    if !cfg.snr_db.is_finite() {
+        return Err(SessionError::BadConfig("snr_db must be finite".into()));
+    }
+    Ok(tx_cfg)
+}
+
+/// The session's PSDUs — a pure function of the config.
+pub fn session_psdus(cfg: &SessionConfig) -> Vec<Vec<u8>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ PSDU_SEED_SALT);
+    (0..cfg.n_frames)
+        .map(|_| (0..cfg.payload_len).map(|_| rng.gen()).collect())
+        .collect()
+}
+
+/// Runs one session's flowgraph locally and scores it. This is both the
+/// daemon's per-connection body and the reference the loopback tests
+/// compare a served session against.
+pub fn run_session(
+    cfg: &SessionConfig,
+    scheduler: Scheduler,
+) -> Result<SessionOutcome, SessionError> {
+    let tx_cfg = validate_config(cfg)?;
+    let n_streams = tx_cfg.mcs.n_streams;
+    let psdus = session_psdus(cfg);
+    let flat: Vec<u8> = psdus.concat();
+    let chan_cfg = ChannelConfig::awgn(n_streams, n_streams, cfg.snr_db);
+    let rx_cfg = RxConfig::new(n_streams);
+    let (mut fg, _sink, _ids) = build_link_flowgraph(
+        tx_cfg,
+        chan_cfg,
+        rx_cfg,
+        &flat,
+        cfg.payload_len as usize,
+        cfg.seed,
+    );
+    let tel = fg.instrument();
+    let hub = Arc::new(MessageHub::new());
+    let frames_sub = hub.subscribe("mimonet.frames");
+    let snr_sub = hub.subscribe("mimonet.snr");
+    match scheduler {
+        Scheduler::SingleThread => fg.run(&hub),
+        Scheduler::Threaded => fg.run_threaded(hub.clone()),
+    }
+    .map_err(|e| SessionError::Graph(e.to_string()))?;
+
+    // RxBlock publishes one snr + one frame per decode, from one thread,
+    // so the two topics pair up positionally under either scheduler.
+    let frames = frames_sub.drain();
+    let snrs = snr_sub.drain();
+    let decoded: Vec<DecodedFrame> = frames
+        .into_iter()
+        .zip(snrs)
+        .enumerate()
+        .map(|(i, (f, s))| {
+            let psdu = match f {
+                Message::Bytes(b) => b,
+                other => panic!("unexpected frame message {other:?}"),
+            };
+            let snr_db = match s {
+                Message::F64(v) => v,
+                other => panic!("unexpected snr message {other:?}"),
+            };
+            DecodedFrame {
+                index: i as u32,
+                snr_db,
+                psdu,
+            }
+        })
+        .collect();
+    let stats = score_decoded(&psdus, &decoded);
+    Ok(SessionOutcome {
+        decoded,
+        stats,
+        telemetry: tel.snapshot(),
+    })
+}
+
+/// Scores streamed/decoded frames against the sent PSDUs.
+pub fn score_decoded(sent: &[Vec<u8>], decoded: &[DecodedFrame]) -> LinkStats {
+    let mut stats = LinkStats::default();
+    let mut claimed = vec![false; decoded.len()];
+    for psdu in sent {
+        let hit = decoded
+            .iter()
+            .enumerate()
+            .find(|(i, d)| !claimed[*i] && &d.psdu == psdu)
+            .map(|(i, _)| i);
+        match hit {
+            Some(i) => {
+                claimed[i] = true;
+                stats.per.record_ok();
+                stats.outcomes.record_ok();
+                stats.snr_est_db.push(decoded[i].snr_db);
+            }
+            None => {
+                stats.per.record_sync_failure();
+                stats.outcomes.record_sync_miss();
+            }
+        }
+    }
+    stats
+}
+
+/// Scores `Receiver::scan` output against the sent PSDUs — the capture
+/// replay path's scoring.
+pub fn score_scan(sent: &[Vec<u8>], frames: &[(usize, RxFrame)], scan: &ScanStats) -> LinkStats {
+    let decoded: Vec<DecodedFrame> = frames
+        .iter()
+        .enumerate()
+        .map(|(i, (_, f))| DecodedFrame {
+            index: i as u32,
+            snr_db: f.snr_db,
+            psdu: f.psdu.clone(),
+        })
+        .collect();
+    let mut stats = score_decoded(sent, &decoded);
+    stats.recovery.record_rescans(scan.rescans as u64);
+    stats
+}
+
+/// An over-the-air capture: the received per-antenna streams and the
+/// PSDUs that produced them.
+pub type LinkCapture = (Vec<Vec<Complex64>>, Vec<Vec<u8>>);
+
+/// Builds a multi-frame over-the-air capture for a session config: the
+/// sent PSDUs transmitted back-to-back (with lead-in and inter-frame
+/// gaps) through the session's AWGN channel — what a recorder at the
+/// receive antennas would have seen. Returns the received streams and
+/// the PSDUs that went in.
+pub fn build_link_capture(cfg: &SessionConfig) -> Result<LinkCapture, SessionError> {
+    const LEAD_IN: usize = 160;
+    const GAP: usize = 240;
+    let tx_cfg = validate_config(cfg)?;
+    let n_streams = tx_cfg.mcs.n_streams;
+    let tx = Transmitter::new(tx_cfg);
+    let psdus = session_psdus(cfg);
+    let mut capture: Vec<Vec<Complex64>> = vec![vec![Complex64::ZERO; LEAD_IN]; n_streams];
+    for psdu in &psdus {
+        let streams = tx.transmit(psdu).expect("validated PSDU");
+        for (c, s) in capture.iter_mut().zip(&streams) {
+            c.extend_from_slice(s);
+            c.extend(std::iter::repeat_n(Complex64::ZERO, GAP));
+        }
+    }
+    let chan_cfg = ChannelConfig::awgn(n_streams, n_streams, cfg.snr_db);
+    let mut sim = ChannelSim::new(chan_cfg, cfg.seed ^ CHANNEL_SEED_SALT);
+    let (rx_streams, _truth) = sim.apply(&capture);
+    Ok((rx_streams, psdus))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimonet::rx::Receiver;
+
+    fn cfg() -> SessionConfig {
+        SessionConfig {
+            mcs: 8,
+            payload_len: 60,
+            n_frames: 3,
+            snr_db: 30.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn psdus_are_seed_deterministic() {
+        assert_eq!(session_psdus(&cfg()), session_psdus(&cfg()));
+        let other = SessionConfig { seed: 8, ..cfg() };
+        assert_ne!(session_psdus(&cfg()), session_psdus(&other));
+    }
+
+    #[test]
+    fn clean_session_delivers_every_frame() {
+        let out = run_session(&cfg(), Scheduler::SingleThread).unwrap();
+        assert_eq!(out.decoded.len(), 3);
+        assert_eq!(out.stats.per.sent(), 3);
+        assert_eq!(out.stats.per.ok(), 3);
+        assert_eq!(out.stats.outcomes.total(), 3);
+        assert!(!out.telemetry.blocks.is_empty());
+    }
+
+    #[test]
+    fn schedulers_agree_bit_for_bit() {
+        let a = run_session(&cfg(), Scheduler::SingleThread).unwrap();
+        let b = run_session(&cfg(), Scheduler::Threaded).unwrap();
+        assert_eq!(a.decoded, b.decoded);
+        assert_eq!(
+            serde::json::to_string(&serde::Serialize::serialize(&a.stats)),
+            serde::json::to_string(&serde::Serialize::serialize(&b.stats)),
+        );
+    }
+
+    #[test]
+    fn bad_configs_are_typed_errors() {
+        for bad in [
+            SessionConfig { mcs: 77, ..cfg() },
+            SessionConfig {
+                payload_len: 0,
+                ..cfg()
+            },
+            SessionConfig {
+                payload_len: MAX_SESSION_PAYLOAD + 1,
+                ..cfg()
+            },
+            SessionConfig {
+                n_frames: 0,
+                ..cfg()
+            },
+            SessionConfig {
+                n_frames: MAX_SESSION_FRAMES + 1,
+                ..cfg()
+            },
+            SessionConfig {
+                snr_db: f64::NAN,
+                ..cfg()
+            },
+        ] {
+            assert!(matches!(
+                run_session(&bad, Scheduler::SingleThread),
+                Err(SessionError::BadConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn capture_scan_scores_like_the_link() {
+        let (streams, psdus) = build_link_capture(&cfg()).unwrap();
+        let rx = Receiver::new(RxConfig::new(2));
+        let (frames, scan) = rx.scan(&streams);
+        let stats = score_scan(&psdus, &frames, &scan);
+        assert_eq!(stats.per.sent(), 3);
+        assert_eq!(stats.per.ok(), 3, "clean 30 dB capture should decode");
+    }
+
+    #[test]
+    fn scoring_never_double_claims() {
+        let sent = vec![vec![1u8, 2], vec![1, 2]];
+        let decoded = vec![DecodedFrame {
+            index: 0,
+            snr_db: 20.0,
+            psdu: vec![1, 2],
+        }];
+        let stats = score_decoded(&sent, &decoded);
+        assert_eq!(stats.per.ok(), 1);
+        assert_eq!(stats.per.sent(), 2);
+    }
+}

@@ -78,6 +78,15 @@ pub trait Block: Send {
         outputs: &mut [OutputBuffer],
         ctx: &mut BlockCtx<'_>,
     ) -> WorkStatus;
+    /// Hands the block its telemetry slot when the flowgraph is
+    /// instrumented, so blocks with internal machinery (bounded network
+    /// queues, reader threads) can surface their own counters — e.g.
+    /// overflow drops into `BlockTelemetry::queue_drops`. The default
+    /// implementation ignores it; the schedulers record the generic
+    /// counters regardless.
+    fn attach_telemetry(&mut self, tel: &std::sync::Arc<crate::telemetry::BlockTelemetry>) {
+        let _ = tel;
+    }
 }
 
 /// Emits a fixed item vector once, then finishes.

@@ -244,6 +244,9 @@ impl Flowgraph {
         let tel = std::sync::Arc::new(GraphTelemetry::new(
             self.blocks.iter().map(|e| (e.name.clone(), e.n_in)),
         ));
+        for (entry, slot) in self.blocks.iter_mut().zip(&tel.blocks) {
+            entry.block.attach_telemetry(slot);
+        }
         self.telemetry = Some(tel.clone());
         tel
     }
@@ -548,8 +551,12 @@ impl Flowgraph {
                                         t.blocked_output_ns.add(t0.elapsed().as_nanos() as u64);
                                     }
                                 }
-                                Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
-                                    // Downstream gone; drop this port's data.
+                                Err(crossbeam::channel::TrySendError::Disconnected(c)) => {
+                                    // Downstream gone; drop this port's data
+                                    // (visible as queue_drops, not silent).
+                                    if let Some(t) = &tel {
+                                        t.queue_drops.add(c.0.len() as u64);
+                                    }
                                     break;
                                 }
                             }

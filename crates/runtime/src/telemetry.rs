@@ -217,6 +217,10 @@ pub struct BlockTelemetry {
     pub blocked_calls: Counter,
     /// Output sends that found the edge channel full (threaded only).
     pub backpressure_events: Counter,
+    /// Items dropped instead of delivered: sends to a finished downstream
+    /// in the threaded scheduler, plus any block-internal bounded-queue
+    /// overflow a block mirrors in through `Block::attach_telemetry`.
+    pub queue_drops: Counter,
     /// Per-input-port high-water mark of items waiting before a `work`
     /// call — one gauge per inbound edge.
     pub input_highwater: Vec<MaxGauge>,
@@ -246,6 +250,7 @@ impl BlockTelemetry {
             blocked_output_ns: self.blocked_output_ns.get(),
             blocked_calls: self.blocked_calls.get(),
             backpressure_events: self.backpressure_events.get(),
+            queue_drops: self.queue_drops.get(),
             input_highwater: self.input_highwater.iter().map(MaxGauge::get).collect(),
             work_ns_hist: self.work_ns_hist.snapshot(),
         }
@@ -300,6 +305,8 @@ pub struct BlockSnapshot {
     pub blocked_calls: u64,
     /// Full-channel events on output sends.
     pub backpressure_events: u64,
+    /// Items dropped (disconnected downstream, bounded-queue overflow).
+    pub queue_drops: u64,
     /// Per-input-port queue high-water marks, items.
     pub input_highwater: Vec<u64>,
     /// Work-latency histogram (wall-clock; stripped when deterministic).
@@ -321,6 +328,7 @@ impl BlockSnapshot {
         self.blocked_output_ns += other.blocked_output_ns;
         self.blocked_calls += other.blocked_calls;
         self.backpressure_events += other.backpressure_events;
+        self.queue_drops += other.queue_drops;
         if self.input_highwater.len() < other.input_highwater.len() {
             self.input_highwater.resize(other.input_highwater.len(), 0);
         }
@@ -342,6 +350,7 @@ impl BlockSnapshot {
             ("items_out", self.items_out.serialize()),
             ("blocked_calls", self.blocked_calls.serialize()),
             ("backpressure_events", self.backpressure_events.serialize()),
+            ("queue_drops", self.queue_drops.serialize()),
             ("input_highwater", self.input_highwater.serialize()),
         ];
         if include_wall {
@@ -402,7 +411,7 @@ impl GraphSnapshot {
     pub fn render_table(&self, wall: Option<Duration>) -> String {
         let mut out = String::new();
         let header = format!(
-            "{:<16} {:>9} {:>10} {:>10} {:>9} {:>7} {:>9} {:>9} {:>7} {:>8}\n",
+            "{:<16} {:>9} {:>10} {:>10} {:>9} {:>7} {:>9} {:>9} {:>7} {:>7} {:>8}\n",
             "block",
             "calls",
             "items_in",
@@ -412,6 +421,7 @@ impl GraphSnapshot {
             "blk_in",
             "blk_out",
             "stalls",
+            "drops",
             "in_hw"
         );
         out.push_str(&header);
@@ -436,7 +446,7 @@ impl GraphSnapshot {
                 format!("{pct:6.1}%")
             };
             out.push_str(&format!(
-                "{:<16} {:>9} {:>10} {:>10} {} {} {} {} {:>7} {:>8}\n",
+                "{:<16} {:>9} {:>10} {:>10} {} {} {} {} {:>7} {:>7} {:>8}\n",
                 b.name,
                 b.work_calls,
                 b.items_in,
@@ -446,6 +456,7 @@ impl GraphSnapshot {
                 fmt_ms(b.blocked_input_ns),
                 fmt_ms(b.blocked_output_ns),
                 b.blocked_calls,
+                b.queue_drops,
                 b.input_highwater.iter().copied().max().unwrap_or(0),
             ));
         }
@@ -543,15 +554,18 @@ mod tests {
         let t = BlockTelemetry::new("b", 2);
         t.work_calls.add(2);
         t.items_in.add(10);
+        t.queue_drops.add(3);
         t.input_highwater[0].record(4);
         t.input_highwater[1].record(9);
         let mut a = t.snapshot();
         let u = BlockTelemetry::new("b", 2);
         u.work_calls.add(1);
+        u.queue_drops.add(2);
         u.input_highwater[0].record(6);
         a.merge(&u.snapshot());
         assert_eq!(a.work_calls, 3);
         assert_eq!(a.items_in, 10);
+        assert_eq!(a.queue_drops, 5);
         assert_eq!(a.input_highwater, vec![6, 9]);
     }
 

@@ -1,0 +1,144 @@
+//! Property tests for `core::adapt::RateController` hysteresis edges:
+//! monotone SNR sweeps must never oscillate the MCS, and the
+//! stale-feedback loss fallback must converge to the most robust rate
+//! instead of bouncing.
+
+use mimonet::adapt::{RateController, SnrThresholdTable};
+use proptest::prelude::*;
+
+/// Table position of an MCS (all test MCS values come from the table).
+fn pos(table: &SnrThresholdTable, mcs: u8) -> usize {
+    table
+        .rows()
+        .iter()
+        .position(|&(_, m)| m == mcs)
+        .expect("controller output always comes from its table")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rising SNR with steady delivery: the selected rate must be
+    /// non-decreasing (no downward blips while conditions only improve)
+    /// and climb at most one table row per update.
+    #[test]
+    fn rising_snr_never_steps_down(
+        start_centi in -500i32..4_000,
+        steps in prop::collection::vec(0u32..300, 1..60),
+    ) {
+        let table = SnrThresholdTable::default_two_stream();
+        let mut rc = RateController::new(table.clone());
+        let mut snr = f64::from(start_centi) / 100.0;
+        let mut prev = rc.current_mcs();
+        for step in steps {
+            snr += f64::from(step) / 100.0;
+            let next = rc.update(true, Some(snr));
+            let (p, n) = (pos(&table, prev), pos(&table, next));
+            prop_assert!(n >= p, "rate fell {prev}->{next} while SNR rose to {snr:.2}");
+            prop_assert!(n - p <= 1, "rate jumped {prev}->{next} in one update");
+            prev = next;
+        }
+    }
+
+    /// Falling SNR with steady delivery: the selected rate must be
+    /// non-increasing — hysteresis margin must never convert a falling
+    /// sweep into an upward blip.
+    #[test]
+    fn falling_snr_never_steps_up(
+        start_centi in 0i32..4_500,
+        steps in prop::collection::vec(0u32..300, 1..60),
+    ) {
+        let table = SnrThresholdTable::default_two_stream();
+        let mut rc = RateController::new(table.clone());
+        let mut snr = f64::from(start_centi) / 100.0;
+        // Let the controller climb to its steady state for this SNR first,
+        // so the sweep starts from wherever hysteresis settled.
+        for _ in 0..table.rows().len() {
+            rc.update(true, Some(snr));
+        }
+        let mut prev = rc.current_mcs();
+        for step in steps {
+            snr -= f64::from(step) / 100.0;
+            let next = rc.update(true, Some(snr));
+            prop_assert!(
+                pos(&table, next) <= pos(&table, prev),
+                "rate rose {prev}->{next} while SNR fell to {snr:.2}"
+            );
+            prev = next;
+        }
+    }
+
+    /// Constant SNR must reach a fixed point: after the controller has had
+    /// one update per table row to settle, further updates at the same SNR
+    /// never change the rate (the hysteresis margin kills flapping even
+    /// exactly at a switching threshold).
+    #[test]
+    fn constant_snr_reaches_a_fixed_point(
+        snr_centi in -500i32..4_500,
+        extra in 1usize..30,
+    ) {
+        let table = SnrThresholdTable::default_two_stream();
+        let mut rc = RateController::new(table.clone());
+        let snr = f64::from(snr_centi) / 100.0;
+        for _ in 0..table.rows().len() {
+            rc.update(true, Some(snr));
+        }
+        let settled = rc.current_mcs();
+        for _ in 0..extra {
+            prop_assert_eq!(
+                rc.update(true, Some(snr)),
+                settled,
+                "rate flapped at constant {:.2} dB", snr
+            );
+        }
+    }
+
+    /// Stale feedback (no SNR) and persistent loss: the fallback must
+    /// converge to the most robust rate within `2 * rows` failed frames,
+    /// monotonically, and stay there.
+    #[test]
+    fn stale_feedback_loss_converges_to_floor(
+        climb in 0usize..10,
+        tail in 1usize..20,
+    ) {
+        let table = SnrThresholdTable::default_two_stream();
+        let mut rc = RateController::new(table.clone());
+        for _ in 0..climb {
+            rc.update(true, Some(60.0));
+        }
+        let mut prev = rc.current_mcs();
+        for _ in 0..2 * table.rows().len() {
+            let next = rc.update(false, None);
+            prop_assert!(
+                pos(&table, next) <= pos(&table, prev),
+                "loss fallback stepped up {prev}->{next}"
+            );
+            prev = next;
+        }
+        prop_assert_eq!(prev, table.lowest(), "did not reach the floor");
+        for _ in 0..tail {
+            prop_assert_eq!(rc.update(false, None), table.lowest());
+        }
+    }
+
+    /// Alternating success/failure with stale feedback never moves the
+    /// rate: a single failure is inside the `max_failures` budget, so the
+    /// controller must not oscillate on it.
+    #[test]
+    fn isolated_losses_never_move_the_rate(
+        climb in 0usize..10,
+        pairs in 1usize..20,
+    ) {
+        let table = SnrThresholdTable::default_two_stream();
+        let mut rc = RateController::new(table.clone());
+        for _ in 0..climb {
+            rc.update(true, Some(60.0));
+        }
+        let rate = rc.current_mcs();
+        for _ in 0..pairs {
+            rc.update(false, None);
+            rc.update(true, None);
+            prop_assert_eq!(rc.current_mcs(), rate, "isolated loss moved the rate");
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Transport blocks under the flowgraph scheduler: TCP and UDP
+//! round-trips are bit-exact, bounded-queue drops surface in
+//! `GraphTelemetry::queue_drops`, and wire faults degrade to typed
+//! block errors — never panics.
+
+use mimonet_dsp::complex::Complex64;
+use mimonet_io::net::{
+    TcpChunkSink, TcpChunkSource, TransportConfig, UdpChunkSink, UdpChunkSource,
+};
+use mimonet_io::queue::OverflowPolicy;
+use mimonet_io::wire::{encode, IqChunk, WireMsg};
+use mimonet_runtime::{convert, Flowgraph, MessageHub, VectorSink, VectorSource};
+use std::io::Write;
+use std::net::{TcpStream, UdpSocket};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tone(n: usize, f: f64) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| {
+            let ph = 2.0 * std::f64::consts::PI * f * i as f64;
+            Complex64::new(ph.cos() * 0.7, ph.sin() * 0.7)
+        })
+        .collect()
+}
+
+fn small_cfg() -> TransportConfig {
+    TransportConfig {
+        chunk_len: 256,
+        ..TransportConfig::default()
+    }
+}
+
+#[test]
+fn tcp_flowgraph_round_trip_is_bit_exact() {
+    let n_ant = 2;
+    let streams: Vec<Vec<Complex64>> = vec![tone(2000, 0.01), tone(2000, 0.037)];
+    let cfg = small_cfg();
+
+    let (source, addr) = TcpChunkSource::listen("127.0.0.1:0", n_ant, cfg.clone()).unwrap();
+
+    // RX graph: network source -> vector sinks.
+    let mut rx_fg = Flowgraph::new();
+    let src = rx_fg.add(source);
+    let mut handles = Vec::new();
+    for port in 0..n_ant {
+        let (sink, handle) = VectorSink::new();
+        let id = rx_fg.add(sink);
+        rx_fg.connect(src, port, id, 0).unwrap();
+        handles.push(handle);
+    }
+
+    // TX graph: vector sources -> network sink.
+    let mut tx_fg = Flowgraph::new();
+    let sink_id = tx_fg.add(TcpChunkSink::new(addr.to_string(), n_ant, cfg));
+    for (port, s) in streams.iter().enumerate() {
+        let id = tx_fg.add(VectorSource::new(convert::from_complex(s)));
+        tx_fg.connect(id, 0, sink_id, port).unwrap();
+    }
+
+    let rx_thread = std::thread::spawn(move || {
+        rx_fg.run_threaded(Arc::new(MessageHub::new())).unwrap();
+        handles
+    });
+    tx_fg.run_threaded(Arc::new(MessageHub::new())).unwrap();
+    let handles = rx_thread.join().unwrap();
+
+    for (s, h) in streams.iter().zip(handles) {
+        let got = h.complex();
+        assert_eq!(got.len(), s.len());
+        for (x, y) in s.iter().zip(&got) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+}
+
+#[test]
+fn queue_overflow_drops_surface_in_graph_telemetry() {
+    let cfg = TransportConfig {
+        chunk_len: 64,
+        queue_depth: 2,
+        policy: OverflowPolicy::DropOldest,
+        ..TransportConfig::default()
+    };
+    let (source, addr) = TcpChunkSource::listen("127.0.0.1:0", 1, cfg).unwrap();
+    let stats = source.stats();
+
+    // Push 10 chunks before the graph ever runs: the reader thread fills
+    // the depth-2 queue and must evict 8.
+    let mut sock = TcpStream::connect(addr).unwrap();
+    for seq in 0..10u64 {
+        let chunk = IqChunk {
+            seq,
+            samples: vec![vec![Complex64::new(seq as f64, -1.0); 64]],
+        };
+        sock.write_all(&encode(&WireMsg::IqChunk(chunk))).unwrap();
+    }
+    sock.write_all(&encode(&WireMsg::Bye)).unwrap();
+    sock.flush().unwrap();
+    drop(sock);
+
+    // Wait until the reader has consumed the whole stream.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while stats.queue_dropped() < 8 {
+        assert!(Instant::now() < deadline, "reader never drained the stream");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut fg = Flowgraph::new();
+    let src = fg.add(source);
+    let (sink, handle) = VectorSink::new();
+    let id = fg.add(sink);
+    fg.connect(src, 0, id, 0).unwrap();
+    let tel = fg.instrument();
+    fg.run_threaded(Arc::new(MessageHub::new())).unwrap();
+
+    // Only the freshest 2 chunks survive DropOldest.
+    assert_eq!(handle.len(), 2 * 64);
+    let snap = tel.snapshot();
+    let block = snap
+        .blocks
+        .iter()
+        .find(|b| b.name == "tcp_chunk_source")
+        .expect("source block telemetry");
+    assert_eq!(block.queue_drops, 8, "drops must surface as a Counter");
+}
+
+#[test]
+fn truncated_tcp_stream_is_a_typed_block_error() {
+    let cfg = small_cfg();
+    let (source, addr) = TcpChunkSource::listen("127.0.0.1:0", 1, cfg).unwrap();
+
+    // A frame header promising more payload than ever arrives.
+    let chunk = IqChunk {
+        seq: 0,
+        samples: vec![vec![Complex64::new(1.0, 1.0); 64]],
+    };
+    let frame = encode(&WireMsg::IqChunk(chunk));
+    let mut sock = TcpStream::connect(addr).unwrap();
+    sock.write_all(&frame[..frame.len() / 2]).unwrap();
+    sock.flush().unwrap();
+    drop(sock); // cut mid-message
+
+    let mut fg = Flowgraph::new();
+    let src = fg.add(source);
+    let (sink, _handle) = VectorSink::new();
+    let id = fg.add(sink);
+    fg.connect(src, 0, id, 0).unwrap();
+    let err = fg
+        .run_threaded(Arc::new(MessageHub::new()))
+        .expect_err("truncated stream must fail the graph");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("transport-truncation"),
+        "expected transport-truncation, got: {msg}"
+    );
+}
+
+#[test]
+fn corrupted_tcp_stream_is_a_typed_crc_error() {
+    let cfg = small_cfg();
+    let (source, addr) = TcpChunkSource::listen("127.0.0.1:0", 1, cfg).unwrap();
+
+    let chunk = IqChunk {
+        seq: 0,
+        samples: vec![vec![Complex64::new(1.0, 1.0); 64]],
+    };
+    let mut frame = encode(&WireMsg::IqChunk(chunk));
+    let mid = frame.len() / 2;
+    frame[mid] ^= 0xFF; // flip payload bits: CRC must catch it
+    let mut sock = TcpStream::connect(addr).unwrap();
+    sock.write_all(&frame).unwrap();
+    sock.flush().unwrap();
+    drop(sock);
+
+    let mut fg = Flowgraph::new();
+    let src = fg.add(source);
+    let (sink, _handle) = VectorSink::new();
+    let id = fg.add(sink);
+    fg.connect(src, 0, id, 0).unwrap();
+    let err = fg
+        .run_threaded(Arc::new(MessageHub::new()))
+        .expect_err("corrupted stream must fail the graph");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("transport-crc"),
+        "expected transport-crc, got: {msg}"
+    );
+}
+
+#[test]
+fn udp_source_round_trip_and_seq_gap_accounting() {
+    let cfg = TransportConfig {
+        chunk_len: 128,
+        ..TransportConfig::default()
+    };
+    let (source, addr) = UdpChunkSource::bind("127.0.0.1:0", 1, cfg).unwrap();
+    let stats = source.stats();
+
+    let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+    let payload = tone(128, 0.02);
+    // seq 0, then seq 2: one datagram "lost" upstream.
+    for seq in [0u64, 2] {
+        let chunk = IqChunk {
+            seq,
+            samples: vec![payload.clone()],
+        };
+        sock.send_to(&encode(&WireMsg::IqChunk(chunk)), addr)
+            .unwrap();
+    }
+    // A mangled datagram: counted, not fatal.
+    sock.send_to(&[0xDE, 0xAD, 0xBE, 0xEF], addr).unwrap();
+    sock.send_to(&encode(&WireMsg::Bye), addr).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while stats.chunks_recv() < 2 || stats.decode_errors() < 1 {
+        assert!(Instant::now() < deadline, "udp reader never caught up");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut fg = Flowgraph::new();
+    let src = fg.add(source);
+    let (sink, handle) = VectorSink::new();
+    let id = fg.add(sink);
+    fg.connect(src, 0, id, 0).unwrap();
+    fg.run_threaded(Arc::new(MessageHub::new())).unwrap();
+
+    let got = handle.complex();
+    assert_eq!(got.len(), 2 * 128, "both received chunks replayed");
+    for (x, y) in got[..128].iter().zip(&payload) {
+        assert_eq!(x.re.to_bits(), y.re.to_bits());
+        assert_eq!(x.im.to_bits(), y.im.to_bits());
+    }
+    assert_eq!(stats.seq_gaps(), 1, "the lost datagram is accounted");
+    assert_eq!(
+        stats.decode_errors(),
+        1,
+        "the mangled datagram is accounted"
+    );
+}
+
+#[test]
+fn udp_sink_streams_chunks_and_terminates_with_bye() {
+    let recv = UdpSocket::bind("127.0.0.1:0").unwrap();
+    recv.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let addr = recv.local_addr().unwrap();
+
+    let cfg = TransportConfig {
+        chunk_len: 100,
+        ..TransportConfig::default()
+    };
+    let stream = tone(350, 0.013); // 3 full chunks + a 50-sample tail
+    let mut fg = Flowgraph::new();
+    let sink = UdpChunkSink::new(addr.to_string(), 1, cfg).unwrap();
+    let sink_stats = sink.stats();
+    let sink_id = fg.add(sink);
+    let src = fg.add(VectorSource::new(convert::from_complex(&stream)));
+    fg.connect(src, 0, sink_id, 0).unwrap();
+    fg.run_threaded(Arc::new(MessageHub::new())).unwrap();
+
+    let mut buf = vec![0u8; 65_536];
+    let mut got: Vec<Complex64> = Vec::new();
+    loop {
+        let (n, _) = recv.recv_from(&mut buf).unwrap();
+        match mimonet_io::wire::decode(&buf[..n]).unwrap().0 {
+            WireMsg::IqChunk(c) => got.extend_from_slice(&c.samples[0]),
+            WireMsg::Bye => break,
+            other => panic!("unexpected datagram {other:?}"),
+        }
+    }
+    assert_eq!(sink_stats.chunks_sent(), 4);
+    assert_eq!(got.len(), stream.len());
+    for (x, y) in stream.iter().zip(&got) {
+        assert_eq!(x.re.to_bits(), y.re.to_bits());
+        assert_eq!(x.im.to_bits(), y.im.to_bits());
+    }
+}

@@ -1,0 +1,219 @@
+//! `mimonet-linkd` loopback: concurrent served sessions agree
+//! byte-for-byte with local runs, per-session telemetry flows back, and
+//! transport faults (truncated requests, mid-session disconnects)
+//! degrade to typed errors while the daemon keeps serving.
+
+use mimonet_io::client::{ClientError, LinkClient};
+use mimonet_io::linkd::LinkServer;
+use mimonet_io::session::{run_session, Scheduler};
+use mimonet_io::wire::{encode, read_msg, write_msg, SessionConfig, WireMsg, WIRE_VERSION};
+use serde::Serialize;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn cfg(seed: u64) -> SessionConfig {
+    SessionConfig {
+        mcs: 8,
+        payload_len: 64,
+        n_frames: 3,
+        snr_db: 30.0,
+        seed,
+    }
+}
+
+fn local_stats_json(c: &SessionConfig) -> String {
+    let out = run_session(c, Scheduler::Threaded).unwrap();
+    serde::json::to_string(&out.stats.serialize())
+}
+
+#[test]
+fn concurrent_sessions_match_local_runs() {
+    let server = LinkServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // 5 concurrent clients, each with a *different* seed: cross-session
+    // corruption would make some client see another session's PSDUs.
+    let n_clients = 5u64;
+    let handles: Vec<_> = (0..n_clients)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let c = cfg(1000 + i);
+                let mut client = LinkClient::connect(addr).unwrap();
+                let served = client.run_session(&c).unwrap();
+                client.close().unwrap();
+                (c, served)
+            })
+        })
+        .collect();
+
+    for h in handles {
+        let (c, served) = h.join().unwrap();
+        let local = run_session(&c, Scheduler::Threaded).unwrap();
+        assert_eq!(
+            served.frames, local.decoded,
+            "served frames must be bit-identical to the local run (seed {})",
+            c.seed
+        );
+        assert_eq!(
+            served.stats_json,
+            serde::json::to_string(&local.stats.serialize()),
+            "served LinkStats must match the local run (seed {})",
+            c.seed
+        );
+        // Per-session telemetry: a real per-block snapshot, not a stub.
+        assert!(served.telemetry_json.contains("mimonet_tx"));
+        assert!(served.telemetry_json.contains("mimonet_rx"));
+        assert!(served.telemetry_json.contains("queue_drops"));
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.connections(), n_clients);
+    assert_eq!(stats.sessions_ok(), n_clients);
+    assert_eq!(stats.sessions_failed(), 0);
+}
+
+#[test]
+fn one_connection_can_run_sessions_back_to_back() {
+    let server = LinkServer::bind("127.0.0.1:0").unwrap();
+    let mut client = LinkClient::connect(server.local_addr()).unwrap();
+    let a = client.run_session(&cfg(7)).unwrap();
+    let b = client.run_session(&cfg(8)).unwrap();
+    let c = client.run_session(&cfg(7)).unwrap();
+    client.close().unwrap();
+    assert_eq!(a.frames, c.frames, "same seed, same session");
+    assert_ne!(a.frames, b.frames, "different seed, different PSDUs");
+    assert_eq!(a.stats_json, local_stats_json(&cfg(7)));
+    assert_eq!(server.shutdown().sessions_ok(), 3);
+}
+
+#[test]
+fn bad_config_is_refused_and_the_connection_survives() {
+    let server = LinkServer::bind("127.0.0.1:0").unwrap();
+    let mut client = LinkClient::connect(server.local_addr()).unwrap();
+    let bad = SessionConfig { mcs: 99, ..cfg(1) };
+    match client.run_session(&bad) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "bad-config"),
+        other => panic!("expected a typed server refusal, got {other:?}"),
+    }
+    // Same connection still serves good sessions.
+    let ok = client.run_session(&cfg(1)).unwrap();
+    assert_eq!(ok.frames.len(), 3);
+    client.close().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.sessions_failed(), 1);
+    assert_eq!(stats.sessions_ok(), 1);
+}
+
+#[test]
+fn truncated_request_is_a_typed_error_and_the_daemon_survives() {
+    let server = LinkServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // Handshake by hand, then send half a message and cut the stream.
+    let mut sock = TcpStream::connect(addr).unwrap();
+    write_msg(
+        &mut sock,
+        &WireMsg::Hello {
+            version: WIRE_VERSION,
+        },
+    )
+    .unwrap();
+    match read_msg(&mut sock).unwrap() {
+        WireMsg::Hello { version } => assert_eq!(version, WIRE_VERSION),
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    let frame = encode(&WireMsg::SessionRequest(cfg(3)));
+    sock.write_all(&frame[..frame.len() / 2]).unwrap();
+    sock.flush().unwrap();
+    // Half-close: the server sees EOF mid-message = truncation.
+    sock.shutdown(std::net::Shutdown::Write).unwrap();
+    match read_msg(&mut sock) {
+        Ok(WireMsg::ErrorReport { kind, .. }) => assert_eq!(kind, "transport-truncation"),
+        other => panic!("expected a typed ErrorReport, got {other:?}"),
+    }
+    drop(sock);
+
+    // The daemon shrugged it off and keeps serving.
+    let mut client = LinkClient::connect(addr).unwrap();
+    assert_eq!(client.run_session(&cfg(3)).unwrap().frames.len(), 3);
+    client.close().unwrap();
+    let stats = server.shutdown();
+    assert!(stats.protocol_errors() >= 1);
+    assert_eq!(stats.sessions_ok(), 1);
+}
+
+#[test]
+fn garbage_bytes_are_a_typed_desync_and_the_daemon_survives() {
+    let server = LinkServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let mut sock = TcpStream::connect(addr).unwrap();
+    write_msg(
+        &mut sock,
+        &WireMsg::Hello {
+            version: WIRE_VERSION,
+        },
+    )
+    .unwrap();
+    read_msg(&mut sock).unwrap();
+    // 12 bytes of garbage = a full (bogus) header: bad magic.
+    sock.write_all(b"GARBAGEBYTES").unwrap();
+    sock.flush().unwrap();
+    match read_msg(&mut sock) {
+        Ok(WireMsg::ErrorReport { kind, .. }) => assert_eq!(kind, "transport-desync"),
+        other => panic!("expected a typed ErrorReport, got {other:?}"),
+    }
+    drop(sock);
+
+    let mut client = LinkClient::connect(addr).unwrap();
+    assert_eq!(client.run_session(&cfg(5)).unwrap().frames.len(), 3);
+    client.close().unwrap();
+}
+
+#[test]
+fn mid_session_disconnect_never_kills_the_daemon() {
+    let server = LinkServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // Request a long session (32 frames streamed back), then vanish
+    // before the reply: the server's writes hit a dead socket.
+    {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        write_msg(
+            &mut sock,
+            &WireMsg::Hello {
+                version: WIRE_VERSION,
+            },
+        )
+        .unwrap();
+        read_msg(&mut sock).unwrap();
+        let long = SessionConfig {
+            n_frames: 32,
+            payload_len: 256,
+            ..cfg(9)
+        };
+        write_msg(&mut sock, &WireMsg::SessionRequest(long)).unwrap();
+        sock.flush().unwrap();
+        // Drop without reading anything back.
+    }
+
+    // The session runs and then fails (or, at worst, drains into socket
+    // buffers); either way the daemon must still serve new clients.
+    let stats = server.stats();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while stats.sessions_ok() + stats.sessions_failed() < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "abandoned session never finished"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut client = LinkClient::connect(addr).unwrap();
+    assert_eq!(client.run_session(&cfg(9)).unwrap().frames.len(), 3);
+    client.close().unwrap();
+    let final_stats = server.shutdown();
+    assert_eq!(final_stats.connections(), 2);
+    assert_eq!(final_stats.sessions_started(), 2);
+}
