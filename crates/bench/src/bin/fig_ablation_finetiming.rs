@@ -94,8 +94,8 @@ fn main() {
         let points: Vec<LinkConfig> = snrs
             .iter()
             .map(|&snr| {
-                let mut chan = ChannelConfig::awgn(2, 2, snr);
-                chan.fading = mimonet_channel::Fading::Tgn(mimonet_channel::TgnModel::D);
+                let mut chan =
+                    mimonet_channel::presets::tgn(mimonet_channel::TgnModel::D, 2, 2, snr);
                 chan.timing_offset = 9.3;
                 let mut cfg = LinkConfig::new(9, 400, chan);
                 cfg.rx.fine_timing = fine;

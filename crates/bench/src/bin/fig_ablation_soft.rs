@@ -14,7 +14,8 @@ use mimonet::link::{LinkConfig, LinkStats};
 use mimonet::sweep::run_link_until_errors;
 use mimonet_bench::report::FigureReport;
 use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
-use mimonet_channel::{ChannelConfig, Fading, TgnModel};
+use mimonet_channel::presets;
+use mimonet_channel::ChannelConfig;
 
 fn ber_cell(st: &LinkStats) -> f64 {
     if st.payload_ber.bits() > 0 {
@@ -36,10 +37,11 @@ fn main() {
         &opts,
     );
 
-    for (name, fading, grid) in [
-        ("AWGN", Fading::Ideal, snr_grid(4, 14, 1)),
-        ("TGn-B", Fading::Tgn(TgnModel::B), snr_grid(8, 26, 2)),
+    for (name, preset, grid) in [
+        ("AWGN", "awgn", snr_grid(4, 14, 1)),
+        ("TGn-B", "tgn_b", snr_grid(8, 26, 2)),
     ] {
+        let fading = presets::lookup(preset).expect("registered preset").fading;
         println!("# A3: soft vs hard Viterbi, {name} (MCS9, 500 B, <= {max_frames} frames/pt)");
         header(&["SNR dB", "soft BER", "hard BER", "soft PER", "hard PER"]);
         let mut results: Vec<mimonet::sweep::SweepResult<LinkStats>> = Vec::new();

@@ -15,15 +15,9 @@ use mimonet::link::LinkConfig;
 use mimonet::sweep::run_link;
 use mimonet_bench::report::FigureReport;
 use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
-use mimonet_channel::{ChannelConfig, Fading};
+use mimonet_channel::presets::rayleigh;
 use mimonet_detect::DetectorKind;
 use serde::Serialize;
-
-fn rayleigh(n_tx: usize, n_rx: usize, snr: f64) -> ChannelConfig {
-    let mut chan = ChannelConfig::awgn(n_tx, n_rx, snr);
-    chan.fading = Fading::RayleighFlat;
-    chan
-}
 
 fn coded_ber(stats: &mimonet::link::LinkStats) -> f64 {
     if stats.coded_ber.bits() > 0 {

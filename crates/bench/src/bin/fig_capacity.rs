@@ -1,0 +1,168 @@
+//! N1 — network capacity: aggregate goodput vs concurrent link count.
+//!
+//! Builds scenarios of K co-channel 2×2 links (K up to 16) on the
+//! scenario engine and measures the network aggregate goodput under
+//! three policies:
+//!
+//! * **isolated** — no cross-link coupling: the additive upper bound,
+//!   aggregate goodput grows linearly in K;
+//! * **interfered** — seeded co-channel burst interference between every
+//!   pair of band mates: each added link steals airtime from all the
+//!   others, so the curve bends and eventually turns over — the
+//!   interference crossover;
+//! * **interfered + adaptation** — same coupling with the per-link
+//!   [`RateController`] running: clean links climb above the base rate
+//!   while jammed ones back off, trading peak rate for delivery.
+//!
+//! ```sh
+//! cargo run --release -p mimonet-bench --bin fig_capacity [--quick] [--threads N]
+//! ```
+//!
+//! With `MIMONET_DETERMINISTIC=1` the JSON report omits `wall_s` and
+//! `threads`; CI regenerates it at 1 and 8 workers and byte-compares
+//! both against `results/golden/fig_capacity.json`. The report also
+//! embeds the merged report of `scenarios/soak_4link.toml` (every
+//! engine feature in one run) under `meta.soak`.
+//!
+//! [`RateController`]: mimonet::adapt::RateController
+
+use mimonet::scenario::{InterferenceModel, InterferenceSpec, LinkSpec, ScenarioSpec};
+use mimonet::sweep::Merge;
+use mimonet::FrameOutcomes;
+use mimonet_bench::report::FigureReport;
+use mimonet_bench::{header, row, seeds, BenchOpts};
+use serde::{Serialize, Value};
+
+/// Interferer power at each victim, dB relative to unit signal power.
+const COUPLING_DB: f64 = -15.0;
+
+/// K links on one band: names and SNRs depend only on the link index, so
+/// link `l03` sees identical conditions in every K >= 4 scenario.
+fn build(k: usize, rounds: usize, model: InterferenceModel, adapt: bool) -> ScenarioSpec {
+    let links = (0..k)
+        .map(|i| LinkSpec {
+            name: format!("l{i:02}"),
+            snr_db: 26.0 + 2.0 * (i % 4) as f64,
+            adapt,
+            ..LinkSpec::default()
+        })
+        .collect();
+    ScenarioSpec {
+        name: format!("capacity/{k:02}"),
+        seed: seeds::CAPACITY,
+        rounds,
+        interference: InterferenceSpec {
+            model,
+            coupling_db: COUPLING_DB,
+        },
+        links,
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let rounds = opts.count(30, 6);
+
+    let mut report = FigureReport::new(
+        "fig_capacity",
+        "Aggregate goodput vs concurrent co-channel links",
+        "links",
+        seeds::CAPACITY,
+        &opts,
+    );
+
+    let ks = [1usize, 2, 4, 8, 12, 16];
+    let arms: [(&str, InterferenceModel, bool); 3] = [
+        ("isolated", InterferenceModel::None, false),
+        ("interfered", InterferenceModel::Burst, false),
+        ("interfered + adaptation", InterferenceModel::Burst, true),
+    ];
+
+    println!("# N1: aggregate goodput vs link count ({rounds} rounds/link,");
+    println!("# burst coupling {COUPLING_DB} dB, base MCS8, 256 B frames)");
+    header(&["links", "iso Mb/s", "intf Mb/s", "adapt Mb/s", "intf dlvry"]);
+
+    let x: Vec<f64> = ks.iter().map(|&k| k as f64).collect();
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    let mut delivery: Vec<Vec<f64>> = Vec::new();
+    for (label, model, adapt) in arms {
+        let mut goodput = Vec::new();
+        let mut rate = Vec::new();
+        let mut points = Vec::new();
+        for &k in &ks {
+            let scenario = build(k, rounds, model, adapt);
+            let net = scenario.run(opts.threads);
+            goodput.push(net.aggregate_goodput_mbps());
+            rate.push(net.delivery_rate());
+            let mut mean_mcs_sum = 0.0;
+            for link in &net.links {
+                mean_mcs_sum += link.mean_mcs();
+            }
+            points.push(Value::object([
+                ("links", Value::U64(k as u64)),
+                ("delivered", Value::U64(net.delivered())),
+                ("sent", Value::U64(net.sent())),
+                ("mean_mcs", Value::F64(mean_mcs_sum / k as f64)),
+                ("outcomes", net.outcomes().serialize()),
+            ]));
+        }
+        report.series_with_points(label, &x, &goodput, points);
+        curves.push(goodput);
+        delivery.push(rate);
+    }
+    for (label, _, _) in arms {
+        let i = arms.iter().position(|(l, _, _)| *l == label).unwrap();
+        report.series(format!("{label} delivery rate"), &x, &delivery[i]);
+    }
+
+    for (i, &k) in ks.iter().enumerate() {
+        row(
+            k as f64,
+            &[curves[0][i], curves[1][i], curves[2][i], delivery[1][i]],
+        );
+    }
+
+    // The interference crossover: past this K, adding a co-channel link
+    // lowers the interfered network's aggregate goodput.
+    let crossover = curves[1]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| ks[i])
+        .unwrap_or(0);
+    report.meta("interference_crossover_links", Value::U64(crossover as u64));
+    println!("# interfered aggregate peaks at {crossover} links");
+
+    // Merged soak report: the checked-in 4-link everything-at-once
+    // scenario, part of the golden byte-comparison.
+    let soak_path = std::path::Path::new("scenarios/soak_4link.toml");
+    match ScenarioSpec::from_file(soak_path) {
+        Ok(spec) => {
+            let soak = spec.run(opts.threads);
+            report.meta("soak", soak.serialize());
+            println!(
+                "# soak ({}): {}/{} frames delivered, {:.2} Mb/s aggregate",
+                soak.name,
+                soak.delivered(),
+                soak.sent(),
+                soak.aggregate_goodput_mbps()
+            );
+        }
+        Err(e) => eprintln!("# warning: skipping soak scenario: {e}"),
+    }
+
+    if opts.telemetry {
+        let mut outcomes = FrameOutcomes::default();
+        for &k in &ks {
+            let net = build(k, rounds, InterferenceModel::Burst, true).run(opts.threads);
+            outcomes.merge(&net.outcomes());
+        }
+        report.telemetry(Value::object([("outcomes", outcomes.serialize())]));
+    }
+
+    println!("# expected shape: the isolated curve grows linearly in K; the");
+    println!("# interfered curve bends as burst collisions eat frames and turns");
+    println!("# over at the crossover; adaptation recovers part of the gap by");
+    println!("# backing jammed links off and letting clean ones climb");
+    report.finish();
+}

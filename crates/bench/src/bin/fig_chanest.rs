@@ -13,7 +13,7 @@
 use mimonet::{Transmitter, TxConfig};
 use mimonet_bench::report::FigureReport;
 use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
-use mimonet_channel::{ChannelConfig, ChannelSim, Fading, TgnModel};
+use mimonet_channel::{presets, ChannelSim, TgnModel};
 use mimonet_detect::{estimate_mimo_htltf, smooth_frequency};
 use mimonet_dsp::complex::Complex64;
 use mimonet_frame::carriers::FFT_LEN;
@@ -52,8 +52,7 @@ fn main() {
         let result = spec.run(move |&snr, ctx, (mse_ls, mse_sm): &mut (f64, f64)| {
             let ofdm = Ofdm::new();
             let s56 = Ofdm::unit_power_scale(56);
-            let mut chan_cfg = ChannelConfig::awgn(2, 2, snr);
-            chan_cfg.fading = Fading::Tgn(model);
+            let chan_cfg = presets::tgn(model, 2, 2, snr);
             let mut chan = ChannelSim::new(chan_cfg, ctx.seed);
             for _ in 0..ctx.trials {
                 let (rx, truth) = chan.apply(frame_ref);

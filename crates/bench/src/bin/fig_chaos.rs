@@ -20,7 +20,7 @@ use mimonet::sweep::Merge;
 use mimonet::FrameOutcomes;
 use mimonet_bench::report::FigureReport;
 use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
-use mimonet_channel::{ChannelConfig, FaultSpec};
+use mimonet_channel::{presets, ChannelConfig};
 use serde::{Serialize, Value};
 
 fn main() {
@@ -43,7 +43,7 @@ fn main() {
                 8,
                 6,
                 ChannelConfig::awgn(2, 2, snr),
-                FaultSpec::harsh_mid_capture(),
+                presets::fault_lookup("harsh_mid_capture").expect("registered fault preset"),
             )
         })
         .collect();

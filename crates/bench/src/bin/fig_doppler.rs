@@ -20,10 +20,8 @@ use mimonet::link::LinkConfig;
 use mimonet::sweep::run_link;
 use mimonet_bench::report::FigureReport;
 use mimonet_bench::{header, row, seeds, BenchOpts};
-use mimonet_channel::{ChannelConfig, Fading};
+use mimonet_channel::presets::{self, FD_GRID};
 use serde::Serialize;
-
-const FD_GRID: [f64; 6] = [0.0, 2e-6, 1e-5, 3e-5, 1e-4, 3e-4];
 
 fn main() {
     let opts = BenchOpts::from_args();
@@ -59,9 +57,7 @@ fn main() {
         let points: Vec<LinkConfig> = fds
             .iter()
             .map(|&fd| {
-                let mut chan = ChannelConfig::awgn(2, 2, 28.0);
-                chan.fading = Fading::Jakes { fd_norm: fd };
-                let mut cfg = LinkConfig::new(9, payload, chan);
+                let mut cfg = LinkConfig::new(9, payload, presets::jakes(fd, 2, 2, 28.0));
                 cfg.rx.pilot_tracking = tracking;
                 cfg
             })

@@ -33,7 +33,7 @@ use mimonet::{
 };
 use mimonet_bench::report::FigureReport;
 use mimonet_bench::{seeds, BenchOpts};
-use mimonet_channel::{ChannelConfig, FaultSpec};
+use mimonet_channel::{presets, ChannelConfig};
 use mimonet_runtime::MessageHub;
 use serde::{Serialize, Value};
 use std::sync::Arc;
@@ -107,7 +107,7 @@ fn main() {
         8,
         6,
         ChannelConfig::awgn(2, 2, 26.0),
-        FaultSpec::harsh_mid_capture(),
+        presets::fault_lookup("harsh_mid_capture").expect("registered fault preset"),
     );
     let mut chaos_stats = LinkStats::default();
     let mut cap = RxCaptureProfile::default();

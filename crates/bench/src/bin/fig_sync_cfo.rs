@@ -13,7 +13,7 @@
 use mimonet::{Transmitter, TxConfig};
 use mimonet_bench::report::FigureReport;
 use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
-use mimonet_channel::{ChannelConfig, ChannelSim, Fading};
+use mimonet_channel::{presets, ChannelSim};
 use mimonet_dsp::complex::Complex64;
 use mimonet_dsp::stats::Running;
 use mimonet_sync::VanDeBeek;
@@ -39,8 +39,7 @@ fn main() {
         let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
         for _ in 0..ctx.trials {
             let cfo = rng.gen_range(-0.4..0.4);
-            let mut chan_cfg = ChannelConfig::awgn(2, 2, snr);
-            chan_cfg.fading = Fading::RayleighFlat;
+            let mut chan_cfg = presets::rayleigh(2, 2, snr);
             chan_cfg.cfo_norm = cfo;
             let mut chan = ChannelSim::new(chan_cfg, rng.gen());
             let padded: Vec<Vec<Complex64>> = frame_ref

@@ -13,7 +13,7 @@
 use mimonet::{Transmitter, TxConfig};
 use mimonet_bench::report::FigureReport;
 use mimonet_bench::{header, row, seeds, snr_grid, BenchOpts};
-use mimonet_channel::{ChannelConfig, ChannelSim, Fading, TgnModel};
+use mimonet_channel::{presets, ChannelSim, TgnModel};
 use mimonet_dsp::complex::Complex64;
 use mimonet_sync::VanDeBeek;
 
@@ -31,8 +31,7 @@ fn main() {
     let frame_ref = &frame;
     let spec = opts.spec("sync_timing", snrs.clone(), trials, seeds::SYNC_TIMING);
     let result = spec.run(|&snr, ctx, (siso_locks, mimo_locks): &mut (u64, u64)| {
-        let mut chan_cfg = ChannelConfig::awgn(2, 2, snr);
-        chan_cfg.fading = Fading::Tgn(TgnModel::B);
+        let mut chan_cfg = presets::tgn(TgnModel::B, 2, 2, snr);
         chan_cfg.cfo_norm = 0.15;
         let mut chan = ChannelSim::new(chan_cfg, ctx.seed);
         let vdb = VanDeBeek::new(64, 16, snr);

@@ -1,0 +1,103 @@
+//! Scenario CLI: validate and execute scenario files.
+//!
+//! ```sh
+//! # Schema-check every example (exit 1 on the first invalid file):
+//! cargo run --release -p mimonet-bench --bin scenario_run -- --check scenarios/*.toml scenarios/*.json
+//!
+//! # Run a scenario and write results/scenario_<name>.json:
+//! cargo run --release -p mimonet-bench --bin scenario_run -- [--threads N] scenarios/soak_4link.toml
+//! ```
+//!
+//! Reports honor `MIMONET_RESULTS_DIR` and `MIMONET_DETERMINISTIC` like
+//! the figure binaries (scenario reports carry no volatile fields, so
+//! deterministic mode changes nothing — they are always byte-stable for
+//! a given file and thread count).
+
+use mimonet::scenario::ScenarioSpec;
+use mimonet_bench::{header, BenchOpts};
+use serde::{json, Serialize};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+fn check(path: &Path) -> Result<(), String> {
+    let spec = ScenarioSpec::from_file(path).map_err(|e| e.to_string())?;
+    println!(
+        "ok {} ({} links, {} rounds, interference {:?})",
+        path.display(),
+        spec.links.len(),
+        spec.rounds,
+        spec.interference.model
+    );
+    Ok(())
+}
+
+fn run(path: &Path, threads: usize) -> Result<(), String> {
+    let spec = ScenarioSpec::from_file(path).map_err(|e| e.to_string())?;
+    let net = spec.run(threads);
+
+    println!(
+        "# scenario {}: {} links x {} rounds, seed {}",
+        net.name,
+        net.links.len(),
+        net.rounds,
+        net.seed
+    );
+    header(&["link", "band", "delivery", "Mb/s", "mean MCS", "final MCS"]);
+    for link in &net.links {
+        println!(
+            "{:>12} {:>12} {:>12.4} {:>12.3} {:>12.2} {:>12}",
+            link.name,
+            link.band,
+            1.0 - link.stats.per.per(),
+            link.goodput_mbps(),
+            link.mean_mcs(),
+            link.final_mcs
+        );
+    }
+    println!(
+        "# aggregate: {}/{} frames, {:.3} Mb/s",
+        net.delivered(),
+        net.sent(),
+        net.aggregate_goodput_mbps()
+    );
+
+    let dir = std::env::var("MIMONET_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let out = PathBuf::from(dir).join(format!("scenario_{}.json", net.name));
+    std::fs::create_dir_all(out.parent().expect("joined path has a parent"))
+        .and_then(|_| {
+            let mut f = std::fs::File::create(&out)?;
+            f.write_all(json::to_string_pretty(&net.serialize()).as_bytes())?;
+            f.write_all(b"\n")
+        })
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("# json: {}", out.display());
+    Ok(())
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_only = args.iter().any(|a| a == "--check");
+    let files: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        // Skip the value that followed a bare `--threads`.
+        .filter(|a| a.parse::<usize>().is_err())
+        .collect();
+    if files.is_empty() {
+        eprintln!("usage: scenario_run [--check] [--threads N] FILE...");
+        std::process::exit(2);
+    }
+    for file in files {
+        let path = Path::new(file);
+        let result = if check_only {
+            check(path)
+        } else {
+            run(path, opts.threads)
+        };
+        if let Err(e) = result {
+            eprintln!("error: {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

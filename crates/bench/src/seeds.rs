@@ -58,3 +58,5 @@ pub const PROFILE: u64 = 0x9821;
 pub const HOTPATH: u64 = 0x407B;
 /// T4 — I/O subsystem: wire codec, loopback link service, queue policy.
 pub const IO: u64 = 0x10C4;
+/// N1 — network-scale scenario capacity figure (multi-link goodput).
+pub const CAPACITY: u64 = 0xCA9A;

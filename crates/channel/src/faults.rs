@@ -15,6 +15,7 @@
 //! experiments care about.
 
 use mimonet_dsp::complex::Complex64;
+use mimonet_dsp::seedtree;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -249,7 +250,7 @@ impl FaultSchedule {
         });
         Self {
             events,
-            noise_seed: seed ^ 0xA076_1D64_78BD_642F,
+            noise_seed: seedtree::salted(seed, seedtree::FAULT_NOISE_SALT),
             capture_len,
         }
     }

@@ -16,13 +16,16 @@
 //! * [`sim`] — the composable [`sim::ChannelSim`] pipeline with ground
 //!   truth for estimator-accuracy experiments,
 //! * [`faults`] — deterministic seeded fault schedules (bursts, dropouts,
-//!   impulses, desync, truncation) for chaos testing the receiver.
+//!   impulses, desync, truncation) for chaos testing the receiver,
+//! * [`presets`] — the named channel/fault preset registry shared by the
+//!   figure binaries and the scenario DSL.
 
 pub mod doppler;
 pub mod fading;
 pub mod faults;
 pub mod impairments;
 pub mod noise;
+pub mod presets;
 pub mod sim;
 pub mod tgn;
 

@@ -1,0 +1,184 @@
+//! Named channel and fault presets — the single registry behind both the
+//! figure binaries and the scenario DSL.
+//!
+//! The TGn/Doppler tables used to be duplicated (and had drifted) across
+//! `fig_ber_mimo`, `fig_doppler` and `fig_chaos`; every figure now pulls
+//! its channel from here, and a scenario file names the same presets
+//! (`preset = "tgn_d"`), so the emulator and the evaluation harness can
+//! never disagree about what "TGn-D" means.
+
+use crate::faults::FaultSpec;
+use crate::sim::{ChannelConfig, Fading};
+use crate::tgn::TgnModel;
+
+/// Reference normalized-Doppler operating points at 20 Msps / 5.2 GHz
+/// (cycles per sample): `fd = v * f_c / c / f_s`.
+///
+/// Pedestrian is 1 m/s (~17 Hz), vehicular 30 m/s (~520 Hz). These were
+/// quoted slightly differently in the `fig_doppler` header comment and
+/// the DESIGN.md mobility note; this pair is now the source of truth.
+pub const FD_PEDESTRIAN: f64 = 9e-7;
+/// Vehicular (30 m/s) normalized Doppler at 20 Msps / 5.2 GHz.
+pub const FD_VEHICULAR: f64 = 2.6e-5;
+
+/// The Doppler sweep grid `fig_doppler` runs (cycles/sample): zero,
+/// sub-pedestrian, around pedestrian-to-vehicular, then past vehicular to
+/// expose the channel-aging wall.
+pub const FD_GRID: [f64; 6] = [0.0, 2e-6, 1e-5, 3e-5, 1e-4, 3e-4];
+
+/// A named fading preset.
+#[derive(Clone, Copy, Debug)]
+pub struct Preset {
+    /// Registry key (lower_snake; what scenario files write).
+    pub name: &'static str,
+    /// One-line description for `--list`-style output and docs.
+    pub description: &'static str,
+    /// The fading model the name denotes.
+    pub fading: Fading,
+}
+
+/// Every named fading preset. Jakes presets pin the reference Doppler
+/// operating points; arbitrary `fd_norm` values remain available through
+/// [`jakes`] (and the scenario DSL's `fd_norm` key).
+pub const REGISTRY: &[Preset] = &[
+    Preset {
+        name: "awgn",
+        description: "ideal identity channel + AWGN (no fading)",
+        fading: Fading::Ideal,
+    },
+    Preset {
+        name: "rayleigh",
+        description: "block flat Rayleigh, i.i.d. entries per frame",
+        fading: Fading::RayleighFlat,
+    },
+    Preset {
+        name: "tgn_a",
+        description: "TGn model A: single-tap flat indoor reference",
+        fading: Fading::Tgn(TgnModel::A),
+    },
+    Preset {
+        name: "tgn_b",
+        description: "TGn model B: residential, 15 ns RMS delay spread",
+        fading: Fading::Tgn(TgnModel::B),
+    },
+    Preset {
+        name: "tgn_c",
+        description: "TGn model C: small office, 30 ns RMS delay spread",
+        fading: Fading::Tgn(TgnModel::C),
+    },
+    Preset {
+        name: "tgn_d",
+        description: "TGn model D: typical office, 50 ns RMS delay spread",
+        fading: Fading::Tgn(TgnModel::D),
+    },
+    Preset {
+        name: "tgn_e",
+        description: "TGn model E: large office, 100 ns RMS delay spread",
+        fading: Fading::Tgn(TgnModel::E),
+    },
+    Preset {
+        name: "jakes_pedestrian",
+        description: "time-varying flat Rayleigh at pedestrian Doppler",
+        fading: Fading::Jakes {
+            fd_norm: FD_PEDESTRIAN,
+        },
+    },
+    Preset {
+        name: "jakes_vehicular",
+        description: "time-varying flat Rayleigh at vehicular Doppler",
+        fading: Fading::Jakes {
+            fd_norm: FD_VEHICULAR,
+        },
+    },
+];
+
+/// Looks a fading preset up by name.
+pub fn lookup(name: &str) -> Option<&'static Preset> {
+    REGISTRY.iter().find(|p| p.name == name)
+}
+
+/// Builds the channel a preset names: `lookup` + antenna/SNR dressing.
+pub fn channel(name: &str, n_tx: usize, n_rx: usize, snr_db: f64) -> Option<ChannelConfig> {
+    let preset = lookup(name)?;
+    let mut cfg = ChannelConfig::awgn(n_tx, n_rx, snr_db);
+    cfg.fading = preset.fading;
+    Some(cfg)
+}
+
+/// Flat-Rayleigh channel at `snr_db` — the `fig_ber_mimo` arm builder.
+pub fn rayleigh(n_tx: usize, n_rx: usize, snr_db: f64) -> ChannelConfig {
+    let mut cfg = ChannelConfig::awgn(n_tx, n_rx, snr_db);
+    cfg.fading = Fading::RayleighFlat;
+    cfg
+}
+
+/// Frequency-selective TGn channel at `snr_db`.
+pub fn tgn(model: TgnModel, n_tx: usize, n_rx: usize, snr_db: f64) -> ChannelConfig {
+    let mut cfg = ChannelConfig::awgn(n_tx, n_rx, snr_db);
+    cfg.fading = Fading::Tgn(model);
+    cfg
+}
+
+/// Time-varying Jakes channel with the given normalized Doppler.
+pub fn jakes(fd_norm: f64, n_tx: usize, n_rx: usize, snr_db: f64) -> ChannelConfig {
+    let mut cfg = ChannelConfig::awgn(n_tx, n_rx, snr_db);
+    cfg.fading = Fading::Jakes { fd_norm };
+    cfg
+}
+
+/// Looks a fault-schedule preset up by name — the scenario DSL's
+/// `faults` key and the chaos figures share these.
+pub fn fault_lookup(name: &str) -> Option<FaultSpec> {
+    match name {
+        "none" => Some(FaultSpec::none()),
+        "default" => Some(FaultSpec::default()),
+        "harsh_mid_capture" => Some(FaultSpec::harsh_mid_capture()),
+        _ => None,
+    }
+}
+
+/// Every fault-preset name [`fault_lookup`] accepts, for validation
+/// messages and docs.
+pub const FAULT_PRESETS: &[&str] = &["none", "default", "harsh_mid_capture"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for p in REGISTRY {
+            assert!(seen.insert(p.name), "duplicate preset {}", p.name);
+            assert!(lookup(p.name).is_some());
+            let cfg = channel(p.name, 2, 2, 20.0).unwrap();
+            assert_eq!(cfg.snr_db, 20.0);
+            assert_eq!(cfg.fading, p.fading);
+        }
+        assert!(lookup("no_such_model").is_none());
+        assert!(channel("no_such_model", 2, 2, 20.0).is_none());
+    }
+
+    #[test]
+    fn builders_match_named_presets() {
+        assert_eq!(rayleigh(2, 2, 15.0).fading, Fading::RayleighFlat);
+        assert_eq!(
+            tgn(TgnModel::D, 2, 2, 15.0).fading,
+            Fading::Tgn(TgnModel::D)
+        );
+        assert_eq!(
+            jakes(FD_VEHICULAR, 2, 2, 15.0).fading,
+            lookup("jakes_vehicular").unwrap().fading
+        );
+    }
+
+    #[test]
+    fn fault_presets_resolve() {
+        for name in FAULT_PRESETS {
+            assert!(fault_lookup(name).is_some(), "missing fault preset {name}");
+        }
+        assert!(fault_lookup("harsh_mid_capture").unwrap().bursts > 0);
+        assert_eq!(fault_lookup("none").unwrap().bursts, 0);
+        assert!(fault_lookup("bogus").is_none());
+    }
+}

@@ -15,11 +15,12 @@
 use crate::config::{RxConfig, TxConfig};
 use crate::link::LinkStats;
 use crate::rx::Receiver;
-use crate::sweep::{mix, ShardCtx, SweepResult, SweepSpec};
+use crate::sweep::{ShardCtx, SweepResult, SweepSpec};
 use crate::telemetry::RxCaptureProfile;
 use crate::tx::Transmitter;
 use mimonet_channel::{ChannelConfig, ChannelSim, FaultReport, FaultSchedule, FaultSpec};
 use mimonet_dsp::complex::Complex64;
+use mimonet_dsp::seedtree;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -118,10 +119,17 @@ pub fn run_chaos_capture_profiled(
     }
 
     // --- Channel, then faults on the received samples ---
-    let mut sim = ChannelSim::new(cfg.channel.clone(), seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut sim = ChannelSim::new(
+        cfg.channel.clone(),
+        seedtree::salted(seed, seedtree::CHANNEL_SALT),
+    );
     let (mut rx_streams, _truth) = sim.apply(&capture);
     let capture_len = rx_streams.iter().map(|a| a.len()).min().unwrap_or(0);
-    let sched = FaultSchedule::generate(&cfg.faults, capture_len, seed ^ 0xC3A5_C85C_97CB_3127);
+    let sched = FaultSchedule::generate(
+        &cfg.faults,
+        capture_len,
+        seedtree::salted(seed, seedtree::FAULT_SALT),
+    );
     let report = sched.apply(&mut rx_streams);
 
     // --- Scan and score ---
@@ -191,7 +199,8 @@ pub fn run_chaos_capture_profiled(
 /// captures, each with its own derived seed.
 pub fn chaos_shard(cfg: &ChaosConfig, ctx: &ShardCtx, stats: &mut LinkStats) {
     for t in 0..ctx.trials {
-        let capture_seed = mix(ctx.seed ^ mix(0x0063_6861_6F73 ^ (ctx.trial_offset + t) as u64));
+        let capture_seed =
+            seedtree::trial_seed(ctx.seed, seedtree::CHAOS_TAG, ctx.trial_offset + t);
         run_chaos_capture(cfg, capture_seed, stats);
     }
 }

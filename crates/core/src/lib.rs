@@ -20,7 +20,12 @@
 //!   recovery accounting (the robustness test harness),
 //! * [`telemetry`] — RX-stage timing spans and the frame-outcome taxonomy
 //!   (every lost frame attributed to a named pipeline stage); pairs with
-//!   `mimonet_runtime::telemetry` for per-block scheduler counters.
+//!   `mimonet_runtime::telemetry` for per-block scheduler counters,
+//! * [`scenario`] — the network-scale scenario engine: K concurrent links
+//!   with per-link channel presets, mobility, faults, rate adaptation and
+//!   cross-link interference, executed deterministically on [`sweep`],
+//! * [`seedtree`] — the canonical seed-derivation tree shared by every
+//!   seeded subsystem (re-exported from `mimonet_dsp`).
 
 pub mod adapt;
 pub mod blocks;
@@ -30,9 +35,15 @@ pub mod link;
 pub mod metrics;
 pub mod rx;
 pub mod rx_reference;
+pub mod scenario;
 pub mod sweep;
 pub mod telemetry;
 pub mod tx;
+
+/// Canonical seed derivations — one tree for sweep points, chaos trials,
+/// fault schedules and scenario links. Lives in `mimonet_dsp` so the
+/// channel crate can share it; re-exported here as the public face.
+pub use mimonet_dsp::seedtree;
 
 pub use adapt::{RateController, SnrThresholdTable};
 pub use blocks::{build_link_flowgraph, ChannelBlock, RxBlock, TxBlock};

@@ -135,7 +135,10 @@ impl LinkSim {
             "channel n_tx must match the MCS stream count"
         );
         let rx = Receiver::new(cfg.rx.clone());
-        let chan = ChannelSim::new(cfg.channel.clone(), seed ^ 0x9E37_79B9_7F4A_7C15);
+        let chan = ChannelSim::new(
+            cfg.channel.clone(),
+            mimonet_dsp::seedtree::salted(seed, mimonet_dsp::seedtree::CHANNEL_SALT),
+        );
         Self {
             cfg,
             tx,

@@ -150,24 +150,17 @@ impl<T: Merge + Clone> Merge for Vec<T> {
 }
 
 /// SplitMix64 finalizer — the hash behind the seed-derivation scheme.
-/// Public so downstream seeded subsystems (the chaos harness's per-trial
-/// capture seeds) derive independent streams the same way the engine does.
-pub fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// Re-exported from [`mimonet_dsp::seedtree`], the canonical home of all
+/// seed derivations; kept here so existing callers keep compiling.
+pub use mimonet_dsp::seedtree::mix;
 
 /// Derives the per-point seed: `spec_seed ^ hash(point_index)`.
-pub fn point_seed(spec_seed: u64, point_index: usize) -> u64 {
-    spec_seed ^ mix(0x0070_6F69_6E74 ^ point_index as u64)
-}
+/// Re-exported from [`mimonet_dsp::seedtree`].
+pub use mimonet_dsp::seedtree::point_seed;
 
 /// Derives the per-shard seed from the point seed and shard index.
-pub fn shard_seed(spec_seed: u64, point_index: usize, shard_index: usize) -> u64 {
-    mix(point_seed(spec_seed, point_index) ^ mix(0x0073_6861_7264 ^ shard_index as u64))
-}
+/// Re-exported from [`mimonet_dsp::seedtree`].
+pub use mimonet_dsp::seedtree::shard_seed;
 
 /// Context handed to the shard worker closure.
 #[derive(Clone, Copy, Debug)]

@@ -15,6 +15,7 @@ pub mod correlate;
 pub mod fft;
 pub mod filter;
 pub mod resample;
+pub mod seedtree;
 pub mod spectrum;
 pub mod stats;
 pub mod window;

@@ -1,0 +1,172 @@
+//! Canonical seed derivation for every seeded subsystem — the one place
+//! `(seed, index, shard)` mixing lives.
+//!
+//! The sweep engine, the chaos harness, the channel fault injector and
+//! the scenario engine all need independent deterministic RNG streams
+//! derived from a single master seed. Before this module each of them
+//! hand-rolled the same SplitMix64 mixing with its own ad-hoc constants;
+//! now they share one tree:
+//!
+//! ```text
+//! master seed
+//! ├── point_seed(seed, p)              sweep grid point p
+//! │   └── shard_seed(seed, p, s)       parallel work shard s
+//! │       └── trial_seed(shard, TAG, t)  per-trial stream (chaos captures)
+//! ├── salted(seed, CHANNEL_SALT)       channel noise vs payload split
+//! ├── salted(seed, FAULT_SALT)         fault-schedule placement
+//! └── name_seed(seed, TAG, "link-a")   order-invariant named substreams
+//! ```
+//!
+//! Every function is a pure value computation. The exact constants are
+//! **frozen**: the per-figure goldens under `results/golden/` and every
+//! determinism test pin their byte-identical output to these derivations
+//! (see the `derivations_are_frozen` test below, which locks the values
+//! themselves).
+
+/// SplitMix64 finalizer — the hash behind every derivation here.
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Domain tag for sweep grid points (ASCII `point`).
+pub const POINT_TAG: u64 = 0x0070_6F69_6E74;
+/// Domain tag for sweep shards (ASCII `shard`).
+pub const SHARD_TAG: u64 = 0x0073_6861_7264;
+/// Domain tag for chaos-capture trials (ASCII `chaos`).
+pub const CHAOS_TAG: u64 = 0x0063_6861_6F73;
+/// Domain tag for scenario links (ASCII `link`).
+pub const LINK_TAG: u64 = 0x0000_6C69_6E6B;
+/// Domain tag for scenario rounds (ASCII `round`).
+pub const ROUND_TAG: u64 = 0x0072_6F75_6E64;
+/// Domain tag for cross-link interference streams (ASCII `xlink`).
+pub const XLINK_TAG: u64 = 0x0078_6C69_6E6B;
+
+/// Salt separating channel-noise streams from payload streams (the
+/// golden-ratio constant `LinkSim`/`ChaosConfig` have always used).
+pub const CHANNEL_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Salt for fault-schedule event placement.
+pub const FAULT_SALT: u64 = 0xC3A5_C85C_97CB_3127;
+/// Salt for the sample-level noise a fault schedule injects.
+pub const FAULT_NOISE_SALT: u64 = 0xA076_1D64_78BD_642F;
+/// Salt for session PSDU payload bytes (`mimonet-io`).
+pub const PSDU_SALT: u64 = 0x5053_4455_1057_3A1D;
+/// Salt for scenario transport-layer chunk-loss schedules.
+pub const TRANSPORT_SALT: u64 = 0x7452_616E_7350_6F72;
+
+/// Splits a master seed into an independent salted stream. XOR keeps the
+/// historical derivations (`seed ^ SALT`) byte-identical.
+pub fn salted(seed: u64, salt: u64) -> u64 {
+    seed ^ salt
+}
+
+/// Derives the per-point seed: `spec_seed ^ hash(point_index)`.
+pub fn point_seed(spec_seed: u64, point_index: usize) -> u64 {
+    spec_seed ^ mix(POINT_TAG ^ point_index as u64)
+}
+
+/// Derives the per-shard seed from the point seed and shard index.
+pub fn shard_seed(spec_seed: u64, point_index: usize, shard_index: usize) -> u64 {
+    mix(point_seed(spec_seed, point_index) ^ mix(SHARD_TAG ^ shard_index as u64))
+}
+
+/// Derives an indexed sub-stream under `tag` from a parent seed — the
+/// chaos harness's per-trial capture seeds, the scenario engine's
+/// per-round seeds.
+pub fn trial_seed(parent_seed: u64, tag: u64, index: usize) -> u64 {
+    mix(parent_seed ^ mix(tag ^ index as u64))
+}
+
+/// FNV-1a over a byte string — the stable name hash behind
+/// [`name_seed`]. Public so tests can pin it.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Derives a named sub-stream under `tag` from a parent seed. Because the
+/// derivation hashes the *name* rather than a list position, shuffling a
+/// collection of named entities (scenario links) never changes any
+/// entity's stream — the order-invariance the scenario determinism tests
+/// assert.
+pub fn name_seed(parent_seed: u64, tag: u64, name: &str) -> u64 {
+    mix(parent_seed ^ mix(tag ^ fnv1a(name.as_bytes())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The derivation constants and formulas are frozen: these exact
+    /// values back every checked-in golden (`results/golden/*.json`) and
+    /// the byte-identity CI checks. If this test fails, a derivation
+    /// changed and every golden is invalidated — that is a release
+    /// decision, not a refactor.
+    #[test]
+    fn derivations_are_frozen() {
+        assert_eq!(mix(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(mix(1), 0x910A_2DEC_8902_5CC1);
+        assert_eq!(mix(0xDEAD_BEEF), 0x4ADF_B90F_68C9_EB9B);
+
+        // Sweep-engine derivations (PR 1, pinned since).
+        assert_eq!(point_seed(42, 0), 0xEED3_712B_C6A2_434A);
+        assert_eq!(point_seed(42, 3), 0x2C84_3AD2_998C_6D03);
+        assert_eq!(shard_seed(42, 0, 0), 0x46B8_D10A_DCC4_A6D8);
+        assert_eq!(shard_seed(42, 3, 7), 0xEFE1_EB1B_9DF6_55EB);
+        assert_eq!(shard_seed(0, 0, 0), 0xE3B8_4E89_B8BB_2D38);
+
+        // Chaos per-trial derivation (PR 2): mix(seed ^ mix(TAG ^ t)).
+        assert_eq!(trial_seed(99, CHAOS_TAG, 0), 0x801B_E76C_6D21_F08D);
+        assert_eq!(trial_seed(99, CHAOS_TAG, 5), 0x82B0_BD01_4294_0FD2);
+
+        // Salted splits are plain XOR (historical behavior).
+        assert_eq!(salted(7, CHANNEL_SALT), 7 ^ 0x9E37_79B9_7F4A_7C15);
+        assert_eq!(salted(7, FAULT_SALT), 7 ^ 0xC3A5_C85C_97CB_3127);
+        assert_eq!(salted(7, FAULT_NOISE_SALT), 7 ^ 0xA076_1D64_78BD_642F);
+
+        // Name hashing (scenario links).
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(name_seed(42, LINK_TAG, "a"), 0x5F9C_B6AD_EA21_23D3);
+    }
+
+    #[test]
+    fn streams_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..16 {
+            for s in 0..16 {
+                assert!(seen.insert(shard_seed(1, p, s)));
+            }
+        }
+        for t in 0..64 {
+            assert!(seen.insert(trial_seed(1, CHAOS_TAG, t)));
+            assert!(seen.insert(trial_seed(1, ROUND_TAG, t)));
+        }
+        for name in ["a", "b", "ab", "ba", "link-0", "link-1"] {
+            assert!(seen.insert(name_seed(1, LINK_TAG, name)));
+            assert!(seen.insert(name_seed(1, XLINK_TAG, name)));
+        }
+    }
+
+    #[test]
+    fn name_seed_depends_on_name_not_position() {
+        let names = ["alpha", "beta", "gamma"];
+        let forward: Vec<u64> = names.iter().map(|n| name_seed(9, LINK_TAG, n)).collect();
+        let reversed: Vec<u64> = names
+            .iter()
+            .rev()
+            .map(|n| name_seed(9, LINK_TAG, n))
+            .collect();
+        assert_eq!(
+            forward,
+            reversed.into_iter().rev().collect::<Vec<_>>(),
+            "a name's stream must not depend on iteration order"
+        );
+    }
+}

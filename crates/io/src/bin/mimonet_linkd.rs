@@ -6,14 +6,16 @@
 //! mimonet-linkd selftest                          loopback smoke: serve + 4 clients
 //! ```
 //!
-//! Session knobs: `--mcs N --frames N --payload BYTES --snr DB --seed N`.
+//! Session knobs: `--mcs N --frames N --payload BYTES --snr DB --seed N`,
+//! or `--scenario FILE --link NAME` to load one link of a scenario file
+//! as the session preset (explicit knobs given after it still override).
 //! `--assert-local` reruns the same session in-process and exits nonzero
 //! unless the served PSDUs and `LinkStats` JSON match byte-for-byte —
 //! the CI smoke test's check.
 
 use mimonet_io::client::LinkClient;
 use mimonet_io::linkd::LinkServer;
-use mimonet_io::session::{run_session, Scheduler};
+use mimonet_io::session::{run_session, session_from_scenario, Scheduler};
 use mimonet_io::wire::SessionConfig;
 use serde::Serialize;
 
@@ -21,7 +23,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: mimonet-linkd serve [--addr HOST:PORT]\n\
          \x20      mimonet-linkd client [--addr HOST:PORT] [--mcs N] [--frames N]\n\
-         \x20                           [--payload BYTES] [--snr DB] [--seed N] [--assert-local]\n\
+         \x20                           [--payload BYTES] [--snr DB] [--seed N]\n\
+         \x20                           [--scenario FILE --link NAME] [--assert-local]\n\
          \x20      mimonet-linkd selftest"
     );
     std::process::exit(2);
@@ -46,9 +49,39 @@ fn main() {
     let mut assert_local = false;
 
     let rest: Vec<String> = argv.iter().skip(1).cloned().collect();
+
+    // Scenario preset first, so explicit knobs can override its fields.
+    let mut scenario: Option<String> = None;
+    let mut link: Option<String> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--scenario" => scenario = Some(parse(&mut it, "--scenario")),
+            "--link" => link = Some(parse(&mut it, "--link")),
+            _ => {}
+        }
+    }
+    match (&scenario, &link) {
+        (Some(path), Some(name)) => {
+            cfg = session_from_scenario(std::path::Path::new(path), name).unwrap_or_else(|e| {
+                eprintln!("mimonet-linkd: {e}");
+                std::process::exit(1);
+            });
+            println!("scenario preset {path} link {name}: {cfg:?}");
+        }
+        (None, None) => {}
+        _ => {
+            eprintln!("--scenario and --link must be given together");
+            usage();
+        }
+    }
+
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scenario" | "--link" => {
+                it.next();
+            }
             "--addr" => addr = parse(&mut it, "--addr"),
             "--mcs" => cfg.mcs = parse(&mut it, "--mcs"),
             "--frames" => cfg.n_frames = parse(&mut it, "--frames"),

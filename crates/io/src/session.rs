@@ -30,9 +30,9 @@ pub const MAX_SESSION_FRAMES: u32 = 4096;
 
 /// Salt between the master seed and the payload RNG, so payload bytes
 /// and channel noise never share a stream.
-const PSDU_SEED_SALT: u64 = 0x5053_4455_1057_3A1D;
+const PSDU_SEED_SALT: u64 = mimonet_dsp::seedtree::PSDU_SALT;
 /// Salt for the capture-path channel simulator (mirrors `LinkSim`).
-const CHANNEL_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+const CHANNEL_SEED_SALT: u64 = mimonet_dsp::seedtree::CHANNEL_SALT;
 
 /// Which scheduler executes the session flowgraph.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -241,6 +241,46 @@ pub fn build_link_capture(cfg: &SessionConfig) -> Result<LinkCapture, SessionErr
     Ok((rx_streams, psdus))
 }
 
+/// Projects one link of a scenario file onto a [`SessionConfig`]: the
+/// link's base MCS, payload and SNR; `n_frames` from the scenario's
+/// rounds; and the seed the scenario engine would derive for that link
+/// (`seedtree::name_seed(scenario_seed, LINK_TAG, name)`). A session
+/// served from this config is the single-link AWGN projection of the
+/// scenario link — same rate, same traffic shape, same seed root — so
+/// `mimonet-linkd --scenario FILE --link NAME` and the scenario engine
+/// agree on what "link NAME" means.
+pub fn session_from_scenario(
+    path: &std::path::Path,
+    link_name: &str,
+) -> Result<SessionConfig, SessionError> {
+    let spec = mimonet::scenario::ScenarioSpec::from_file(path)
+        .map_err(|e| SessionError::BadConfig(e.to_string()))?;
+    let link = spec
+        .links
+        .iter()
+        .find(|l| l.name == link_name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = spec.links.iter().map(|l| l.name.as_str()).collect();
+            SessionError::BadConfig(format!(
+                "scenario {:?} has no link {link_name:?} (links: {names:?})",
+                spec.name
+            ))
+        })?;
+    let cfg = SessionConfig {
+        mcs: link.mcs,
+        payload_len: link.payload_len as u32,
+        n_frames: spec.rounds.min(MAX_SESSION_FRAMES as usize) as u32,
+        snr_db: link.snr_db,
+        seed: mimonet_dsp::seedtree::name_seed(
+            spec.seed,
+            mimonet_dsp::seedtree::LINK_TAG,
+            &link.name,
+        ),
+    };
+    validate_config(&cfg)?;
+    Ok(cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +364,40 @@ mod tests {
         let stats = score_scan(&psdus, &frames, &scan);
         assert_eq!(stats.per.sent(), 3);
         assert_eq!(stats.per.ok(), 3, "clean 30 dB capture should decode");
+    }
+
+    #[test]
+    fn scenario_link_projects_to_session_config() {
+        let dir = std::env::temp_dir().join(format!("mimonet_scn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pair.toml");
+        std::fs::write(
+            &path,
+            "name = \"pair\"\nseed = 7\nrounds = 5\n\
+             [[links]]\nname = \"uplink\"\nmcs = 9\npayload_len = 100\nsnr_db = 27.0\n\
+             [[links]]\nname = \"downlink\"\n",
+        )
+        .unwrap();
+        let cfg = session_from_scenario(&path, "uplink").expect("valid link");
+        assert_eq!(cfg.mcs, 9);
+        assert_eq!(cfg.payload_len, 100);
+        assert_eq!(cfg.n_frames, 5);
+        assert_eq!(cfg.snr_db, 27.0);
+        assert_eq!(
+            cfg.seed,
+            mimonet_dsp::seedtree::name_seed(7, mimonet_dsp::seedtree::LINK_TAG, "uplink"),
+            "session seed must match the scenario engine's link seed"
+        );
+        // The projected config must actually run.
+        let outcome = run_session(&cfg, Scheduler::SingleThread).expect("runnable");
+        assert_eq!(outcome.stats.per.sent(), 5);
+
+        let missing = session_from_scenario(&path, "sidelink");
+        assert!(
+            matches!(&missing, Err(SessionError::BadConfig(m)) if m.contains("uplink")),
+            "unknown link must fail and list the real links: {missing:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! The scenario engine's core contract: a K-link scenario report is
+//! byte-identical for any worker-thread count AND any order of the
+//! `[[links]]` tables. Both follow from the seed tree — every per-link
+//! stream hangs off `name_seed(scenario_seed, LINK_TAG, name)`, never
+//! off a list position or a worker identity — and from the report
+//! sorting links by name before any floating-point aggregation.
+//!
+//! A proptest drives both axes at once over randomized scenario shapes
+//! (link count, SNRs, interference model/coupling, adaptation, faults,
+//! transport loss, mobility), plus directed cases for the soak-style
+//! mixed-feature scenario.
+
+use mimonet::scenario::{
+    InterferenceModel, InterferenceSpec, LinkSpec, ScenarioSpec, TransportSpec,
+};
+use proptest::prelude::*;
+use serde::{json, Serialize};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Renders a scenario report to its canonical JSON bytes.
+fn report_bytes(spec: &ScenarioSpec, threads: usize) -> String {
+    json::to_string(&spec.run(threads).serialize())
+}
+
+/// A small mixed-feature scenario: every engine feature lit at once, at
+/// test-suite-friendly size.
+fn mixed_scenario(seed: u64, k: usize) -> ScenarioSpec {
+    let presets = ["awgn", "tgn_b", "jakes_pedestrian", "tgn_d"];
+    let links = (0..k)
+        .map(|i| LinkSpec {
+            name: format!("link-{i}"),
+            preset: presets[i % presets.len()].into(),
+            snr_db: 26.0 + 2.0 * (i % 3) as f64,
+            adapt: i % 2 == 0,
+            band: (i % 2) as u64,
+            payload_len: 48,
+            faults: if i % 4 == 3 {
+                "default".into()
+            } else {
+                "none".into()
+            },
+            mobility: if i % 3 == 0 {
+                vec![(0.0, 30.0), (3.0, 26.0)]
+            } else {
+                Vec::new()
+            },
+            transport: (i % 4 == 2).then_some(TransportSpec {
+                chunk_len: 512,
+                drop_rate: 0.1,
+            }),
+            ..LinkSpec::default()
+        })
+        .collect();
+    ScenarioSpec {
+        name: "mixed".into(),
+        seed,
+        rounds: 3,
+        interference: InterferenceSpec {
+            model: InterferenceModel::Burst,
+            coupling_db: -16.0,
+        },
+        links,
+    }
+}
+
+#[test]
+fn four_link_soak_identical_across_thread_counts() {
+    let spec = mixed_scenario(0x50AC, 4);
+    let reference = report_bytes(&spec, THREAD_COUNTS[0]);
+    assert!(reference.contains("goodput_mbps"), "sanity: report shape");
+    for &threads in &THREAD_COUNTS[1..] {
+        assert_eq!(
+            report_bytes(&spec, threads),
+            reference,
+            "thread count {threads} changed the report bytes"
+        );
+    }
+}
+
+#[test]
+fn link_order_does_not_change_the_report() {
+    let spec = mixed_scenario(0x0D0E, 5);
+    let reference = report_bytes(&spec, 2);
+    // Rotations and a reversal cover every pairwise order change without
+    // enumerating 5! permutations.
+    for rotation in 1..spec.links.len() {
+        let mut permuted = spec.clone();
+        permuted.links.rotate_left(rotation);
+        assert_eq!(
+            report_bytes(&permuted, 2),
+            reference,
+            "rotation {rotation} changed the report bytes"
+        );
+    }
+    let mut reversed = spec.clone();
+    reversed.links.reverse();
+    assert_eq!(report_bytes(&reversed, 2), reference);
+}
+
+/// One random scenario shape: K links with randomized per-link knobs.
+fn arb_scenario() -> impl Strategy<Value = (ScenarioSpec, usize)> {
+    let link = (
+        24.0..34.0f64, // snr_db
+        any::<bool>(), // adapt
+        0..2u64,       // band
+        any::<bool>(), // transport loss
+        any::<bool>(), // mobility
+    );
+    (
+        any::<u64>(), // scenario seed
+        prop::collection::vec(link, 2..5),
+        prop_oneof![
+            Just(InterferenceModel::None),
+            Just(InterferenceModel::Burst),
+            Just(InterferenceModel::Waveform),
+        ],
+        -24.0..-10.0f64, // coupling_db
+        0..3usize,       // rotation applied to the link list
+    )
+        .prop_map(|(seed, links, model, coupling_db, rotation)| {
+            let links = links
+                .into_iter()
+                .enumerate()
+                .map(|(i, (snr_db, adapt, band, lossy, mobile))| LinkSpec {
+                    name: format!("n{i}"),
+                    snr_db,
+                    adapt,
+                    band,
+                    payload_len: 40,
+                    transport: lossy.then_some(TransportSpec {
+                        chunk_len: 400,
+                        drop_rate: 0.15,
+                    }),
+                    mobility: if mobile {
+                        vec![(0.0, snr_db), (2.0, snr_db - 4.0)]
+                    } else {
+                        Vec::new()
+                    },
+                    ..LinkSpec::default()
+                })
+                .collect();
+            (
+                ScenarioSpec {
+                    name: "prop".into(),
+                    seed,
+                    rounds: 2,
+                    interference: InterferenceSpec { model, coupling_db },
+                    links,
+                },
+                rotation,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The product contract, both axes at once: for a random scenario,
+    /// every thread count in {1, 2, 8} and a random rotation of the link
+    /// list all produce the same report bytes.
+    #[test]
+    fn random_scenarios_are_order_and_thread_invariant((spec, rotation) in arb_scenario()) {
+        spec.validate().expect("generated scenarios are valid");
+        let reference = report_bytes(&spec, 1);
+        for &threads in &THREAD_COUNTS[1..] {
+            prop_assert_eq!(
+                &report_bytes(&spec, threads),
+                &reference,
+                "thread count {} changed the bytes", threads
+            );
+        }
+        let mut permuted = spec.clone();
+        let k = permuted.links.len();
+        permuted.links.rotate_left(rotation % k);
+        prop_assert_eq!(
+            &report_bytes(&permuted, 8),
+            &reference,
+            "link rotation {} changed the bytes", rotation % k
+        );
+    }
+
+    /// Re-running the same spec twice is byte-stable (no hidden global
+    /// state in the engine).
+    #[test]
+    fn reruns_are_byte_stable(seed in any::<u64>()) {
+        let spec = mixed_scenario(seed, 3);
+        prop_assert_eq!(report_bytes(&spec, 2), report_bytes(&spec, 2));
+    }
+}

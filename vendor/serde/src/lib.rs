@@ -41,6 +41,75 @@ impl Value {
     pub fn array<T: Serialize>(items: impl IntoIterator<Item = T>) -> Value {
         Value::Array(items.into_iter().map(|v| v.serialize()).collect())
     }
+
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer (`U64`, or a non-negative `I64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) if *n <= i64::MAX as u64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float — integers widen (TOML/JSON writers are free
+    /// to write `30` where a schema means `30.0`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
 }
 
 /// Conversion into the [`Value`] data model.
@@ -239,6 +308,536 @@ pub mod json {
         }
         out.push('"');
     }
+
+    /// A JSON parse failure, with a byte offset into the input.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct ParseError {
+        /// What went wrong.
+        pub message: String,
+        /// Byte offset where it went wrong.
+        pub offset: usize,
+    }
+
+    impl std::fmt::Display for ParseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "JSON parse error at byte {}: {}",
+                self.offset, self.message
+            )
+        }
+    }
+
+    impl std::error::Error for ParseError {}
+
+    /// Parses JSON text into a [`Value`] tree. Object key order is
+    /// preserved (insertion order), matching what [`to_string`] emits, so
+    /// `from_str(to_string(v)) == v` for integer/string/bool trees and
+    /// value-equal for float trees.
+    pub fn from_str(input: &str) -> Result<Value, ParseError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(input, bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err("trailing characters after value", pos));
+        }
+        Ok(value)
+    }
+
+    fn err(message: &str, offset: usize) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset,
+        }
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(input: &str, bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err(err("unexpected end of input", *pos)),
+            Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+            Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(parse_string(input, bytes, pos)?)),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(input, bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(err("expected ',' or ']' in array", *pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut pairs = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(input, bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    if bytes.get(*pos) != Some(&b':') {
+                        return Err(err("expected ':' after object key", *pos));
+                    }
+                    *pos += 1;
+                    let value = parse_value(input, bytes, pos)?;
+                    pairs.push((key, value));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => return Err(err("expected ',' or '}' in object", *pos)),
+                    }
+                }
+            }
+            Some(_) => parse_number(input, bytes, pos),
+        }
+    }
+
+    fn parse_keyword(
+        bytes: &[u8],
+        pos: &mut usize,
+        word: &str,
+        value: Value,
+    ) -> Result<Value, ParseError> {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(value)
+        } else {
+            Err(err("invalid literal", *pos))
+        }
+    }
+
+    fn parse_string(input: &str, bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err("expected string", *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err(err("unterminated string", *pos)),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = input
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or_else(|| err("truncated \\u escape", *pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| err("invalid \\u escape", *pos))?;
+                            // Surrogate pairs are not needed for config
+                            // files; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(err("invalid escape", *pos)),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 character.
+                    let rest = &input[*pos..];
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(input: &str, bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = bytes.get(*pos) {
+            match b {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = &input[start..*pos];
+        if text.is_empty() || text == "-" {
+            return Err(err("expected number", start));
+        }
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| err("invalid number", start))
+    }
+}
+
+/// A TOML-subset parser producing the same [`Value`] model as [`json`].
+///
+/// Supported: `[table]` / `[a.b]` headers, `[[array-of-tables]]`, bare and
+/// `"quoted"` keys, dotted keys (`a.b = 1`), basic `"strings"` with the
+/// JSON escape set, integers, floats, booleans, homogeneous-or-not inline
+/// arrays `[1, 2, 3]` (with trailing commas), inline tables
+/// `{ a = 1, b = 2 }`, and `#` comments. Unsupported (an error, not a
+/// silent skip): multi-line strings, literal `'strings'`, and datetimes —
+/// scenario files need none of them.
+pub mod toml {
+    use super::Value;
+
+    /// A TOML parse failure, with a 1-based line number.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct ParseError {
+        /// What went wrong.
+        pub message: String,
+        /// 1-based line where it went wrong.
+        pub line: usize,
+    }
+
+    impl std::fmt::Display for ParseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "TOML parse error on line {}: {}",
+                self.line, self.message
+            )
+        }
+    }
+
+    impl std::error::Error for ParseError {}
+
+    fn err(message: impl Into<String>, line: usize) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// Parses TOML text into a [`Value::Object`] tree. Key order follows
+    /// document order, matching the [`super::json`] model's determinism.
+    pub fn from_str(input: &str) -> Result<Value, ParseError> {
+        let mut root = Value::Object(Vec::new());
+        // Path of the table subsequent `key = value` lines land in.
+        let mut current: Vec<String> = Vec::new();
+        for (i, raw) in input.lines().enumerate() {
+            let line_no = i + 1;
+            let line = strip_comment(raw);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(path_text) = line
+                .strip_prefix("[[")
+                .and_then(|rest| rest.strip_suffix("]]"))
+            {
+                let path = parse_key_path(path_text, line_no)?;
+                push_array_table(&mut root, &path, line_no)?;
+                current = path;
+            } else if let Some(path_text) = line
+                .strip_prefix('[')
+                .and_then(|rest| rest.strip_suffix(']'))
+            {
+                let path = parse_key_path(path_text, line_no)?;
+                ensure_table(&mut root, &path, line_no)?;
+                current = path;
+            } else {
+                let eq = line
+                    .find('=')
+                    .ok_or_else(|| err("expected 'key = value'", line_no))?;
+                let key_path = parse_key_path(&line[..eq], line_no)?;
+                let (value, rest) = parse_value(line[eq + 1..].trim(), line_no)?;
+                if !rest.trim().is_empty() {
+                    return Err(err("trailing characters after value", line_no));
+                }
+                let mut full = current.clone();
+                full.extend(key_path);
+                insert(&mut root, &full, value, line_no)?;
+            }
+        }
+        Ok(root)
+    }
+
+    /// Strips a `#` comment, respecting `"` strings.
+    fn strip_comment(line: &str) -> &str {
+        let mut in_str = false;
+        let mut escaped = false;
+        for (i, c) in line.char_indices() {
+            match c {
+                '\\' if in_str && !escaped => {
+                    escaped = true;
+                    continue;
+                }
+                '"' if !escaped => in_str = !in_str,
+                '#' if !in_str => return &line[..i],
+                _ => {}
+            }
+            escaped = false;
+        }
+        line
+    }
+
+    fn parse_key_path(text: &str, line: usize) -> Result<Vec<String>, ParseError> {
+        let mut path = Vec::new();
+        for part in text.split('.') {
+            let part = part.trim();
+            let key = if let Some(q) = part.strip_prefix('"').and_then(|p| p.strip_suffix('"')) {
+                q.to_string()
+            } else {
+                if part.is_empty()
+                    || !part
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                {
+                    return Err(err(format!("invalid key {part:?}"), line));
+                }
+                part.to_string()
+            };
+            path.push(key);
+        }
+        Ok(path)
+    }
+
+    /// Navigates to (creating as needed) the object at `path`; the last
+    /// element of a `[[...]]` array is entered, matching TOML semantics.
+    fn navigate<'a>(
+        root: &'a mut Value,
+        path: &[String],
+        line: usize,
+    ) -> Result<&'a mut Value, ParseError> {
+        let mut node = root;
+        for key in path {
+            // Enter the newest element of an array of tables.
+            if let Value::Array(items) = node {
+                node = items
+                    .last_mut()
+                    .ok_or_else(|| err("internal: empty table array", line))?;
+            }
+            let Value::Object(pairs) = node else {
+                return Err(err(format!("key {key:?} is not a table"), line));
+            };
+            if !pairs.iter().any(|(k, _)| k == key) {
+                pairs.push((key.clone(), Value::Object(Vec::new())));
+            }
+            let idx = pairs.iter().position(|(k, _)| k == key).expect("present");
+            node = &mut pairs[idx].1;
+        }
+        if let Value::Array(items) = node {
+            node = items
+                .last_mut()
+                .ok_or_else(|| err("internal: empty table array", line))?;
+        }
+        Ok(node)
+    }
+
+    fn ensure_table(root: &mut Value, path: &[String], line: usize) -> Result<(), ParseError> {
+        let node = navigate(root, path, line)?;
+        if !matches!(node, Value::Object(_)) {
+            return Err(err("table header redefines a value", line));
+        }
+        Ok(())
+    }
+
+    fn push_array_table(root: &mut Value, path: &[String], line: usize) -> Result<(), ParseError> {
+        let (parent, last) = path
+            .split_last()
+            .map(|(l, p)| (p, l))
+            .ok_or_else(|| err("empty [[table]] name", line))?;
+        let node = navigate(root, parent, line)?;
+        let Value::Object(pairs) = node else {
+            return Err(err("[[table]] parent is not a table", line));
+        };
+        match pairs.iter_mut().find(|(k, _)| k == last) {
+            Some((_, Value::Array(items))) => items.push(Value::Object(Vec::new())),
+            Some((_, Value::Object(obj))) if obj.is_empty() => {
+                // A bare `[x]` header (or navigation) created an empty
+                // table first; promote it to an array of tables.
+                pairs.retain(|(k, _)| k != last);
+                pairs.push((last.clone(), Value::Array(vec![Value::Object(Vec::new())])));
+            }
+            Some(_) => return Err(err("[[table]] redefines a non-array key", line)),
+            None => pairs.push((last.clone(), Value::Array(vec![Value::Object(Vec::new())]))),
+        }
+        Ok(())
+    }
+
+    fn insert(
+        root: &mut Value,
+        path: &[String],
+        value: Value,
+        line: usize,
+    ) -> Result<(), ParseError> {
+        let (last, parent) = path.split_last().ok_or_else(|| err("empty key", line))?;
+        let node = navigate(root, parent, line)?;
+        let Value::Object(pairs) = node else {
+            return Err(err("assignment target is not a table", line));
+        };
+        if pairs.iter().any(|(k, _)| k == last) {
+            return Err(err(format!("duplicate key {last:?}"), line));
+        }
+        pairs.push((last.clone(), value));
+        Ok(())
+    }
+
+    /// Parses one value from the front of `text`; returns it and the
+    /// unconsumed remainder.
+    fn parse_value(text: &str, line: usize) -> Result<(Value, &str), ParseError> {
+        let text = text.trim_start();
+        if let Some(rest) = text.strip_prefix("true") {
+            return Ok((Value::Bool(true), rest));
+        }
+        if let Some(rest) = text.strip_prefix("false") {
+            return Ok((Value::Bool(false), rest));
+        }
+        if text.starts_with('"') {
+            return parse_string(text, line);
+        }
+        if text.starts_with('\'') {
+            return Err(err("literal 'strings' are not supported", line));
+        }
+        if let Some(mut rest) = text.strip_prefix('[') {
+            let mut items = Vec::new();
+            loop {
+                rest = rest.trim_start();
+                if let Some(after) = rest.strip_prefix(']') {
+                    return Ok((Value::Array(items), after));
+                }
+                if rest.is_empty() {
+                    return Err(err("unterminated array", line));
+                }
+                let (item, after) = parse_value(rest, line)?;
+                items.push(item);
+                rest = after.trim_start();
+                if let Some(after) = rest.strip_prefix(',') {
+                    rest = after;
+                } else if !rest.starts_with(']') && !rest.is_empty() {
+                    return Err(err("expected ',' or ']' in array", line));
+                }
+            }
+        }
+        if let Some(mut rest) = text.strip_prefix('{') {
+            let mut pairs = Vec::new();
+            loop {
+                rest = rest.trim_start();
+                if let Some(after) = rest.strip_prefix('}') {
+                    return Ok((Value::Object(pairs), after));
+                }
+                let eq = rest
+                    .find('=')
+                    .ok_or_else(|| err("expected 'key = value' in inline table", line))?;
+                let keys = parse_key_path(&rest[..eq], line)?;
+                if keys.len() != 1 {
+                    return Err(err("dotted keys unsupported in inline tables", line));
+                }
+                let (value, after) = parse_value(rest[eq + 1..].trim_start(), line)?;
+                pairs.push((keys.into_iter().next().expect("one key"), value));
+                rest = after.trim_start();
+                if let Some(after) = rest.strip_prefix(',') {
+                    rest = after;
+                } else if !rest.starts_with('}') {
+                    return Err(err("expected ',' or '}' in inline table", line));
+                }
+            }
+        }
+        parse_number(text, line)
+    }
+
+    fn parse_string(text: &str, line: usize) -> Result<(Value, &str), ParseError> {
+        let bytes = text.as_bytes();
+        debug_assert_eq!(bytes[0], b'"');
+        let mut out = String::new();
+        let mut i = 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'"' => return Ok((Value::Str(out), &text[i + 1..])),
+                b'\\' => {
+                    i += 1;
+                    match bytes.get(i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        _ => return Err(err("invalid string escape", line)),
+                    }
+                    i += 1;
+                }
+                _ => {
+                    let c = text[i..].chars().next().expect("non-empty");
+                    out.push(c);
+                    i += c.len_utf8();
+                }
+            }
+        }
+        Err(err("unterminated string", line))
+    }
+
+    fn parse_number(text: &str, line: usize) -> Result<(Value, &str), ParseError> {
+        let end = text
+            .find(|c: char| !matches!(c, '0'..='9' | '+' | '-' | '.' | 'e' | 'E' | '_'))
+            .unwrap_or(text.len());
+        let (token, rest) = text.split_at(end);
+        let cleaned: String = token.chars().filter(|&c| c != '_').collect();
+        if cleaned.is_empty() {
+            return Err(err(format!("expected a value, found {text:?}"), line));
+        }
+        if !cleaned.contains(['.', 'e', 'E']) {
+            if let Ok(n) = cleaned.parse::<u64>() {
+                return Ok((Value::U64(n), rest));
+            }
+            if let Ok(n) = cleaned.parse::<i64>() {
+                return Ok((Value::I64(n), rest));
+            }
+        }
+        cleaned
+            .parse::<f64>()
+            .map(|f| (Value::F64(f), rest))
+            .map_err(|_| err(format!("invalid number {token:?}"), line))
+    }
 }
 
 #[cfg(test)]
@@ -306,5 +905,117 @@ mod tests {
         assert_eq!(json::to_string(&obj), json::to_string(&obj.clone()));
         // Insertion order preserved, not sorted.
         assert_eq!(json::to_string(&obj), "{\"z\":3.25,\"a\":1}");
+    }
+
+    #[test]
+    fn json_parses_and_roundtrips() {
+        let text = r#"{"name":"duel","links":[{"snr_db":22.5,"mcs":8,"up":true},
+                       {"snr_db":-3,"mcs":9,"up":false}],"note":"a\"b\n","none":null}"#;
+        let v = json::from_str(text).unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("duel"));
+        let links = v.get("links").and_then(Value::as_array).unwrap();
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0].get("snr_db").and_then(Value::as_f64), Some(22.5));
+        assert_eq!(links[1].get("snr_db").and_then(Value::as_f64), Some(-3.0));
+        assert_eq!(links[0].get("mcs").and_then(Value::as_u64), Some(8));
+        assert_eq!(links[1].get("up").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("note").and_then(Value::as_str), Some("a\"b\n"));
+        assert_eq!(v.get("none"), Some(&Value::Null));
+        // Round trip: parse(render(v)) == v.
+        assert_eq!(json::from_str(&json::to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn json_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(json::from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn toml_parses_tables_and_arrays_of_tables() {
+        let text = r#"
+            # scenario header
+            name = "duel"          # trailing comment
+            seed = 7
+            rounds = 40
+            snr = 22.5
+
+            [interference]
+            model = "burst"
+            coupling_db = -12.5
+
+            [[links]]
+            name = "a"
+            mcs = 8
+            mobility = [ [0, 30.0], [20, 12.0] ]
+
+            [[links]]
+            name = "b"
+            adapt = { enabled = true, start_mcs = 8 }
+        "#;
+        let v = toml::from_str(text).unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("duel"));
+        assert_eq!(v.get("seed").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("snr").and_then(Value::as_f64), Some(22.5));
+        let interf = v.get("interference").unwrap();
+        assert_eq!(interf.get("model").and_then(Value::as_str), Some("burst"));
+        assert_eq!(
+            interf.get("coupling_db").and_then(Value::as_f64),
+            Some(-12.5)
+        );
+        let links = v.get("links").and_then(Value::as_array).unwrap();
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0].get("name").and_then(Value::as_str), Some("a"));
+        let mob = links[0].get("mobility").and_then(Value::as_array).unwrap();
+        assert_eq!(mob[1].as_array().unwrap()[1].as_f64(), Some(12.0));
+        let adapt = links[1].get("adapt").unwrap();
+        assert_eq!(adapt.get("enabled").and_then(Value::as_bool), Some(true));
+        assert_eq!(adapt.get("start_mcs").and_then(Value::as_u64), Some(8));
+    }
+
+    #[test]
+    fn toml_dotted_and_quoted_keys() {
+        let v = toml::from_str("a.b = 1\n\"weird key\" = \"x\"\n[c.d]\ne = 2\n").unwrap();
+        assert_eq!(
+            v.get("a").unwrap().get("b").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(v.get("weird key").and_then(Value::as_str), Some("x"));
+        assert_eq!(
+            v.get("c")
+                .unwrap()
+                .get("d")
+                .unwrap()
+                .get("e")
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn toml_rejects_malformed_input() {
+        for bad in [
+            "key",                // no '='
+            "a = 1\na = 2",       // duplicate key
+            "a = 'literal'",      // literal strings unsupported
+            "a = \"unterminated", // unterminated string
+            "a = [1, 2",          // unterminated array
+            "a = 1 trailing",     // junk after value
+            "[t]\n[t.x]\n[[t]]",  // [[..]] redefining a populated table
+        ] {
+            assert!(toml::from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::object([("n", Value::I64(3)), ("f", Value::F64(0.5))]);
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(Value::I64(-1).as_u64(), None);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.as_object().unwrap().len(), 2);
+        assert_eq!(Value::U64(1).get("x"), None);
     }
 }
